@@ -1,0 +1,793 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§V) under the deterministic simulator.
+
+     dune exec bench/main.exe -- --figure fig5 --full
+     dune exec bench/main.exe -- --figure all
+
+   Throughput unit: committed operations per 1000 simulated rounds
+   ("ops/kround").  The simulated machine has [cores] CPUs; thread counts
+   beyond that are over-subscription, as in the paper.  Latency unit:
+   simulated rounds.  See EXPERIMENTS.md for the paper-vs-measured record
+   and the workload-scaling notes. *)
+
+open Workloads
+module Region = Pmem.Region
+module Rng = Runtime.Rng
+module Sched = Runtime.Sched
+module Lf = Onefile.Onefile_lf
+module Wf = Onefile.Onefile_wf
+
+let cores = 8
+
+type mode = { threads : int list; rounds : int; list_keys : int; tree_keys : int }
+
+let quick =
+  { threads = [ 1; 2; 4; 8; 16 ]; rounds = 20_000; list_keys = 128; tree_keys = 2048 }
+
+let full =
+  {
+    threads = [ 1; 2; 4; 8; 16; 32; 64 ];
+    rounds = 60_000;
+    list_keys = 512;
+    tree_keys = 8192;
+  }
+
+let spec mode ~threads ~seed =
+  { Bench_runner.threads; cores; rounds = mode.rounds; seed; policy = Sched.Round_robin }
+
+let pr fmt = Format.printf fmt
+
+let print_series_header name cols =
+  pr "@.# %s@." name;
+  pr "threads";
+  List.iter (fun c -> pr ", %s" c) cols;
+  pr "@."
+
+let print_row threads values =
+  pr "%d" threads;
+  List.iter (fun v -> pr ", %.1f" v) values;
+  pr "@."
+
+(* ------------------------------------------------------------------ *)
+(* Series definitions *)
+
+module type TM_FRESH = sig
+  include Tm.Tm_intf.S
+
+  val fresh : unit -> t
+end
+
+let vol_size = 1 lsl 18
+
+module Of_lf_v = struct
+  include Lf
+
+  let fresh () = create ~mode:Region.Volatile ~size:vol_size ~ws_cap:2048 ()
+end
+
+module Of_wf_v = struct
+  include Wf
+
+  let fresh () = create ~mode:Region.Volatile ~size:vol_size ~ws_cap:2048 ()
+end
+
+module Tiny_v = struct
+  include Baselines.Tinystm
+
+  let fresh () = create ~size:vol_size ()
+end
+
+module Estm_v = struct
+  include Baselines.Estm
+
+  let fresh () = create ~size:vol_size ()
+end
+
+module Estm_elastic_v = struct
+  include Baselines.Estm
+
+  let fresh () = create ~size:vol_size ~elastic:true ()
+end
+
+module Of_lf_p = struct
+  include Lf
+
+  let fresh () = create ~mode:Region.Persistent ~size:vol_size ~ws_cap:2048 ()
+end
+
+module Of_wf_p = struct
+  include Wf
+
+  let fresh () = create ~mode:Region.Persistent ~size:vol_size ~ws_cap:2048 ()
+end
+
+module Pmdk_p = struct
+  include Baselines.Pmdk
+
+  let fresh () = create ~size:vol_size ()
+end
+
+module Romlog_p = struct
+  include Baselines.Romulus_log
+
+  let fresh () = create ~half:(1 lsl 17) ()
+end
+
+module Romlr_p = struct
+  include Baselines.Romulus_lr
+
+  let fresh () = create ~half:(1 lsl 17) ()
+end
+
+(* ------------------------------------------------------------------ *)
+(* SPS (Figs. 2, 3, 8) *)
+
+module SpsBench (T : TM_FRESH) = struct
+  module S = Structures.Sps.Make (T)
+
+  let point ~n ~swaps ~alloc sp =
+    let t = T.fresh () in
+    let s = if alloc then S.create_alloc t ~root:0 ~n else S.create t ~root:0 ~n in
+    Bench_runner.throughput sp (fun ~tid:_ ~rng ->
+        if alloc then S.swaps_alloc_tx s rng swaps else S.swaps_tx s rng swaps)
+end
+
+module Sps_of_lf = SpsBench (Of_lf_v)
+module Sps_of_wf = SpsBench (Of_wf_v)
+module Sps_tiny = SpsBench (Tiny_v)
+module Sps_estm = SpsBench (Estm_v)
+module Sps_of_lf_p = SpsBench (Of_lf_p)
+module Sps_of_wf_p = SpsBench (Of_wf_p)
+module Sps_pmdk = SpsBench (Pmdk_p)
+module Sps_romlog = SpsBench (Romlog_p)
+module Sps_romlr = SpsBench (Romlr_p)
+
+let fig_sps mode ~alloc ~persistent =
+  let n = if persistent then 4096 else 1000 in
+  let swaps_list = if alloc then [ 1; 4; 16 ] else [ 1; 4; 16; 64 ] in
+  let series =
+    if persistent then
+      [
+        ("OF-LF", Sps_of_lf_p.point);
+        ("OF-WF", Sps_of_wf_p.point);
+        ("PMDK", Sps_pmdk.point);
+        ("RomLog", Sps_romlog.point);
+        ("RomLR", Sps_romlr.point);
+      ]
+    else
+      [
+        ("OF-LF", Sps_of_lf.point);
+        ("OF-WF", Sps_of_wf.point);
+        ("TinySTM", Sps_tiny.point);
+        ("ESTM", Sps_estm.point);
+      ]
+  in
+  List.iter
+    (fun swaps ->
+      print_series_header
+        (Printf.sprintf "SPS%s%s: %d-word array, %d swaps/tx (swaps per kround)"
+           (if alloc then "+alloc" else "")
+           (if persistent then " persistent" else "")
+           n swaps)
+        (List.map fst series);
+      List.iter
+        (fun threads ->
+          let sp = spec mode ~threads ~seed:(threads + (swaps * 131)) in
+          let values =
+            List.map
+              (fun (_, point) -> point ~n ~swaps ~alloc sp *. float_of_int swaps)
+              series
+          in
+          print_row threads values)
+        mode.threads)
+    swaps_list
+
+(* ------------------------------------------------------------------ *)
+(* Sets (Figs. 5, 6, 9, 10, 11) *)
+
+module LlBench (T : TM_FRESH) = struct
+  module S = Structures.Ll_set.Make (T)
+
+  let point ~keys ~update_pct sp =
+    let t = T.fresh () in
+    let s = S.create t ~root:0 in
+    for i = 0 to keys - 1 do
+      ignore (S.add s (2 * i))
+    done;
+    Bench_runner.throughput sp (fun ~tid:_ ~rng ->
+        let k = 2 * Rng.int rng keys in
+        if Rng.int rng 1000 < update_pct then begin
+          ignore (S.remove s k);
+          ignore (S.add s k)
+        end
+        else begin
+          ignore (S.contains s k);
+          ignore (S.contains s (2 * Rng.int rng keys))
+        end)
+end
+
+module TreeBench (T : TM_FRESH) = struct
+  module S = Structures.Tree_set.Make (T)
+
+  let point ~keys ~update_pct sp =
+    let t = T.fresh () in
+    let s = S.create t ~root:0 in
+    for i = 0 to keys - 1 do
+      ignore (S.add s (2 * i))
+    done;
+    Bench_runner.throughput sp (fun ~tid:_ ~rng ->
+        let k = 2 * Rng.int rng keys in
+        if Rng.int rng 1000 < update_pct then begin
+          ignore (S.remove s k);
+          ignore (S.add s k)
+        end
+        else begin
+          ignore (S.contains s k);
+          ignore (S.contains s (2 * Rng.int rng keys))
+        end)
+end
+
+module HashBench (T : TM_FRESH) = struct
+  module S = Structures.Hash_set.Make (T)
+
+  let point ~keys ~update_pct sp =
+    let t = T.fresh () in
+    let s = S.create ~initial_buckets:(2 * keys) t ~root:0 in
+    for i = 0 to keys - 1 do
+      ignore (S.add s (2 * i))
+    done;
+    Bench_runner.throughput sp (fun ~tid:_ ~rng ->
+        let k = 2 * Rng.int rng keys in
+        if Rng.int rng 1000 < update_pct then begin
+          ignore (S.remove s k);
+          ignore (S.add s k)
+        end
+        else begin
+          ignore (S.contains s k);
+          ignore (S.contains s (2 * Rng.int rng keys))
+        end)
+end
+
+let efrb_point ~keys ~update_pct sp =
+  let s = Baselines.Efrb_tree.create ~max_threads:80 () in
+  for i = 0 to keys - 1 do
+    ignore (Baselines.Efrb_tree.add s (2 * i))
+  done;
+  Bench_runner.throughput sp (fun ~tid:_ ~rng ->
+      let k = 2 * Rng.int rng keys in
+      if Rng.int rng 1000 < update_pct then begin
+        ignore (Baselines.Efrb_tree.remove s k);
+        ignore (Baselines.Efrb_tree.add s k)
+      end
+      else begin
+        ignore (Baselines.Efrb_tree.contains s k);
+        ignore (Baselines.Efrb_tree.contains s (2 * Rng.int rng keys))
+      end)
+
+let harris_point ~keys ~update_pct sp =
+  let s = Baselines.Harris_list.create ~max_threads:80 () in
+  for i = 0 to keys - 1 do
+    ignore (Baselines.Harris_list.add s (2 * i))
+  done;
+  Bench_runner.throughput sp (fun ~tid:_ ~rng ->
+      let k = 2 * Rng.int rng keys in
+      if Rng.int rng 1000 < update_pct then begin
+        ignore (Baselines.Harris_list.remove s k);
+        ignore (Baselines.Harris_list.add s k)
+      end
+      else begin
+        ignore (Baselines.Harris_list.contains s k);
+        ignore (Baselines.Harris_list.contains s (2 * Rng.int rng keys))
+      end)
+
+module Ll_of_lf = LlBench (Of_lf_v)
+module Ll_of_wf = LlBench (Of_wf_v)
+module Ll_tiny = LlBench (Tiny_v)
+module Ll_estm = LlBench (Estm_elastic_v)
+module Ll_of_lf_p = LlBench (Of_lf_p)
+module Ll_of_wf_p = LlBench (Of_wf_p)
+module Ll_pmdk = LlBench (Pmdk_p)
+module Ll_romlog = LlBench (Romlog_p)
+module Ll_romlr = LlBench (Romlr_p)
+module Tree_of_lf = TreeBench (Of_lf_v)
+module Tree_of_wf = TreeBench (Of_wf_v)
+module Tree_tiny = TreeBench (Tiny_v)
+module Tree_estm = TreeBench (Estm_v)
+module Tree_of_lf_p = TreeBench (Of_lf_p)
+module Tree_of_wf_p = TreeBench (Of_wf_p)
+module Tree_pmdk = TreeBench (Pmdk_p)
+module Tree_romlog = TreeBench (Romlog_p)
+module Tree_romlr = TreeBench (Romlr_p)
+module Hash_of_lf_p = HashBench (Of_lf_p)
+module Hash_of_wf_p = HashBench (Of_wf_p)
+module Hash_pmdk = HashBench (Pmdk_p)
+module Hash_romlog = HashBench (Romlog_p)
+module Hash_romlr = HashBench (Romlr_p)
+
+let update_ratios_permille = [ 1000; 100; 10; 0 ]
+
+let fig_sets mode ~name ~keys ~series =
+  List.iter
+    (fun upd ->
+      print_series_header
+        (Printf.sprintf "%s, %d keys, update ratio %.1f%% (ops per kround)" name
+           keys
+           (float_of_int upd /. 10.0))
+        (List.map fst series);
+      List.iter
+        (fun threads ->
+          let sp = spec mode ~threads ~seed:(threads + (upd * 7)) in
+          let values =
+            List.map (fun (_, point) -> point ~keys ~update_pct:upd sp) series
+          in
+          print_row threads values)
+        mode.threads)
+    update_ratios_permille
+
+(* ------------------------------------------------------------------ *)
+(* Queues (Figs. 4 and 12-left) *)
+
+module QBench (T : TM_FRESH) = struct
+  module Q = Structures.Tm_queue.Make (T)
+
+  let point sp =
+    let t = T.fresh () in
+    let q = Q.create t ~root:0 in
+    for i = 1 to 16 do
+      Q.enqueue q i
+    done;
+    Bench_runner.throughput sp (fun ~tid ~rng:_ ->
+        Q.enqueue q (tid + 1);
+        ignore (Q.dequeue q))
+end
+
+module Q_of_lf = QBench (Of_lf_v)
+module Q_of_wf = QBench (Of_wf_v)
+module Q_tiny = QBench (Tiny_v)
+module Q_estm = QBench (Estm_v)
+module Q_of_lf_p = QBench (Of_lf_p)
+module Q_of_wf_p = QBench (Of_wf_p)
+module Q_pmdk = QBench (Pmdk_p)
+module Q_romlog = QBench (Romlog_p)
+module Q_romlr = QBench (Romlr_p)
+
+let msq_point sp =
+  let q = Baselines.Msqueue.create ~max_threads:80 () in
+  for i = 1 to 16 do
+    Baselines.Msqueue.enqueue q i
+  done;
+  Bench_runner.throughput sp (fun ~tid ~rng:_ ->
+      Baselines.Msqueue.enqueue q (tid + 1);
+      ignore (Baselines.Msqueue.dequeue q))
+
+let simq_point sp =
+  let q = Baselines.Ucqueue.create ~max_threads:80 () in
+  for i = 1 to 16 do
+    Baselines.Ucqueue.enqueue q i
+  done;
+  Bench_runner.throughput sp (fun ~tid ~rng:_ ->
+      Baselines.Ucqueue.enqueue q (tid + 1);
+      ignore (Baselines.Ucqueue.dequeue q))
+
+let faaq_point sp =
+  let q = Baselines.Faaq.create ~max_threads:80 () in
+  for i = 1 to 16 do
+    Baselines.Faaq.enqueue q i
+  done;
+  Bench_runner.throughput sp (fun ~tid ~rng:_ ->
+      Baselines.Faaq.enqueue q (tid + 1);
+      ignore (Baselines.Faaq.dequeue q))
+
+let lcrq_point sp =
+  let q = Baselines.Lcrq.create ~ring_size:64 ~max_threads:80 () in
+  for i = 1 to 16 do
+    Baselines.Lcrq.enqueue q i
+  done;
+  Bench_runner.throughput sp (fun ~tid ~rng:_ ->
+      Baselines.Lcrq.enqueue q (tid + 1);
+      ignore (Baselines.Lcrq.dequeue q))
+
+let fhmp_point sp =
+  let q = Baselines.Fhmp_queue.create ~size:(1 lsl 21) () in
+  for i = 1 to 16 do
+    Baselines.Fhmp_queue.enqueue q i
+  done;
+  Bench_runner.throughput sp (fun ~tid ~rng:_ ->
+      Baselines.Fhmp_queue.enqueue q (tid + 1);
+      ignore (Baselines.Fhmp_queue.dequeue q))
+
+let fig_queues mode =
+  let linked =
+    [
+      ("OF-LF", Q_of_lf.point);
+      ("OF-WF", Q_of_wf.point);
+      ("TinySTM", Q_tiny.point);
+      ("ESTM", Q_estm.point);
+      ("MSQueue", msq_point);
+      ("SimQueue*", simq_point);
+    ]
+  in
+  let arrayq = [ ("LCRQ", lcrq_point); ("FAAQueue", faaq_point) ] in
+  print_series_header "Queues, linked-list based (enq+deq pairs per kround)"
+    (List.map fst linked);
+  List.iter
+    (fun threads ->
+      let sp = spec mode ~threads ~seed:threads in
+      print_row threads (List.map (fun (_, p) -> p sp) linked))
+    mode.threads;
+  print_series_header "Queues, array based (enq+deq pairs per kround)"
+    (List.map fst arrayq);
+  List.iter
+    (fun threads ->
+      let sp = spec mode ~threads ~seed:threads in
+      print_row threads (List.map (fun (_, p) -> p sp) arrayq))
+    mode.threads
+
+let fig_pqueues mode =
+  let series =
+    [
+      ("OF-LF", Q_of_lf_p.point);
+      ("OF-WF", Q_of_wf_p.point);
+      ("PMDK", Q_pmdk.point);
+      ("RomLog", Q_romlog.point);
+      ("RomLR", Q_romlr.point);
+      ("FHMP", fhmp_point);
+    ]
+  in
+  print_series_header "Persistent queues (enq+deq pairs per kround)"
+    (List.map fst series);
+  List.iter
+    (fun threads ->
+      let sp = spec mode ~threads ~seed:threads in
+      print_row threads (List.map (fun (_, p) -> p sp) series))
+    mode.threads
+
+(* ------------------------------------------------------------------ *)
+(* Latency percentiles (Fig. 7) *)
+
+module CntBench (T : TM_FRESH) = struct
+  module C = Structures.Counters.Make (T)
+
+  let histogram ~threads ~rounds ~seed =
+    let t = T.fresh () in
+    let c = C.create t ~root:0 ~n:64 in
+    (* random scheduling on half the cores: latency tails come from unlucky
+       schedules, which a fair lockstep never produces *)
+    let sp =
+      {
+        Bench_runner.threads;
+        cores = cores / 2;
+        rounds;
+        seed;
+        policy = Sched.Random_order;
+      }
+    in
+    let flip = Array.make threads true in
+    Bench_runner.latency sp (fun ~tid ~rng:_ ->
+        C.increment_all c ~left_to_right:flip.(tid);
+        flip.(tid) <- not flip.(tid))
+end
+
+module Cnt_of_lf = CntBench (Of_lf_v)
+module Cnt_of_wf = CntBench (Of_wf_v)
+module Cnt_tiny = CntBench (Tiny_v)
+module Cnt_estm = CntBench (Estm_v)
+
+let fig_latency mode =
+  let percentiles = [ 50.0; 90.0; 99.0; 99.9; 99.99 ] in
+  let series =
+    [
+      ("OF-WF", Cnt_of_wf.histogram);
+      ("OF-LF", Cnt_of_lf.histogram);
+      ("TinySTM", Cnt_tiny.histogram);
+      ("ESTM", Cnt_estm.histogram);
+    ]
+  in
+  List.iter
+    (fun threads ->
+      pr "@.# Latency percentiles (rounds/tx), 64 alternating counters, %d threads@."
+        threads;
+      pr "%-10s" "series";
+      List.iter (fun p -> pr ", p%-7g" p) percentiles;
+      pr ", max@.";
+      List.iter
+        (fun (name, mk) ->
+          let h = mk ~threads ~rounds:mode.rounds ~seed:threads in
+          pr "%-10s" name;
+          List.iter
+            (fun p -> pr ", %-8d" (Runtime.Histogram.percentile h p))
+            percentiles;
+          pr ", %d@." (Runtime.Histogram.max_value h))
+        series)
+    (List.filter (fun t -> t >= 2 && t <= 16) mode.threads)
+
+(* ------------------------------------------------------------------ *)
+(* Fig. 12-right: kill test, and the crash campaign *)
+
+let fig_kill mode =
+  pr "@.# Kill test: N processes transfer items between two persistent queues;@.";
+  pr "# one process killed and respawned every 500 rounds (transfers per kround)@.";
+  pr "procs, OF-LF no-kill, OF-LF kill, OF-WF no-kill, OF-WF kill, kills(lf+wf), torn, leak@.";
+  let procs_list = List.filter (fun t -> t >= 2 && t <= 32) mode.threads in
+  List.iter
+    (fun procs ->
+      let rounds = mode.rounds in
+      let per_kround transfers =
+        1000.0 *. float_of_int transfers /. float_of_int rounds
+      in
+      let run ~wf ~kill =
+        Kill_test.run ~wf ~processes:procs ~rounds
+          ~kill_every:(if kill then Some 500 else None)
+          ~items:16 ~seed:procs
+      in
+      let lf_nk = run ~wf:false ~kill:false in
+      let lf_k = run ~wf:false ~kill:true in
+      let wf_nk = run ~wf:true ~kill:false in
+      let wf_k = run ~wf:true ~kill:true in
+      let bad (r : Kill_test.result) =
+        (if r.final_total_ok then 0 else 1) + r.torn_observations
+      in
+      pr "%d, %.1f, %.1f, %.1f, %.1f, %d+%d, %d, %d@." procs
+        (per_kround lf_nk.transfers)
+        (per_kround lf_k.transfers)
+        (per_kround wf_nk.transfers)
+        (per_kround wf_k.transfers)
+        lf_k.kills wf_k.kills
+        (bad lf_k + bad wf_k + bad lf_nk + bad wf_nk)
+        (lf_k.leaked_cells + wf_k.leaked_cells))
+    procs_list
+
+let fig_crashes () =
+  pr "@.# Crash-recovery campaign (whole-system crash at swept points)@.";
+  let t = Crash_campaign.onefile_sps ~wf:false ~trials:30 () in
+  pr "OF-LF  SPS      : %a@." Crash_campaign.pp t;
+  let t = Crash_campaign.onefile_sps ~wf:true ~trials:30 () in
+  pr "OF-WF  SPS      : %a@." Crash_campaign.pp t;
+  let t = Crash_campaign.onefile_queues ~wf:false ~trials:30 () in
+  pr "OF-LF  queues   : %a@." Crash_campaign.pp t;
+  let t = Crash_campaign.onefile_queues ~wf:true ~trials:30 () in
+  pr "OF-WF  queues   : %a@." Crash_campaign.pp t;
+  let t = Crash_campaign.onefile_sps ~wf:false ~trials:30 ~evict:0.5 () in
+  pr "OF-LF  SPS evict: %a@." Crash_campaign.pp t;
+  let t = Crash_campaign.romulus_sps ~lr:false ~trials:30 () in
+  pr "RomLog pair     : %a@." Crash_campaign.pp t;
+  let t = Crash_campaign.romulus_sps ~lr:true ~trials:30 () in
+  pr "RomLR  pair     : %a@." Crash_campaign.pp t;
+  let t = Crash_campaign.pmdk_sps ~trials:30 () in
+  pr "PMDK   pair     : %a@." Crash_campaign.pp t
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of the design choices DESIGN.md calls out *)
+
+let fig_ablation mode =
+  (* 1. WF read-only fallback bound: the paper uses 4 optimistic attempts
+     before publishing the read as an operation *)
+  pr "@.# Ablation: OF-WF read_tries (read-heavy 90%%/10%% counter workload)@.";
+  pr "read_tries, ops/kround (8 threads, 4 cores)@.";
+  List.iter
+    (fun tries ->
+      let t =
+        Wf.create ~mode:Region.Volatile ~size:(1 lsl 15) ~ws_cap:256
+          ~read_tries:tries ()
+      in
+      let r0 = Wf.root t 0 in
+      let sp =
+        { Bench_runner.threads = 8; cores = 4; rounds = mode.rounds / 2;
+          seed = 3; policy = Sched.Random_order }
+      in
+      let thr =
+        Bench_runner.throughput sp (fun ~tid:_ ~rng ->
+            if Rng.int rng 10 = 0 then
+              ignore (Wf.update_tx t (fun tx -> Wf.store tx r0 (Wf.load tx r0 + 1); 0))
+            else ignore (Wf.read_tx t (fun tx -> Wf.load tx r0)))
+      in
+      pr "%d, %.1f@." tries thr)
+    [ 0; 1; 4; 16 ];
+  (* 2. Over-subscription: fixed 32 threads, shrinking machine *)
+  pr "@.# Ablation: over-subscription (SPS 16 swaps/tx, 32 threads)@.";
+  pr "cores, OF-LF, OF-WF, TinySTM@.";
+  List.iter
+    (fun c ->
+      let point pnt =
+        pnt ~n:1000 ~swaps:16 ~alloc:false
+          { Bench_runner.threads = 32; cores = c; rounds = mode.rounds;
+            seed = c; policy = Sched.Round_robin }
+      in
+      pr "%d, %.1f, %.1f, %.1f@." c
+        (point Sps_of_lf.point) (point Sps_of_wf.point) (point Sps_tiny.point))
+    [ 2; 4; 8; 16; 32 ];
+  (* 3. Write-set lookup threshold (the paper's 40): real wall-clock of
+     populating + probing a large redo log *)
+  pr "@.# Ablation: write-set linear/hash threshold (wall-clock, 512-store tx)@.";
+  pr "threshold, ns/op@.";
+  List.iter
+    (fun thr ->
+      let ws = Onefile.Writeset.create ~linear_threshold:thr 1024 in
+      let t0 = Unix.gettimeofday () in
+      let iters = 300 in
+      for _ = 1 to iters do
+        Onefile.Writeset.clear ws;
+        for i = 1 to 512 do
+          Onefile.Writeset.put ws (i * 8) i;
+          ignore (Onefile.Writeset.find ws ((i * 4) + 1))
+        done
+      done;
+      let dt = Unix.gettimeofday () -. t0 in
+      pr "%d, %.0f@." thr (dt /. float_of_int (iters * 1024) *. 1e9))
+    [ 0; 40; max_int ];
+  (* 4. Persistence cost model: how the fig8 ranking depends on the fence
+     price (1 = the paper's DRAM-emulated NVM, higher = real NVM) *)
+  pr "@.# Ablation: pfence price vs persistent-SPS ranking (8 threads, 1 swap/tx)@.";
+  pr "pfence_cost, OF-LF, PMDK, RomLog@.";
+  let saved = !Region.pfence_cost in
+  List.iter
+    (fun c ->
+      Region.pfence_cost := c;
+      let sp =
+        { Bench_runner.threads = 8; cores = 8; rounds = mode.rounds;
+          seed = c; policy = Sched.Round_robin }
+      in
+      let point pnt = pnt ~n:1024 ~swaps:1 ~alloc:false sp in
+      pr "%d, %.1f, %.1f, %.1f@." c
+        (point Sps_of_lf_p.point) (point Sps_pmdk.point) (point Sps_romlog.point))
+    [ 1; 4; 16 ];
+  Region.pfence_cost := saved
+
+(* ------------------------------------------------------------------ *)
+(* Cost table (§V-B) *)
+
+let fig_table1 () =
+  pr "@.# Persistence-cost table (per update transaction, Nw = 8 modified words)@.";
+  Table_costs.print Format.std_formatter (Table_costs.measure_all ~nw:8);
+  pr "@.# Same, Nw = 4@.";
+  Table_costs.print Format.std_formatter (Table_costs.measure_all ~nw:4)
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks *)
+
+let micro () =
+  let open Bechamel in
+  let lf = Lf.create ~mode:Region.Volatile ~size:(1 lsl 14) ~ws_cap:64 () in
+  let wf = Wf.create ~mode:Region.Volatile ~size:(1 lsl 14) ~ws_cap:64 () in
+  let lfp = Lf.create ~mode:Region.Persistent ~size:(1 lsl 14) ~ws_cap:64 () in
+  let r0 = Lf.root lf 0 in
+  let tests =
+    Test.make_grouped ~name:"onefile"
+      [
+        Test.make ~name:"lf-update-1w"
+          (Staged.stage (fun () ->
+               ignore (Lf.update_tx lf (fun tx -> Lf.store tx r0 1; 0))));
+        Test.make ~name:"wf-update-1w"
+          (Staged.stage (fun () ->
+               ignore (Wf.update_tx wf (fun tx -> Wf.store tx (Wf.root wf 0) 1; 0))));
+        Test.make ~name:"lf-read-1w"
+          (Staged.stage (fun () -> ignore (Lf.read_tx lf (fun tx -> Lf.load tx r0))));
+        Test.make ~name:"ptm-update-1w"
+          (Staged.stage (fun () ->
+               ignore (Lf.update_tx lfp (fun tx -> Lf.store tx (Lf.root lfp 0) 1; 0))));
+      ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let results = Analyze.all ols instance raw in
+  pr "@.# Primitive costs (real wall-clock, single thread, no simulator)@.";
+  Hashtbl.iter
+    (fun name ols_result ->
+      match Analyze.OLS.estimates ols_result with
+      | Some [ est ] -> pr "%-32s %10.0f ns/op@." name est
+      | _ -> pr "%-32s (no estimate)@." name)
+    results
+
+(* ------------------------------------------------------------------ *)
+(* Driver *)
+
+let figures =
+  [
+    ("fig2", "SPS volatile (Fig. 2)");
+    ("fig3", "SPS volatile with allocation (Fig. 3)");
+    ("fig4", "queues volatile (Fig. 4)");
+    ("fig5", "linked-list sets volatile (Fig. 5)");
+    ("fig6", "tree sets volatile (Fig. 6)");
+    ("fig7", "latency percentiles (Fig. 7)");
+    ("fig8", "SPS persistent (Fig. 8)");
+    ("fig9", "linked-list sets persistent (Fig. 9)");
+    ("fig10", "tree sets persistent (Fig. 10)");
+    ("fig11", "hash sets persistent (Fig. 11)");
+    ("fig12", "persistent queues and kill test (Fig. 12)");
+    ("table1", "persistence-cost table (§V-B)");
+    ("crashes", "crash-recovery campaign (extension)");
+    ("ablation", "design-choice ablations (extension)");
+    ("micro", "bechamel primitive micro-benchmarks");
+  ]
+
+let run_figure mode name =
+  pr "@.==== %s ====@."
+    (try List.assoc name figures with Not_found -> name);
+  match name with
+  | "fig2" -> fig_sps mode ~alloc:false ~persistent:false
+  | "fig3" -> fig_sps mode ~alloc:true ~persistent:false
+  | "fig4" -> fig_queues mode
+  | "fig5" ->
+      fig_sets mode ~name:"Linked-list sets" ~keys:mode.list_keys
+        ~series:
+          [
+            ("OF-LF", Ll_of_lf.point);
+            ("OF-WF", Ll_of_wf.point);
+            ("TinySTM", Ll_tiny.point);
+            ("ESTM", Ll_estm.point);
+            ("HarrisHE", harris_point);
+          ]
+  | "fig6" ->
+      fig_sets mode ~name:"Tree sets" ~keys:mode.tree_keys
+        ~series:
+          [
+            ("OF-LF", Tree_of_lf.point);
+            ("OF-WF", Tree_of_wf.point);
+            ("TinySTM", Tree_tiny.point);
+            ("ESTM", Tree_estm.point);
+            ("NataHE*", efrb_point);
+          ]
+  | "fig7" -> fig_latency mode
+  | "fig8" -> fig_sps mode ~alloc:false ~persistent:true
+  | "fig9" ->
+      fig_sets mode ~name:"Persistent linked-list sets" ~keys:(mode.list_keys / 2)
+        ~series:
+          [
+            ("OF-LF", Ll_of_lf_p.point);
+            ("OF-WF", Ll_of_wf_p.point);
+            ("PMDK", Ll_pmdk.point);
+            ("RomLog", Ll_romlog.point);
+            ("RomLR", Ll_romlr.point);
+          ]
+  | "fig10" ->
+      fig_sets mode ~name:"Persistent tree sets" ~keys:mode.tree_keys
+        ~series:
+          [
+            ("OF-LF", Tree_of_lf_p.point);
+            ("OF-WF", Tree_of_wf_p.point);
+            ("PMDK", Tree_pmdk.point);
+            ("RomLog", Tree_romlog.point);
+            ("RomLR", Tree_romlr.point);
+          ]
+  | "fig11" ->
+      fig_sets mode ~name:"Persistent hash sets" ~keys:mode.tree_keys
+        ~series:
+          [
+            ("OF-LF", Hash_of_lf_p.point);
+            ("OF-WF", Hash_of_wf_p.point);
+            ("PMDK", Hash_pmdk.point);
+            ("RomLog", Hash_romlog.point);
+            ("RomLR", Hash_romlr.point);
+          ]
+  | "fig12" ->
+      fig_pqueues mode;
+      fig_kill mode
+  | "table1" -> fig_table1 ()
+  | "crashes" -> fig_crashes ()
+  | "ablation" -> fig_ablation mode
+  | "micro" -> micro ()
+  | other -> pr "unknown figure %s@." other
+
+let () =
+  let figure = ref "all" in
+  let use_full = ref false in
+  let args =
+    [
+      ( "--figure",
+        Arg.Set_string figure,
+        "figure to run (fig2..fig12, table1, crashes, micro, all)" );
+      ("--full", Arg.Set use_full, "full-size sweeps (slower)");
+      ("--quick", Arg.Clear use_full, "quick sweeps (default)");
+    ]
+  in
+  Arg.parse args (fun a -> figure := a) "onefile benchmark harness";
+  let mode = if !use_full then full else quick in
+  pr "# OneFile reproduction benchmarks — %s mode, %d simulated cores@."
+    (if !use_full then "full" else "quick")
+    cores;
+  if !figure = "all" then List.iter (fun (name, _) -> run_figure mode name) figures
+  else run_figure mode !figure

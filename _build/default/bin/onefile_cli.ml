@@ -1,0 +1,108 @@
+(* Command-line driver for the reproduction's operational tools:
+
+     onefile_cli kill    --procs 8 --rounds 30000 --kill-every 500 --wf
+     onefile_cli crash   --trials 50 --evict 0.5
+     onefile_cli stats   --threads 8 --swaps 16
+     onefile_cli costs   --nw 8
+
+   The benchmark figures live in bench/main.exe; this binary exposes the
+   resilience experiments and instrumentation individually. *)
+
+open Cmdliner
+
+let kill_cmd =
+  let procs =
+    Arg.(value & opt int 8 & info [ "procs" ] ~doc:"Number of processes.")
+  in
+  let rounds =
+    Arg.(value & opt int 30_000 & info [ "rounds" ] ~doc:"Simulated rounds.")
+  in
+  let kill_every =
+    Arg.(
+      value
+      & opt int 500
+      & info [ "kill-every" ] ~doc:"Kill one process every N rounds (0 = never).")
+  in
+  let wf = Arg.(value & flag & info [ "wf" ] ~doc:"Use the wait-free PTM.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scheduler seed.") in
+  let run procs rounds kill_every wf seed =
+    let r =
+      Workloads.Kill_test.run ~wf ~processes:procs ~rounds
+        ~kill_every:(if kill_every = 0 then None else Some kill_every)
+        ~items:16 ~seed
+    in
+    Format.printf
+      "transfers=%d kills=%d torn=%d final_total_ok=%b leaked_cells=%d@."
+      r.transfers r.kills r.torn_observations r.final_total_ok r.leaked_cells;
+    if r.torn_observations > 0 || (not r.final_total_ok) || r.leaked_cells <> 0
+    then exit 1
+  in
+  Cmd.v
+    (Cmd.info "kill" ~doc:"Two-queue transfer under process kills (Fig. 12 right)")
+    Term.(const run $ procs $ rounds $ kill_every $ wf $ seed)
+
+let crash_cmd =
+  let trials =
+    Arg.(value & opt int 40 & info [ "trials" ] ~doc:"Crash points to sweep.")
+  in
+  let evict =
+    Arg.(
+      value
+      & opt float 0.0
+      & info [ "evict" ] ~doc:"Probability a dirty line survives the crash.")
+  in
+  let run trials evict =
+    let show label r = Format.printf "%-16s %a@." label Workloads.Crash_campaign.pp r in
+    show "OF-LF sps" (Workloads.Crash_campaign.onefile_sps ~wf:false ~trials ~evict ());
+    show "OF-WF sps" (Workloads.Crash_campaign.onefile_sps ~wf:true ~trials ~evict ());
+    show "OF-LF queues" (Workloads.Crash_campaign.onefile_queues ~wf:false ~trials ~evict ());
+    show "OF-WF queues" (Workloads.Crash_campaign.onefile_queues ~wf:true ~trials ~evict ());
+    show "RomulusLog" (Workloads.Crash_campaign.romulus_sps ~lr:false ~trials ~evict ());
+    show "RomulusLR" (Workloads.Crash_campaign.romulus_sps ~lr:true ~trials ~evict ());
+    show "PMDK" (Workloads.Crash_campaign.pmdk_sps ~trials ~evict ())
+  in
+  Cmd.v
+    (Cmd.info "crash" ~doc:"Whole-system crash-injection campaigns")
+    Term.(const run $ trials $ evict)
+
+let stats_cmd =
+  let threads = Arg.(value & opt int 8 & info [ "threads" ] ~doc:"Workers.") in
+  let swaps = Arg.(value & opt int 16 & info [ "swaps" ] ~doc:"Swaps per tx.") in
+  let run threads swaps =
+    let module Lf = Onefile.Onefile_lf in
+    let module S = Structures.Sps.Make (Lf) in
+    let tm = Lf.create ~max_threads:(threads + 1) () in
+    let s = S.create tm ~root:0 ~n:1024 in
+    let body i () =
+      let rng = Runtime.Rng.create i in
+      while Runtime.Sched.now () < 20_000 do
+        S.swaps_tx s rng swaps
+      done
+    in
+    ignore
+      (Runtime.Sched.run ~cores:8 ~max_rounds:20_000
+         (Array.init threads (fun i -> body i)));
+    Format.printf "region stats after 20k rounds, %d threads, %d swaps/tx:@."
+      threads swaps;
+    Format.printf "  %a@." Pmem.Pstats.pp (Pmem.Region.stats (Lf.region tm))
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Run persistent SPS and dump the instruction counters")
+    Term.(const run $ threads $ swaps)
+
+let costs_cmd =
+  let nw = Arg.(value & opt int 8 & info [ "nw" ] ~doc:"Modified words per tx.") in
+  let run nw =
+    Workloads.Table_costs.print Format.std_formatter
+      (Workloads.Table_costs.measure_all ~nw)
+  in
+  Cmd.v
+    (Cmd.info "costs" ~doc:"Per-transaction persistence-cost table (§V-B)")
+    Term.(const run $ nw)
+
+let () =
+  let doc = "OneFile reproduction: resilience and instrumentation tools" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "onefile_cli" ~doc)
+          [ kill_cmd; crash_cmd; stats_cmd; costs_cmd ]))

@@ -1,0 +1,1 @@
+examples/persistent_kv.ml: Array Onefile Pmem Printf Runtime

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Onefile Pmem Printf Runtime

@@ -1,0 +1,1 @@
+examples/tail_latency.ml: Array Baselines List Onefile Pmem Printf Runtime Structures Tm Workloads

@@ -1,0 +1,1 @@
+examples/tail_latency.mli:

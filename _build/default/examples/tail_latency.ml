@@ -1,0 +1,77 @@
+(* Why wait-freedom matters for tail latency (the paper's Fig. 7 story).
+
+   An array of 64 counters, every transaction increments all of them in
+   alternating directions — maximal conflict.  Blocking STMs starve; the
+   wait-free OneFile keeps the tail flat.
+
+     dune exec examples/tail_latency.exe *)
+
+module Sched = Runtime.Sched
+module Region = Pmem.Region
+module Lf = Onefile.Onefile_lf
+module Wf = Onefile.Onefile_wf
+
+let threads = 8
+let rounds = 25_000
+
+module Bench (T : sig
+  include Tm.Tm_intf.S
+
+  val fresh : unit -> t
+end) =
+struct
+  module C = Structures.Counters.Make (T)
+
+  let histogram () =
+    let tm = T.fresh () in
+    let c = C.create tm ~root:0 ~n:64 in
+    let flip = Array.make threads true in
+    let spec =
+      {
+        Workloads.Bench_runner.threads;
+        cores = 4;
+        rounds;
+        seed = 3;
+        policy = Sched.Random_order;
+      }
+    in
+    Workloads.Bench_runner.latency spec (fun ~tid ~rng:_ ->
+        C.increment_all c ~left_to_right:flip.(tid);
+        flip.(tid) <- not flip.(tid))
+end
+
+module B_wf = Bench (struct
+  include Wf
+
+  let fresh () = create ~mode:Region.Volatile ~size:(1 lsl 15) ~max_threads:threads ~ws_cap:256 ()
+end)
+
+module B_lf = Bench (struct
+  include Lf
+
+  let fresh () = create ~mode:Region.Volatile ~size:(1 lsl 15) ~max_threads:threads ~ws_cap:256 ()
+end)
+
+module B_tiny = Bench (struct
+  include Baselines.Tinystm
+
+  let fresh () = create ~size:(1 lsl 14) ~max_threads:threads ()
+end)
+
+let () =
+  Printf.printf
+    "Transaction latency (simulated rounds), 64 fully-conflicting counters, %d threads:\n\n"
+    threads;
+  Printf.printf "%-12s %8s %8s %8s %8s %10s\n" "" "p50" "p90" "p99" "p99.9" "max";
+  List.iter
+    (fun (name, h) ->
+      let p x = Runtime.Histogram.percentile h x in
+      Printf.printf "%-12s %8d %8d %8d %8d %10d\n" name (p 50.) (p 90.) (p 99.)
+        (p 99.9)
+        (Runtime.Histogram.max_value h))
+    [
+      ("OneFile-WF", B_wf.histogram ());
+      ("OneFile-LF", B_lf.histogram ());
+      ("TinySTM", B_tiny.histogram ());
+    ];
+  print_endline "\ntail_latency: done (compare the p99.9/max columns)"

@@ -1,0 +1,1 @@
+lib/baselines/efrb_tree.ml: Reclaim Runtime Satomic

@@ -1,0 +1,1 @@
+lib/baselines/estm.ml: Array Backoff Ivec Onefile Pmem Runtime Satomic Sched Tm

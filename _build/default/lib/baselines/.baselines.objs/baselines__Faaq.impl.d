@@ -1,0 +1,1 @@
+lib/baselines/faaq.ml: Array Reclaim Runtime Satomic

@@ -1,0 +1,1 @@
+lib/baselines/fhmp_queue.mli: Pmem

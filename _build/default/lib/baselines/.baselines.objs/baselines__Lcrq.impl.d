@@ -1,0 +1,1 @@
+lib/baselines/lcrq.ml: Array Reclaim Runtime Satomic

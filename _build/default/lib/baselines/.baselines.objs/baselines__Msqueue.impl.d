@@ -1,0 +1,1 @@
+lib/baselines/msqueue.ml: Reclaim Runtime Satomic

@@ -1,0 +1,1 @@
+lib/baselines/pmdk.ml: Array Fun Onefile Pmem Runtime Sched Spinlock Tm

@@ -1,0 +1,1 @@
+lib/baselines/pmdk.mli: Tm

@@ -1,0 +1,1 @@
+lib/baselines/romulus.ml: Array Backoff Fun Onefile Pmem Runtime Rwlock Satomic Sched Spinlock Tm

@@ -1,0 +1,1 @@
+lib/baselines/romulus_log.mli: Romulus Tm

@@ -1,0 +1,1 @@
+lib/baselines/tinystm.ml: Array Backoff Ivec Pmem Runtime Satomic Sched Tm

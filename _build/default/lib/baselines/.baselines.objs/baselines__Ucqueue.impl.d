@@ -1,0 +1,1 @@
+lib/baselines/ucqueue.ml: Array List Runtime Satomic Sched

@@ -1,0 +1,267 @@
+open Runtime
+module He = Reclaim.Hazard_eras
+
+(* Leaf-oriented BST: internal nodes route (left < key <= right), leaves
+   hold the keys.  An internal node's [update] word is (state, info): CLEAN,
+   IFLAG (insertion pending), DFLAG (deletion pending on the grandparent) or
+   MARK (parent of deleted leaf, permanently dead).  Helpers complete any
+   pending operation they bump into. *)
+
+let inf1 = max_int - 1
+let inf2 = max_int
+
+type node =
+  | Leaf of { key : int; mutable freed : bool }
+  | Internal of {
+      key : int;
+      left : node Satomic.t;
+      right : node Satomic.t;
+      update : update Satomic.t;
+      mutable ifreed : bool;
+    }
+
+and update = { state : state; info : info option }
+
+and state = Clean | Iflag | Dflag | Mark
+
+and info =
+  | I of { ip : node; il : node; inew : node }
+  | D of { gp : node; dp : node; dl : node; pupdate : update }
+
+type t = { root : node; he : node He.t }
+
+let node_key = function Leaf l -> l.key | Internal i -> i.key
+
+let mk_leaf key = Leaf { key; freed = false }
+
+let mk_internal key left right =
+  Internal
+    {
+      key;
+      left = Satomic.make left;
+      right = Satomic.make right;
+      update = Satomic.make { state = Clean; info = None };
+      ifreed = false;
+    }
+
+let create ?(max_threads = 64) () =
+  let free = function
+    | Leaf l -> l.freed <- true
+    | Internal i -> i.ifreed <- true
+  in
+  {
+    root = mk_internal inf2 (mk_leaf inf1) (mk_leaf inf2);
+    he = He.create ~max_threads ~free ();
+  }
+
+let check_alive = function
+  | Leaf l -> if l.freed then failwith "EFRB: use after free"
+  | Internal i -> if i.ifreed then failwith "EFRB: use after free"
+
+let fields = function
+  | Internal i -> (i.left, i.right, i.update)
+  | Leaf _ -> invalid_arg "EFRB: leaf has no fields"
+
+let child_cell parent child =
+  let left, right, _ = fields parent in
+  if node_key child < node_key parent then left else right
+
+(* CAS the child edge of [parent] from [old] to [fresh]. *)
+let cas_child parent old fresh =
+  ignore (Satomic.compare_and_set (child_cell parent old) old fresh)
+
+type seek = {
+  gp : node option;
+  p : node;
+  l : node;
+  pupdate : update;
+  gpupdate : update;
+}
+
+let search t k =
+  let dummy = { state = Clean; info = None } in
+  let rec go gp p pupdate gpupdate l =
+    match l with
+    | Leaf _ -> { gp; p; l; pupdate; gpupdate }
+    | Internal i ->
+        check_alive l;
+        let pu = Satomic.get i.update in
+        let next =
+          He.get_protected t.he ~read:(fun () ->
+              if k < i.key then Satomic.get i.left else Satomic.get i.right)
+        in
+        go (Some p) l pu pupdate next
+  in
+  match t.root with
+  | Internal r ->
+      let pu = Satomic.get r.update in
+      let l =
+        He.get_protected t.he ~read:(fun () ->
+            if k < r.key then Satomic.get r.left else Satomic.get r.right)
+      in
+      go None t.root pu dummy l
+  | Leaf _ -> assert false
+
+let rec help t u =
+  match (u.state, u.info) with
+  | Iflag, Some (I _ as i) -> help_insert t u i
+  | Mark, Some (D _ as d) -> help_marked t u d
+  | Dflag, Some (D _ as d) -> ignore (help_delete t u d)
+  | _ -> ()
+
+and help_insert _t u = function
+  | I { ip; il; inew } ->
+      cas_child ip il inew;
+      let _, _, update = fields ip in
+      ignore (Satomic.compare_and_set update u { state = Clean; info = u.info })
+  | D _ -> assert false
+
+and help_marked t u = function
+  | D { gp; dp; dl; _ } ->
+      (* replace dp by dl's sibling under gp, then unflag gp *)
+      let dpl, dpr, _ = fields dp in
+      let sibling =
+        if node_key dl < node_key dp then Satomic.get dpr else Satomic.get dpl
+      in
+      cas_child gp dp sibling;
+      (* clear the DFLAG on gp — only this operation's own flag *)
+      let _, _, gpu = fields gp in
+      let cur = Satomic.get gpu in
+      if cur.state = Dflag && cur.info == u.info then
+        ignore (Satomic.compare_and_set gpu cur { state = Clean; info = cur.info });
+      ignore (He.new_era t.he);
+      He.retire t.he ~birth:0 dp;
+      He.retire t.he ~birth:0 dl
+  | I _ -> assert false
+
+and help_delete t u = function
+  | D { dp; pupdate; _ } as dinfo ->
+      let _, _, dpu = fields dp in
+      let marked = { state = Mark; info = u.info } in
+      if Satomic.compare_and_set dpu pupdate marked then begin
+        help_marked t u dinfo;
+        true
+      end
+      else begin
+        let cur = Satomic.get dpu in
+        if cur.state = Mark && cur.info == u.info then begin
+          help_marked t u dinfo;
+          true
+        end
+        else begin
+          help t cur;
+          (* backtrack: unflag the grandparent *)
+          (match dinfo with
+          | D { gp; _ } ->
+              let _, _, gpu = fields gp in
+              ignore
+                (Satomic.compare_and_set gpu u { state = Clean; info = u.info })
+          | I _ -> ());
+          false
+        end
+      end
+  | I _ -> assert false
+
+let add t k =
+  if k >= inf1 then invalid_arg "Efrb_tree.add: key too large";
+  let e = He.protect_current t.he in
+  ignore e;
+  let rec loop () =
+    let s = search t k in
+    if node_key s.l = k then false
+    else if s.pupdate.state <> Clean then begin
+      help t s.pupdate;
+      loop ()
+    end
+    else begin
+      let new_leaf = mk_leaf k in
+      let lkey = node_key s.l in
+      let inew =
+        if k < lkey then mk_internal lkey new_leaf s.l
+        else mk_internal k s.l new_leaf
+      in
+      let op = { state = Iflag; info = Some (I { ip = s.p; il = s.l; inew }) } in
+      let _, _, pu = fields s.p in
+      if Satomic.compare_and_set pu s.pupdate op then begin
+        (match op.info with
+        | Some (I _ as i) -> help_insert t op i
+        | _ -> ());
+        true
+      end
+      else begin
+        help t (Satomic.get pu);
+        loop ()
+      end
+    end
+  in
+  let r = loop () in
+  He.clear t.he;
+  r
+
+let remove t k =
+  ignore (He.protect_current t.he);
+  let rec loop () =
+    let s = search t k in
+    if node_key s.l <> k then false
+    else
+      match s.gp with
+      | None -> false
+      | Some gp ->
+          if s.gpupdate.state <> Clean then begin
+            help t s.gpupdate;
+            loop ()
+          end
+          else if s.pupdate.state <> Clean then begin
+            help t s.pupdate;
+            loop ()
+          end
+          else begin
+            let op =
+              {
+                state = Dflag;
+                info = Some (D { gp; dp = s.p; dl = s.l; pupdate = s.pupdate });
+              }
+            in
+            let _, _, gpu = fields gp in
+            if Satomic.compare_and_set gpu s.gpupdate op then begin
+              match op.info with
+              | Some (D _ as d) -> if help_delete t op d then true else loop ()
+              | _ -> assert false
+            end
+            else begin
+              help t (Satomic.get gpu);
+              loop ()
+            end
+          end
+  in
+  let r = loop () in
+  ignore (He.new_era t.he);
+  He.clear t.he;
+  r
+
+let contains t k =
+  ignore (He.protect_current t.he);
+  let s = search t k in
+  let r = node_key s.l = k in
+  He.clear t.he;
+  r
+
+let to_list t =
+  let rec go n acc =
+    match n with
+    | Leaf l -> if l.key < inf1 then l.key :: acc else acc
+    | Internal i ->
+        go (Satomic.get_relaxed i.left) (go (Satomic.get_relaxed i.right) acc)
+  in
+  go t.root []
+
+let check_bst t =
+  (* inclusive bounds: left subtree < key, right subtree >= key *)
+  let rec go n lo hi =
+    match n with
+    | Leaf l -> l.key >= lo && l.key <= hi
+    | Internal i ->
+        go (Satomic.get_relaxed i.left) lo (i.key - 1)
+        && go (Satomic.get_relaxed i.right) i.key hi
+  in
+  go t.root min_int max_int

@@ -1,0 +1,21 @@
+(** Lock-free external (leaf-oriented) binary search tree with hazard-era
+    reclamation — the hand-made tree baseline of Fig. 6.
+
+    This is the Ellen–Fatourou–Ruppert–van Breugel algorithm (PODC'10):
+    flag/mark descriptors on internal nodes coordinate helpers.  It stands
+    in for the Natarajan–Mittal tree ("NataHE") the paper uses — same
+    species (lock-free unbalanced external BST with epoch-style
+    reclamation), same role in the evaluation.  Labeled [NataHE*] in bench
+    output; see DESIGN.md §2. *)
+
+type t
+
+val create : ?max_threads:int -> unit -> t
+val add : t -> int -> bool
+val remove : t -> int -> bool
+val contains : t -> int -> bool
+val to_list : t -> int list
+(** Ascending keys; quiescent use only. *)
+
+val check_bst : t -> bool
+(** Key-ordering structural check; quiescent use only. *)

@@ -1,0 +1,26 @@
+(** ESTM-like blocking STM (Felber, Gramoli, Guerraoui — "Elastic
+    Transactions").
+
+    Commit-time (lazy) locking with a redo write-buffer and a global clock.
+    A transaction starts {e elastic}: while it has not written anything, its
+    read-set is a sliding window of the last two reads, each slide
+    revalidating the window — the "cut" that lets a long search traversal
+    commute with concurrent updates to already-traversed prefixes.  The
+    first write turns it into a normal transaction.  Blocking (commit-time
+    lock acquisition), as in the paper's comparison. *)
+
+include Tm.Tm_intf.S
+
+val create :
+  ?size:int ->
+  ?num_roots:int ->
+  ?lock_bits:int ->
+  ?max_threads:int ->
+  ?elastic:bool ->
+  unit ->
+  t
+(** [elastic] (default false) enables the sliding-window read-set.  The cut
+    is only sound for list-shaped search-then-modify patterns (the window
+    covers the link being rewritten, as in the ESTM paper's intended use);
+    the set benchmarks enable it, workloads that read many disjoint
+    locations must not. *)

@@ -1,0 +1,97 @@
+open Runtime
+module Hp = Reclaim.Hazard_pointers
+
+let empty_slot = 0
+let taken_slot = -1
+
+type segment = {
+  items : int Satomic.t array;
+  enq_idx : int Satomic.t;
+  deq_idx : int Satomic.t;
+  next : segment option Satomic.t;
+  mutable freed : bool;
+}
+
+type t = {
+  head : segment Satomic.t;
+  tail : segment Satomic.t;
+  hp : segment Hp.t;
+  segment_size : int;
+}
+
+let mk_segment size =
+  {
+    items = Array.init size (fun _ -> Satomic.make empty_slot);
+    enq_idx = Satomic.make 0;
+    deq_idx = Satomic.make 0;
+    next = Satomic.make None;
+    freed = false;
+  }
+
+let create ?(segment_size = 64) ?(max_threads = 64) () =
+  let seg = mk_segment segment_size in
+  {
+    head = Satomic.make seg;
+    tail = Satomic.make seg;
+    hp = Hp.create ~max_threads ~free:(fun s -> s.freed <- true) ();
+    segment_size;
+  }
+
+let check_alive s = if s.freed then failwith "FAAQ: use after free"
+
+let enqueue t v =
+  if v <= 0 then invalid_arg "Faaq.enqueue: values must be positive";
+  let rec loop () =
+    match Hp.protect t.hp ~slot:0 ~read:(fun () -> Some (Satomic.get t.tail)) with
+    | None -> assert false
+    | Some tl -> (
+        check_alive tl;
+        let idx = Satomic.fetch_and_add tl.enq_idx 1 in
+        if idx < t.segment_size then begin
+          if Satomic.compare_and_set tl.items.(idx) empty_slot v then ()
+          else loop () (* slot poisoned by a dequeuer; take another *)
+        end
+        else
+          (* segment full: link a fresh one carrying the value *)
+          match Satomic.get tl.next with
+          | Some nx ->
+              ignore (Satomic.compare_and_set t.tail tl nx);
+              loop ()
+          | None ->
+              let seg = mk_segment t.segment_size in
+              Satomic.set seg.items.(0) v;
+              Satomic.set seg.enq_idx 1;
+              if Satomic.compare_and_set tl.next None (Some seg) then
+                ignore (Satomic.compare_and_set t.tail tl seg)
+              else loop ())
+  in
+  loop ();
+  Hp.clear t.hp ~slot:0
+
+let dequeue t =
+  let rec loop () =
+    match Hp.protect t.hp ~slot:0 ~read:(fun () -> Some (Satomic.get t.head)) with
+    | None -> assert false
+    | Some hd ->
+        check_alive hd;
+        if
+          Satomic.get hd.deq_idx >= Satomic.get hd.enq_idx
+          && Satomic.get hd.next = None
+        then None
+        else begin
+          let idx = Satomic.fetch_and_add hd.deq_idx 1 in
+          if idx < t.segment_size then begin
+            let v = Satomic.exchange hd.items.(idx) taken_slot in
+            if v <> empty_slot then Some v else loop ()
+          end
+          else
+            match Satomic.get hd.next with
+            | None -> None
+            | Some nx ->
+                if Satomic.compare_and_set t.head hd nx then Hp.retire t.hp hd;
+                loop ()
+        end
+  in
+  let r = loop () in
+  Hp.clear t.hp ~slot:0;
+  r

@@ -1,0 +1,10 @@
+(** FAAArrayQueue (Correia & Ramalhete): lock-free MPMC queue built from
+    fetch-and-add indices over linked array segments, single-word CAS only —
+    the array-based baseline of Fig. 4 (right).  Values must be positive
+    (0 and -1 are the empty/taken slot markers). *)
+
+type t
+
+val create : ?segment_size:int -> ?max_threads:int -> unit -> t
+val enqueue : t -> int -> unit
+val dequeue : t -> int option

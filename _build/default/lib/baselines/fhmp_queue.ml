@@ -1,0 +1,107 @@
+module Region = Pmem.Region
+module Word = Pmem.Word
+
+(* Cells: [1] head  [2] tail  [3] bump  [8..] nodes of [value; next]. *)
+
+let head_cell = 1
+let tail_cell = 2
+let bump_cell = 3
+let node_area = 8
+
+type t = { region : Region.t; size : int }
+
+let value_of n = n
+let next_of n = n + 1
+
+let cas_value r cell expect desired =
+  let w = Region.load r cell in
+  w.Word.v = expect && Region.cas1 r cell w (Word.make desired w.Word.s)
+
+let load_value r cell = (Region.load r cell).Word.v
+
+let create ?(size = 1 lsl 18) () =
+  let region = Region.create ~mode:Region.Persistent size in
+  (* dummy node *)
+  let dummy = node_area in
+  Region.store region (value_of dummy) (Word.make 0 0);
+  Region.store region (next_of dummy) (Word.make 0 0);
+  Region.store region head_cell (Word.make dummy 0);
+  Region.store region tail_cell (Word.make dummy 0);
+  Region.store region bump_cell (Word.make (dummy + 2) 0);
+  Region.pwb_range region 0 (node_area + 2);
+  Region.pfence region;
+  { region; size }
+
+let region t = t.region
+
+let alloc_node t =
+  let r = t.region in
+  let rec loop () =
+    let b = load_value r bump_cell in
+    if b + 2 > t.size then failwith "FHMP: node area exhausted";
+    if cas_value r bump_cell b (b + 2) then b else loop ()
+  in
+  loop ()
+
+let enqueue t v =
+  let r = t.region in
+  let node = alloc_node t in
+  Region.store r (value_of node) (Word.make v 0);
+  Region.store r (next_of node) (Word.make 0 0);
+  Region.pwb r node;
+  Region.pfence r;
+  let rec loop () =
+    let lt = load_value r tail_cell in
+    let nxt = load_value r (next_of lt) in
+    if nxt = 0 then begin
+      if cas_value r (next_of lt) 0 node then begin
+        Region.pwb r (next_of lt);
+        ignore (cas_value r tail_cell lt node)
+      end
+      else loop ()
+    end
+    else begin
+      (* help: persist the link before swinging the tail *)
+      Region.pwb r (next_of lt);
+      ignore (cas_value r tail_cell lt nxt);
+      loop ()
+    end
+  in
+  loop ()
+
+let dequeue t =
+  let r = t.region in
+  let rec loop () =
+    let h = load_value r head_cell in
+    let nxt = load_value r (next_of h) in
+    if nxt = 0 then None
+    else begin
+      let v = load_value r (value_of nxt) in
+      let lt = load_value r tail_cell in
+      if h = lt then begin
+        Region.pwb r (next_of h);
+        ignore (cas_value r tail_cell lt nxt)
+      end;
+      if cas_value r head_cell h nxt then begin
+        Region.pwb r head_cell;
+        Some v
+      end
+      else loop ()
+    end
+  in
+  loop ()
+
+let recover t =
+  let r = t.region in
+  let rec chase n =
+    let nxt = load_value r (next_of n) in
+    if nxt = 0 then n
+    else begin
+      Region.pwb r (next_of n);
+      chase nxt
+    end
+  in
+  let last = chase (load_value r tail_cell) in
+  Region.store r tail_cell (Word.make last 0);
+  Region.pwb r tail_cell;
+  Region.pfence r

@@ -1,0 +1,18 @@
+(** FHMP persistent lock-free queue (Friedman, Herlihy, Marathe, Petrank,
+    PPoPP'18) — the hand-made baseline of Fig. 12 (left).
+
+    A Michael-Scott queue living in a persistent region, with pwbs at the
+    linearization points.  As the paper notes about the original: it never
+    de-allocates nodes (a bump allocator backs it), and the bookkeeping
+    that makes dequeues exactly-once across crashes (the returned-values
+    array) is omitted here as it was effectively disabled in the paper's
+    runs too (no NVM allocator existed for it). *)
+
+type t
+
+val create : ?size:int -> unit -> t
+val region : t -> Pmem.Region.t
+val enqueue : t -> int -> unit
+val dequeue : t -> int option
+val recover : t -> unit
+(** Fix up a lagging durable tail after a crash. *)

@@ -1,0 +1,117 @@
+open Runtime
+module He = Reclaim.Hazard_eras
+
+type node = {
+  key : int;
+  next : link Satomic.t;
+  birth : int;
+  mutable freed : bool;
+}
+
+and link = { tgt : node option; marked : bool }
+
+type t = { head : link Satomic.t; he : node He.t }
+
+let create ?(max_threads = 64) () =
+  {
+    head = Satomic.make { tgt = None; marked = false };
+    he = He.create ~max_threads ~free:(fun n -> n.freed <- true) ();
+  }
+
+let check_alive n = if n.freed then failwith "HarrisHE: use after free"
+
+(* Find the insertion window for [k]: (cell, window_link, successor).
+   Unlinks marked nodes along the way.  Runs under a published era. *)
+let rec search t k =
+  let rec advance (cell : link Satomic.t) =
+    let l = He.get_protected t.he ~read:(fun () -> Satomic.get cell) in
+    if l.marked then
+      (* the node owning this cell is logically deleted: a window here
+         would let an insertion resurrect it — restart from the head *)
+      search t k
+    else
+      match l.tgt with
+      | None -> (cell, l)
+      | Some cur -> (
+        check_alive cur;
+        let cl = Satomic.get cur.next in
+        if cl.marked then begin
+          (* physically unlink cur *)
+          if Satomic.compare_and_set cell l { tgt = cl.tgt; marked = false }
+          then begin
+            He.retire t.he ~birth:cur.birth cur;
+            advance cell
+          end
+          else search t k (* restart: the window moved under us *)
+        end
+        else if cur.key >= k then (cell, l)
+        else advance cur.next)
+  in
+  advance t.head
+
+let current_of (l : link) = l.tgt
+
+let add t k =
+  let e = He.protect_current t.he in
+  ignore e;
+  let rec loop () =
+    let cell, l = search t k in
+    match current_of l with
+    | Some cur when cur.key = k -> false
+    | cur_opt ->
+        let node =
+          {
+            key = k;
+            next = Satomic.make { tgt = cur_opt; marked = false };
+            birth = He.current_era t.he;
+            freed = false;
+          }
+        in
+        if Satomic.compare_and_set cell l { tgt = Some node; marked = false }
+        then true
+        else loop ()
+  in
+  let r = loop () in
+  He.clear t.he;
+  r
+
+let remove t k =
+  ignore (He.protect_current t.he);
+  let rec loop () =
+    let cell, l = search t k in
+    ignore cell;
+    match current_of l with
+    | Some cur when cur.key = k ->
+        let cl = Satomic.get cur.next in
+        if cl.marked then loop ()
+        else if Satomic.compare_and_set cur.next cl { cl with marked = true }
+        then begin
+          ignore (He.new_era t.he);
+          (* attempt eager unlink; otherwise a later search cleans up *)
+          if Satomic.compare_and_set cell l { tgt = cl.tgt; marked = false }
+          then He.retire t.he ~birth:cur.birth cur;
+          true
+        end
+        else loop ()
+    | _ -> false
+  in
+  let r = loop () in
+  He.clear t.he;
+  r
+
+let contains t k =
+  ignore (He.protect_current t.he);
+  let _, l = search t k in
+  let r = match current_of l with Some cur -> cur.key = k | None -> false in
+  He.clear t.he;
+  r
+
+let to_list t =
+  let rec go l acc =
+    match l.tgt with
+    | None -> List.rev acc
+    | Some n ->
+        let nl = Satomic.get_relaxed n.next in
+        go nl (if nl.marked then acc else n.key :: acc)
+  in
+  go (Satomic.get_relaxed t.head) []

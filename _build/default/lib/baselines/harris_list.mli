@@ -1,0 +1,14 @@
+(** Harris-Michael lock-free sorted linked-list set with hazard-eras
+    reclamation ("HarrisHE" in Fig. 5).
+
+    Logical deletion by marking the successor link, physical unlinking by
+    any traversal that encounters a marked node. *)
+
+type t
+
+val create : ?max_threads:int -> unit -> t
+val add : t -> int -> bool
+val remove : t -> int -> bool
+val contains : t -> int -> bool
+val to_list : t -> int list
+(** Quiescent use only. *)

@@ -1,0 +1,17 @@
+type t = { mutable data : int array; mutable n : int }
+
+let create ?(cap = 64) () = { data = Array.make cap 0; n = 0 }
+let clear t = t.n <- 0
+
+let push t v =
+  if t.n = Array.length t.data then begin
+    let bigger = Array.make (2 * t.n) 0 in
+    Array.blit t.data 0 bigger 0 t.n;
+    t.data <- bigger
+  end;
+  t.data.(t.n) <- v;
+  t.n <- t.n + 1
+
+let get t i = t.data.(i)
+let set t i v = t.data.(i) <- v
+let len t = t.n

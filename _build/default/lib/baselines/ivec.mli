@@ -1,0 +1,10 @@
+(** Growable int vector (read/undo/write logs of the baseline STMs). *)
+
+type t
+
+val create : ?cap:int -> unit -> t
+val clear : t -> unit
+val push : t -> int -> unit
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val len : t -> int

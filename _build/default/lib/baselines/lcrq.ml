@@ -1,0 +1,161 @@
+open Runtime
+module Hp = Reclaim.Hazard_pointers
+
+(* One CRQ slot: (safe, idx, value), swapped atomically as one boxed
+   record.  [idx] is the ticket round the slot is prepared for; an unsafe
+   slot refuses enqueues until recycled. *)
+type slot = { safe : bool; idx : int; value : int option }
+
+type crq = {
+  ring : slot Satomic.t array;
+  head : int Satomic.t;
+  tail : int Satomic.t;
+  closed : bool Satomic.t;
+  next : crq option Satomic.t;
+  mutable freed : bool;
+}
+
+type t = {
+  qhead : crq Satomic.t;
+  qtail : crq Satomic.t;
+  hp : crq Hp.t;
+  ring_size : int;
+}
+
+let mk_crq r =
+  {
+    ring = Array.init r (fun i -> Satomic.make { safe = true; idx = i; value = None });
+    head = Satomic.make 0;
+    tail = Satomic.make 0;
+    closed = Satomic.make false;
+    next = Satomic.make None;
+    freed = false;
+  }
+
+let create ?(ring_size = 64) ?(max_threads = 64) () =
+  let c = mk_crq ring_size in
+  {
+    qhead = Satomic.make c;
+    qtail = Satomic.make c;
+    hp = Hp.create ~max_threads ~free:(fun c -> c.freed <- true) ();
+    ring_size;
+  }
+
+let check_alive c = if c.freed then failwith "LCRQ: use after free"
+
+(* Try to enqueue into one CRQ; false if it is (now) closed. *)
+let crq_enqueue t c v =
+  let r = t.ring_size in
+  let rec loop tries =
+    if Satomic.get c.closed then false
+    else begin
+      let ticket = Satomic.fetch_and_add c.tail 1 in
+      let cell = c.ring.(ticket mod r) in
+      let cur = Satomic.get cell in
+      if
+        cur.value = None
+        && cur.idx <= ticket
+        && (cur.safe || Satomic.get c.head <= ticket)
+        && Satomic.compare_and_set cell cur
+             { safe = true; idx = ticket; value = Some v }
+      then true
+      else if ticket - Satomic.get c.head >= r || tries > 2 * r then begin
+        (* ring full or starving: close this CRQ and move to a new one *)
+        Satomic.set c.closed true;
+        false
+      end
+      else loop (tries + 1)
+    end
+  in
+  loop 0
+
+(* Try to dequeue from one CRQ; None means it is empty *right now*. *)
+let crq_dequeue t c =
+  let r = t.ring_size in
+  let rec loop () =
+    if Satomic.get c.head >= Satomic.get c.tail then None
+    else begin
+      let ticket = Satomic.fetch_and_add c.head 1 in
+      let cell = c.ring.(ticket mod r) in
+      let rec attempt () =
+        let cur = Satomic.get cell in
+        match cur.value with
+        | Some v when cur.idx = ticket ->
+            (* our round: consume and recycle for round ticket + r *)
+            if
+              Satomic.compare_and_set cell cur
+                { safe = cur.safe; idx = ticket + r; value = None }
+            then Some v
+            else attempt ()
+        | Some _ ->
+            (* value from a lagging round: poison the slot so its enqueuer
+               cannot be consumed twice, then give up this ticket *)
+            if Satomic.compare_and_set cell cur { cur with safe = false } then
+              None
+            else attempt ()
+        | None ->
+            (* no value: advance the slot so a late enqueue of this round
+               fails, then give up this ticket *)
+            if
+              Satomic.compare_and_set cell cur
+                { safe = cur.safe; idx = ticket + r; value = None }
+            then None
+            else attempt ()
+      in
+      match attempt () with
+      | Some v -> Some v
+      | None ->
+          (* ticket wasted; if the CRQ drained meanwhile, report empty *)
+          if Satomic.get c.tail <= ticket + 1 then None else loop ()
+    end
+  in
+  loop ()
+
+let enqueue t v =
+  if v < 0 then invalid_arg "Lcrq.enqueue: negative value";
+  let rec loop () =
+    match Hp.protect t.hp ~slot:0 ~read:(fun () -> Some (Satomic.get t.qtail)) with
+    | None -> assert false
+    | Some c -> (
+        check_alive c;
+        match Satomic.get c.next with
+        | Some nx ->
+            ignore (Satomic.compare_and_set t.qtail c nx);
+            loop ()
+        | None ->
+            if crq_enqueue t c v then ()
+            else begin
+              (* closed: append a fresh CRQ carrying the value *)
+              let fresh = mk_crq t.ring_size in
+              Satomic.set fresh.ring.(0) { safe = true; idx = 0; value = Some v };
+              Satomic.set fresh.tail 1;
+              if Satomic.compare_and_set c.next None (Some fresh) then
+                ignore (Satomic.compare_and_set t.qtail c fresh)
+              else loop ()
+            end)
+  in
+  loop ();
+  Hp.clear t.hp ~slot:0
+
+let dequeue t =
+  let rec loop () =
+    match Hp.protect t.hp ~slot:0 ~read:(fun () -> Some (Satomic.get t.qhead)) with
+    | None -> assert false
+    | Some c -> (
+        check_alive c;
+        match crq_dequeue t c with
+        | Some v -> Some v
+        | None -> (
+            match Satomic.get c.next with
+            | None -> None
+            | Some nx ->
+                (* this CRQ is drained and closed: move the queue head *)
+                if Satomic.get c.head >= Satomic.get c.tail then begin
+                  if Satomic.compare_and_set t.qhead c nx then Hp.retire t.hp c;
+                  loop ()
+                end
+                else loop ()))
+  in
+  let r = loop () in
+  Hp.clear t.hp ~slot:0;
+  r

@@ -1,0 +1,11 @@
+(** LCRQ (Morrison & Afek, PPoPP'13): lock-free MPMC queue built from
+    linked Cyclic Ring Queues whose slots are updated with double-width CAS
+    — the DCAS-based baseline of Fig. 4 (right).  Our boxed-slot CAS plays
+    the role of CMPXCHG16B, as everywhere in this reproduction.
+    Values must be non-negative. *)
+
+type t
+
+val create : ?ring_size:int -> ?max_threads:int -> unit -> t
+val enqueue : t -> int -> unit
+val dequeue : t -> int option

@@ -1,0 +1,88 @@
+open Runtime
+module Hp = Reclaim.Hazard_pointers
+
+type node = { value : int; next : node option Satomic.t; mutable freed : bool }
+
+type t = {
+  head : node Satomic.t; (* points at the dummy *)
+  tail : node Satomic.t;
+  hp : node Hp.t;
+}
+
+let mk_node v = { value = v; next = Satomic.make None; freed = false }
+
+let create ?(max_threads = 64) () =
+  let dummy = mk_node 0 in
+  {
+    head = Satomic.make dummy;
+    tail = Satomic.make dummy;
+    hp = Hp.create ~max_threads ~free:(fun n -> n.freed <- true) ();
+  }
+
+let check_alive n = if n.freed then failwith "MSQueue: use after free"
+
+let enqueue t v =
+  let n = mk_node v in
+  let rec loop () =
+    match Hp.protect t.hp ~slot:0 ~read:(fun () -> Some (Satomic.get t.tail)) with
+    | None -> assert false
+    | Some lt ->
+        check_alive lt;
+        if lt == Satomic.get t.tail then begin
+          match Satomic.get lt.next with
+          | None ->
+              if Satomic.compare_and_set lt.next None (Some n) then
+                ignore (Satomic.compare_and_set t.tail lt n)
+              else loop ()
+          | Some nx ->
+              ignore (Satomic.compare_and_set t.tail lt nx);
+              loop ()
+        end
+        else loop ()
+  in
+  loop ();
+  Hp.clear t.hp ~slot:0
+
+let dequeue t =
+  let rec loop () =
+    match Hp.protect t.hp ~slot:0 ~read:(fun () -> Some (Satomic.get t.head)) with
+    | None -> assert false
+    | Some h ->
+        check_alive h;
+        let lt = Satomic.get t.tail in
+        let next = Hp.protect t.hp ~slot:1 ~read:(fun () -> Satomic.get h.next) in
+        if h == Satomic.get t.head then begin
+          if h == lt then
+            match next with
+            | None -> None
+            | Some nx ->
+                ignore (Satomic.compare_and_set t.tail lt nx);
+                loop ()
+          else
+            match next with
+            | None -> loop () (* inconsistent snapshot; retry *)
+            | Some nx ->
+                check_alive nx;
+                let v = nx.value in
+                if Satomic.compare_and_set t.head h nx then begin
+                  Hp.clear t.hp ~slot:0;
+                  Hp.clear t.hp ~slot:1;
+                  Hp.retire t.hp h;
+                  Some v
+                end
+                else loop ()
+        end
+        else loop ()
+  in
+  let r = loop () in
+  Hp.clear t.hp ~slot:0;
+  Hp.clear t.hp ~slot:1;
+  r
+
+let length t =
+  let rec go n acc =
+    match Satomic.get_relaxed n.next with
+    | None -> acc
+    | Some nx -> go nx (acc + 1)
+  in
+  go (Satomic.get_relaxed t.head) 0

@@ -1,0 +1,10 @@
+(** Michael & Scott lock-free queue with hazard-pointer reclamation — the
+    hand-made baseline of Fig. 4 (left). *)
+
+type t
+
+val create : ?max_threads:int -> unit -> t
+val enqueue : t -> int -> unit
+val dequeue : t -> int option
+val length : t -> int
+(** O(n); quiescent use only. *)

@@ -1,0 +1,157 @@
+module Region = Pmem.Region
+module Word = Pmem.Word
+module Writeset = Onefile.Writeset
+module Pstats = Pmem.Pstats
+open Runtime
+
+let name = "PMDK"
+
+(* Layout: [0] null | [4 ..] undo log (cells of (addr, oldval), a zero addr
+   terminates) | roots | allocator metadata | heap.  The log needs no
+   persistent count: recovery scans until the first zero address, and
+   commit truncates by zeroing entry 0. *)
+
+let log_base = 4
+
+type t = {
+  region : Region.t;
+  log_cap : int;
+  roots_base : int;
+  num_roots : int;
+  alloc : Tm.Tm_alloc.t;
+  lock : Spinlock.t;
+  logged : Writeset.t; (* volatile: addresses already logged this tx *)
+  mutable log_len : int; (* volatile mirror of the log length *)
+  mutable txs : tx array;
+}
+
+and tx = { inst : t; mutable read_only : bool }
+
+let create ?(size = 1 lsl 18) ?(num_roots = 8) ?(log_cap = 8192)
+    ?(max_threads = 64) () =
+  let region = Region.create ~mode:Region.Persistent size in
+  let roots_base = log_base + log_cap in
+  let meta_base = roots_base + num_roots in
+  let heap_base = meta_base + Tm.Tm_alloc.meta_cells in
+  if heap_base + 64 > size then invalid_arg "Pmdk.create: region too small";
+  let alloc = Tm.Tm_alloc.create ~meta_base ~heap_base ~heap_end:size in
+  let inst =
+    {
+      region;
+      log_cap;
+      roots_base;
+      num_roots;
+      alloc;
+      lock = Spinlock.create ();
+      logged = Writeset.create log_cap;
+      log_len = 0;
+      txs = [||];
+    }
+  in
+  inst.txs <- Array.init max_threads (fun _ -> { inst; read_only = true });
+  let init_ops =
+    {
+      Tm.Tm_intf.aload = (fun a -> (Region.load region a).Word.v);
+      astore = (fun a v -> Region.store region a (Word.make v 0));
+    }
+  in
+  Tm.Tm_alloc.init inst.alloc init_ops;
+  Region.pwb_range region 0 heap_base;
+  Region.pfence region;
+  Pstats.reset (Region.stats region);
+  inst
+
+let load tx addr = (Region.load tx.inst.region addr).Word.v
+
+let store tx addr v =
+  if tx.read_only then raise Tm.Tm_intf.Store_in_read_tx;
+  let inst = tx.inst in
+  (match Writeset.find inst.logged addr with
+  | Some _ -> ()
+  | None ->
+      if inst.log_len >= inst.log_cap then failwith "Pmdk: undo log full";
+      let old = (Region.load inst.region addr).Word.v in
+      let entry = log_base + inst.log_len in
+      Region.store inst.region entry (Word.make addr old);
+      (* the zero terminator must be durable together with the entry, or
+         recovery would run past it into stale entries of an older log *)
+      if inst.log_len + 1 < inst.log_cap then begin
+        Region.store inst.region (entry + 1) (Word.make 0 0);
+        if (entry + 1) / Region.line_cells <> entry / Region.line_cells then
+          Region.pwb inst.region (entry + 1)
+      end;
+      Region.pwb inst.region entry;
+      Region.pfence inst.region;
+      inst.log_len <- inst.log_len + 1;
+      Writeset.put inst.logged addr 0);
+  Region.store inst.region addr (Word.make v 0)
+
+let commit inst =
+  (* flush modified words, then truncate the log *)
+  Writeset.iter inst.logged (fun addr _ -> Region.pwb inst.region addr);
+  Region.pfence inst.region;
+  Region.store inst.region log_base (Word.make 0 0);
+  Region.pwb inst.region log_base;
+  Region.pfence inst.region;
+  inst.log_len <- 0;
+  Writeset.clear inst.logged
+
+let update_tx inst f =
+  let tx = inst.txs.(Sched.self ()) in
+  Spinlock.acquire inst.lock;
+  Fun.protect ~finally:(fun () -> Spinlock.release inst.lock) @@ fun () ->
+  tx.read_only <- false;
+  Writeset.clear inst.logged;
+  inst.log_len <- 0;
+  let r = f tx in
+  commit inst;
+  let st = Region.stats inst.region in
+  st.Pstats.commits <- st.Pstats.commits + 1;
+  r
+
+let read_tx inst f =
+  let tx = inst.txs.(Sched.self ()) in
+  Spinlock.acquire inst.lock;
+  Fun.protect ~finally:(fun () -> Spinlock.release inst.lock) @@ fun () ->
+  tx.read_only <- true;
+  f tx
+
+let alloc_ops tx =
+  { Tm.Tm_intf.aload = (fun a -> load tx a); astore = (fun a v -> store tx a v) }
+
+let alloc tx n =
+  if tx.read_only then raise Tm.Tm_intf.Store_in_read_tx;
+  Tm.Tm_alloc.alloc tx.inst.alloc (alloc_ops tx) n
+
+let free tx a =
+  if tx.read_only then raise Tm.Tm_intf.Store_in_read_tx;
+  Tm.Tm_alloc.free tx.inst.alloc (alloc_ops tx) a
+
+let root inst i =
+  if i < 0 || i >= inst.num_roots then invalid_arg "Pmdk.root";
+  inst.roots_base + i
+
+let num_roots inst = inst.num_roots
+let region inst = inst.region
+
+let recover inst =
+  let region = inst.region in
+  let rec roll i =
+    if i < inst.log_cap then begin
+      let e = Region.load region (log_base + i) in
+      if e.Word.v <> 0 then begin
+        Region.store region e.Word.v (Word.make e.Word.s 0);
+        Region.pwb region e.Word.v;
+        roll (i + 1)
+      end
+    end
+  in
+  roll 0;
+  Region.pfence region;
+  Region.store region log_base (Word.make 0 0);
+  Region.pwb region log_base;
+  Region.pfence region;
+  inst.log_len <- 0;
+  Writeset.clear inst.logged;
+  (* locks are volatile: a restarted system starts with them free *)
+  Spinlock.reset inst.lock

@@ -1,0 +1,16 @@
+(** PMDK-like PTM (libpmemobj style): persistent undo log, global lock.
+
+    Before the first in-place modification of each word, its old value is
+    appended to a persistent undo log and fenced — "the algorithm has to
+    guarantee that the log entry is made persistent before any in-place
+    modification".  Commit flushes the modified words and truncates the
+    log; recovery rolls the log back.  Fully blocking; both the per-store
+    fences and the lock are what the paper's evaluation measures it by. *)
+
+include Tm.Tm_intf.S
+
+val create :
+  ?size:int -> ?num_roots:int -> ?log_cap:int -> ?max_threads:int -> unit -> t
+
+val recover : t -> unit
+(** Apply (roll back) any non-truncated undo log left by a crash. *)

@@ -1,0 +1,18 @@
+let name = "RomLog"
+
+type t = Romulus.t
+type tx = Romulus.tx
+
+let create ?half ?num_roots ?max_threads () =
+  Romulus.create ~variant:Romulus.Log ?half ?num_roots ?max_threads ()
+
+let read_tx = Romulus.run_read
+let update_tx = Romulus.run_update
+let load = Romulus.load
+let store = Romulus.store
+let alloc = Romulus.alloc
+let free = Romulus.free
+let root = Romulus.root
+let num_roots = Romulus.num_roots
+let region = Romulus.region
+let recover = Romulus.recover

@@ -1,0 +1,10 @@
+(** RomulusLog: twin-replica PTM with a scalable reader-writer lock —
+    blocking updates and blocking (but cheap, uninstrumented) reads.
+    See {!module:Romulus} for the shared core. *)
+
+include Tm.Tm_intf.S with type t = Romulus.t and type tx = Romulus.tx
+
+val create : ?half:int -> ?num_roots:int -> ?max_threads:int -> unit -> t
+(** The region holds [2 * half] cells: two replicas of a [half]-cell heap. *)
+
+val recover : t -> unit

@@ -1,0 +1,9 @@
+(** RomulusLR: twin-replica PTM whose read-only transactions are wait-free
+    via the left-right technique — "the first PTM to provide concurrent
+    read transactions with wait-free progress".  Updates are blocking.
+    See {!module:Romulus} for the shared core. *)
+
+include Tm.Tm_intf.S with type t = Romulus.t and type tx = Romulus.tx
+
+val create : ?half:int -> ?num_roots:int -> ?max_threads:int -> unit -> t
+val recover : t -> unit

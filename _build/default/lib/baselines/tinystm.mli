@@ -1,0 +1,16 @@
+(** TinySTM-like blocking STM (Felber, Fetzer, Riegel).
+
+    Word-based, encounter-time locking with write-through and an undo log,
+    a global version clock and an array of versioned locks, time-based read
+    validation with incremental extension — the design the paper compares
+    against in §V-A.  Blocking: a preempted lock holder stalls every
+    transaction that touches its locks. *)
+
+include Tm.Tm_intf.S
+
+val create :
+  ?size:int -> ?num_roots:int -> ?lock_bits:int -> ?max_threads:int -> unit -> t
+(** Volatile region of [size] cells; [2^lock_bits] versioned locks. *)
+
+val clock : t -> int
+(** Current global version (diagnostics). *)

@@ -1,0 +1,1 @@
+lib/onefile/core0.ml: Array Pmem Reclaim Runtime Satomic Sched Tm Writeset

@@ -1,0 +1,1 @@
+lib/onefile/onefile_lf.ml: Core0

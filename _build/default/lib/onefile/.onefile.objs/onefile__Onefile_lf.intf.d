@@ -1,0 +1,1 @@
+lib/onefile/onefile_lf.mli: Core0 Pmem Tm

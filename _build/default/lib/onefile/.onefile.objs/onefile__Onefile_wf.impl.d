@@ -1,0 +1,1 @@
+lib/onefile/onefile_wf.ml: Core0

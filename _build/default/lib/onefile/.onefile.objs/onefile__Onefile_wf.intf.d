@@ -1,0 +1,1 @@
+lib/onefile/onefile_wf.mli: Core0 Pmem Tm

@@ -1,0 +1,1 @@
+lib/onefile/writeset.ml: Array Hashtbl

@@ -1,0 +1,454 @@
+(* Shared core of the OneFile algorithms (internal module).
+
+   Region layout (cells; one cell = one TMType = value + seq):
+
+     0..3                       null pointer + padding (cell 0 is NULL)
+     4                          curTx            (v = seq, s = tid)
+     ws_base + t*ws_stride      per-thread log:  request | numStores | entries
+     wf_base + 3t/3t+1/3t+2     operations[t] / results[t] / acks[t]  (wait-free)
+     roots_base ..              user roots
+     meta_base ..               allocator metadata
+     heap_base .. size          transactional heap
+
+   Everything below roots_base is algorithm metadata; everything from
+   roots_base up survives crashes via the ordinary transactional protocol.
+
+   Persistence ordering note: the paper flushes curTx right after the
+   commit CAS (step 7) and any thread entering the apply phase (steps 8-10)
+   has done so too.  We make this explicit: [help] pwbs curTx before
+   applying, so no data word can become durable with a sequence newer than
+   the durable curTx — otherwise a crash could resurrect a half-persisted
+   transaction that recovery no longer knows about. *)
+
+module Region = Pmem.Region
+module Word = Pmem.Word
+module Pstats = Pmem.Pstats
+module Hazard_eras = Reclaim.Hazard_eras
+open Runtime
+
+exception Abort = Tm.Tm_intf.Abort
+
+let curtx_cell = 4
+let round4 n = (n + 3) land lnot 3
+
+type tx = {
+  txregion : Region.t;
+  txalloc : Tm.Tm_alloc.t;
+  mutable start_seq : int;
+  mutable read_only : bool;
+  ws : Writeset.t;
+}
+
+type desc = { opid : int; fn : tx -> int; mutable freed : bool }
+
+type t = {
+  region : Region.t;
+  max_threads : int;
+  ws_cap : int;
+  ws_stride : int;
+  ws_base : int;
+  wf_base : int;
+  roots_base : int;
+  num_roots : int;
+  heap_base : int;
+  alloc : Tm.Tm_alloc.t;
+  txs : tx array;
+  read_tries : int; (* read-only attempts before WF fallback *)
+  (* wait-free state *)
+  pending : desc option Satomic.t array;
+  he : desc Hazard_eras.t;
+  next_opid : int Satomic.t;
+  (* per-thread scratch used when helping to apply a foreign write-set *)
+  scratch_addrs : int array array;
+  scratch_vals : int array array;
+}
+
+let req_cell inst tid = inst.ws_base + (tid * inst.ws_stride)
+let nstores_cell inst tid = req_cell inst tid + 1
+let entry_cell inst tid i = req_cell inst tid + 2 + i
+let op_cell inst tid = inst.wf_base + (3 * tid)
+let res_cell inst tid = inst.wf_base + (3 * tid) + 1
+let ack_cell inst tid = inst.wf_base + (3 * tid) + 2
+let stats inst = Region.stats inst.region
+
+let create ?(mode = Region.Persistent) ?(size = 1 lsl 18) ?(max_threads = 64)
+    ?(ws_cap = 2048) ?(num_roots = 8) ?(read_tries = 4) () =
+  let region = Region.create ~mode size in
+  let ws_stride = round4 (2 + ws_cap) in
+  let ws_base = 8 in
+  let wf_base = ws_base + (max_threads * ws_stride) in
+  let roots_base = round4 (wf_base + (3 * max_threads)) in
+  let meta_base = roots_base + num_roots in
+  let heap_base = meta_base + Tm.Tm_alloc.meta_cells in
+  if heap_base + 64 > size then invalid_arg "Core0.create: region too small";
+  let alloc = Tm.Tm_alloc.create ~meta_base ~heap_base ~heap_end:size in
+  let inst =
+    {
+      region;
+      max_threads;
+      ws_cap;
+      ws_stride;
+      ws_base;
+      wf_base;
+      roots_base;
+      num_roots;
+      heap_base;
+      alloc;
+      txs =
+        Array.init max_threads (fun _ ->
+            {
+              txregion = region;
+              txalloc = alloc;
+              start_seq = 0;
+              read_only = true;
+              ws = Writeset.create ws_cap;
+            });
+      read_tries;
+      pending = Array.init max_threads (fun _ -> Satomic.make None);
+      he = Hazard_eras.create ~max_threads ~free:(fun d -> d.freed <- true) ();
+      next_opid = Satomic.make 0;
+      scratch_addrs = Array.init max_threads (fun _ -> Array.make ws_cap 0);
+      scratch_vals = Array.init max_threads (fun _ -> Array.make ws_cap 0);
+    }
+  in
+  (* initial state: seq 1 committed by nobody; requests closed *)
+  Region.store region curtx_cell (Word.make 1 0);
+  let init_ops =
+    {
+      Tm.Tm_intf.aload = (fun a -> (Region.load region a).Word.v);
+      astore = (fun a v -> Region.store region a (Word.make v 0));
+    }
+  in
+  Tm.Tm_alloc.init inst.alloc init_ops;
+  (match mode with
+  | Region.Persistent ->
+      Region.pwb_range region 0 heap_base;
+      Region.pfence region
+  | Region.Volatile -> ());
+  Pstats.reset (stats inst);
+  inst
+
+let read_curtx inst = Region.load inst.region curtx_cell
+
+let is_open inst (ct : Word.t) =
+  (Region.load inst.region (req_cell inst ct.Word.s)).Word.v = ct.Word.v
+
+(* Sequence-guarded DCAS of one redo-log entry (Alg. 1 lines 10-15). *)
+let put_one inst ~seq addr v =
+  let rec go () =
+    let w = Region.load inst.region addr in
+    if w.Word.s < seq then
+      if not (Region.cas inst.region addr w (Word.make v seq)) then go ()
+  in
+  go ()
+
+let close_request inst ~tid ~seq =
+  let cell = req_cell inst tid in
+  let w = Region.load inst.region cell in
+  if w.Word.v = seq then
+    ignore (Region.cas1 inst.region cell w (Word.make (seq + 1) 0))
+
+(* Apply a committed write-set given as arrays (committer passes its own
+   volatile write-set; helpers pass the snapshot they copied). *)
+let apply_arrays inst ~seq ~n addrs vals =
+  for i = 0 to n - 1 do
+    put_one inst ~seq addrs.(i) vals.(i)
+  done;
+  for i = 0 to n - 1 do
+    Region.pwb inst.region addrs.(i)
+  done
+
+let apply_own inst ~seq (ws : Writeset.t) =
+  let n = Writeset.size ws in
+  for i = 0 to n - 1 do
+    put_one inst ~seq (Writeset.addr_at ws i) (Writeset.val_at ws i)
+  done;
+  for i = 0 to n - 1 do
+    Region.pwb inst.region (Writeset.addr_at ws i)
+  done
+
+(* Help the committed-but-possibly-unapplied transaction [ct]:
+   copy the owner's log, re-validate the request, apply, close. *)
+let help inst ~me (ct : Word.t) =
+  let region = inst.region in
+  let tid = ct.Word.s and seq = ct.Word.v in
+  Region.pwb region curtx_cell;
+  let req = Region.load region (req_cell inst tid) in
+  if req.Word.v = seq then begin
+    let n = (Region.load region (nstores_cell inst tid)).Word.v in
+    if n >= 0 && n <= inst.ws_cap then begin
+      let addrs = inst.scratch_addrs.(me) and vals = inst.scratch_vals.(me) in
+      for i = 0 to n - 1 do
+        let e = Region.load region (entry_cell inst tid i) in
+        addrs.(i) <- e.Word.v;
+        vals.(i) <- e.Word.s
+      done;
+      (* the log cannot have been recycled while the request is still open *)
+      let req' = Region.load region (req_cell inst tid) in
+      if req'.Word.v = seq then begin
+        if tid <> me then (stats inst).Pstats.helps <- (stats inst).Pstats.helps + 1;
+        apply_arrays inst ~seq ~n addrs vals;
+        close_request inst ~tid ~seq
+      end
+    end
+  end
+
+(* Write the redo log into this thread's persistent log area and open the
+   request; one pwb per covered cache line, no fence (the commit CAS acts
+   as the persistence fence, §III-D). *)
+let publish_log inst ~me (ws : Writeset.t) ~seq =
+  let region = inst.region in
+  let base = req_cell inst me in
+  let n = Writeset.size ws in
+  for i = 0 to n - 1 do
+    Region.store region (base + 2 + i)
+      (Word.make (Writeset.addr_at ws i) (Writeset.val_at ws i))
+  done;
+  Region.store region (base + 1) (Word.make n 0);
+  Region.store region base (Word.make seq 0);
+  Region.pwb_range region base (2 + n)
+
+(* ------------------------------------------------------------------ *)
+(* Interposition                                                       *)
+
+let load tx addr =
+  let hit = if tx.read_only then None else Writeset.find tx.ws addr in
+  match hit with
+  | Some v -> v
+  | None ->
+      let w = Region.load tx.txregion addr in
+      if w.Word.s > tx.start_seq then raise Abort;
+      w.Word.v
+
+let store tx addr v =
+  if tx.read_only then raise Tm.Tm_intf.Store_in_read_tx;
+  Writeset.put tx.ws addr v
+
+let alloc_ops tx =
+  { Tm.Tm_intf.aload = (fun a -> load tx a); astore = (fun a v -> store tx a v) }
+
+let alloc tx n =
+  if tx.read_only then raise Tm.Tm_intf.Store_in_read_tx;
+  Tm.Tm_alloc.alloc tx.txalloc (alloc_ops tx) n
+
+let free tx a =
+  if tx.read_only then raise Tm.Tm_intf.Store_in_read_tx;
+  Tm.Tm_alloc.free tx.txalloc (alloc_ops tx) a
+
+let root inst i =
+  if i < 0 || i >= inst.num_roots then invalid_arg "root";
+  inst.roots_base + i
+
+let num_roots inst = inst.num_roots
+let region inst = inst.region
+
+(* ------------------------------------------------------------------ *)
+(* Lock-free transactions (§III-B)                                     *)
+
+let lf_read_tx inst f =
+  let me = Sched.self () in
+  let tx = inst.txs.(me) in
+  let st = stats inst in
+  let rec attempt () =
+    let ct = read_curtx inst in
+    if is_open inst ct then begin
+      help inst ~me ct;
+      attempt ()
+    end
+    else begin
+      tx.start_seq <- ct.Word.v;
+      tx.read_only <- true;
+      match f tx with
+      | exception Abort ->
+          st.Pstats.aborts <- st.Pstats.aborts + 1;
+          attempt ()
+      | r -> r
+    end
+  in
+  attempt ()
+
+let lf_update_tx inst f =
+  let me = Sched.self () in
+  let tx = inst.txs.(me) in
+  let st = stats inst in
+  let rec attempt () =
+    let ct = read_curtx inst in
+    if is_open inst ct then begin
+      help inst ~me ct;
+      attempt ()
+    end
+    else begin
+      tx.start_seq <- ct.Word.v;
+      tx.read_only <- false;
+      Writeset.clear tx.ws;
+      match f tx with
+      | exception Abort ->
+          st.Pstats.aborts <- st.Pstats.aborts + 1;
+          attempt ()
+      | result ->
+          if Writeset.is_empty tx.ws then result
+          else begin
+            let seq = ct.Word.v + 1 in
+            publish_log inst ~me tx.ws ~seq;
+            if Region.cas1 inst.region curtx_cell ct (Word.make seq me) then begin
+              Region.pwb inst.region curtx_cell;
+              apply_own inst ~seq tx.ws;
+              close_request inst ~tid:me ~seq;
+              st.Pstats.commits <- st.Pstats.commits + 1;
+              result
+            end
+            else begin
+              st.Pstats.aborts <- st.Pstats.aborts + 1;
+              attempt ()
+            end
+          end
+    end
+  in
+  attempt ()
+
+(* ------------------------------------------------------------------ *)
+(* Wait-free transactions (§III-E)                                     *)
+
+(* Execute every published-but-unacknowledged operation inside [tx],
+   writing each result (and the opid acknowledgment that marks it
+   committed) to the owner's result cells transactionally.
+
+   Deviation from the paper: the paper detects completion by comparing the
+   sequence numbers of the operation and result TMTypes.  When a killed
+   process is replaced by one reusing its thread slot, two publications can
+   carry the same sequence tag and a laggard helper could complete the old
+   operation in a way the seq comparison attributes to the new one.  An
+   explicit opid acknowledgment cell (opids are globally unique) makes the
+   routing exact; the cost is one extra modified word per operation,
+   reported as such by the cost-table benchmark. *)
+let aggregate inst tx =
+  for u = 0 to inst.max_threads - 1 do
+    let opw = Region.load inst.region (op_cell inst u) in
+    if opw.Word.v <> 0 then begin
+      let ack = load tx (ack_cell inst u) in
+      if ack <> opw.Word.v then
+        match Satomic.get inst.pending.(u) with
+        | Some d when d.opid = opw.Word.v ->
+            if d.freed then
+              failwith "OneFile-WF: hazard-era violation (freed closure)";
+            let r = d.fn tx in
+            store tx (res_cell inst u) r;
+            store tx (ack_cell inst u) d.opid
+        | _ -> ()
+    end
+  done
+
+let wf_update_tx inst f =
+  let me = Sched.self () in
+  let tx = inst.txs.(me) in
+  let st = stats inst in
+  let region_ = inst.region in
+  (* publish the operation (its "birth era" is the seq it was tagged with) *)
+  let opid = Satomic.fetch_and_add inst.next_opid 1 + 1 in
+  let rs = (Region.load region_ (res_cell inst me)).Word.s in
+  let d = { opid; fn = f; freed = false } in
+  Satomic.set inst.pending.(me) (Some d);
+  Region.store region_ (op_cell inst me) (Word.make opid rs);
+  Region.pwb region_ (op_cell inst me);
+  let rec loop () =
+    let ackw = Region.load region_ (ack_cell inst me) in
+    if ackw.Word.v = opid then begin
+      (* committed: reclaim the closure descriptor through hazard eras *)
+      let resw = Region.load region_ (res_cell inst me) in
+      Satomic.set inst.pending.(me) None;
+      Hazard_eras.retire_at inst.he ~birth:rs ~del:ackw.Word.s d;
+      resw.Word.v
+    end
+    else begin
+      let ct = read_curtx inst in
+      if is_open inst ct then begin
+        help inst ~me ct;
+        loop ()
+      end
+      else begin
+        tx.start_seq <- ct.Word.v;
+        tx.read_only <- false;
+        Writeset.clear tx.ws;
+        Hazard_eras.set_era inst.he ct.Word.v;
+        match aggregate inst tx with
+        | exception Abort ->
+            st.Pstats.aborts <- st.Pstats.aborts + 1;
+            loop ()
+        | () ->
+            if Writeset.is_empty tx.ws then loop ()
+            else begin
+              let seq = ct.Word.v + 1 in
+              publish_log inst ~me tx.ws ~seq;
+              if Region.cas1 region_ curtx_cell ct (Word.make seq me) then begin
+                Region.pwb region_ curtx_cell;
+                apply_own inst ~seq tx.ws;
+                close_request inst ~tid:me ~seq;
+                st.Pstats.commits <- st.Pstats.commits + 1
+              end
+              else st.Pstats.aborts <- st.Pstats.aborts + 1;
+              loop ()
+            end
+      end
+    end
+  in
+  let r = loop () in
+  Hazard_eras.clear inst.he;
+  r
+
+let wf_read_tx inst f =
+  let me = Sched.self () in
+  let tx = inst.txs.(me) in
+  let st = stats inst in
+  let rec attempt k =
+    if k <= 0 then
+      (* bounded fallback: publish the read-only function as an operation *)
+      wf_update_tx inst f
+    else begin
+      let ct = read_curtx inst in
+      if is_open inst ct then begin
+        help inst ~me ct;
+        attempt k
+      end
+      else begin
+        tx.start_seq <- ct.Word.v;
+        tx.read_only <- true;
+        match f tx with
+        | exception Abort ->
+            st.Pstats.aborts <- st.Pstats.aborts + 1;
+            attempt (k - 1)
+        | r -> r
+      end
+    end
+  in
+  attempt inst.read_tries
+
+(* Debug view of the commit state: (seq, tid, request still open).  Uses
+   peeks — no scheduling steps, no counters; safe from an [on_round] hook. *)
+let curtx_info inst =
+  let ct = Region.peek inst.region curtx_cell in
+  let req = Region.peek inst.region (req_cell inst ct.Word.s) in
+  (ct.Word.v, ct.Word.s, req.Word.v = ct.Word.v)
+
+(* Allocator accounting over the quiescent volatile state (no transaction,
+   no scheduling steps) — testing/diagnostics only. *)
+let allocated_cells inst =
+  let ops =
+    {
+      Tm.Tm_intf.aload = (fun a -> (Region.peek inst.region a).Word.v);
+      astore = (fun _ _ -> invalid_arg "allocated_cells is read-only");
+    }
+  in
+  Tm.Tm_alloc.allocated_cells inst.alloc ops
+
+(* ------------------------------------------------------------------ *)
+(* Null recovery (§III-D)                                              *)
+
+let recover inst =
+  Array.iter (fun tx -> Writeset.clear tx.ws) inst.txs;
+  Array.iter (fun p -> Satomic.set p None) inst.pending;
+  (* closures are not executable after a restart: orphaned published
+     operations will never run, but committed ones already have their
+     results applied by the help below. *)
+  let ct = read_curtx inst in
+  if is_open inst ct then help inst ~me:0 ct;
+  Region.pfence inst.region

@@ -1,0 +1,18 @@
+let name = "OF-LF"
+
+type t = Core0.t
+type tx = Core0.tx
+
+let create = Core0.create
+let read_tx = Core0.lf_read_tx
+let update_tx = Core0.lf_update_tx
+let load = Core0.load
+let store = Core0.store
+let alloc = Core0.alloc
+let free = Core0.free
+let root = Core0.root
+let num_roots = Core0.num_roots
+let region = Core0.region
+let recover = Core0.recover
+let allocated_cells = Core0.allocated_cells
+let curtx_info = Core0.curtx_info

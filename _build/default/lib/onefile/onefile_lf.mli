@@ -1,0 +1,34 @@
+(** OneFile with lock-free progress (paper §III-B).
+
+    A redo-log, word-based TM with no read-set.  Update transactions are
+    serialized on [curTx]; losers of the commit CAS help apply the winner's
+    write-set with sequence-guarded DCASes, so some thread always makes
+    progress.  Over a [Persistent] region this is OneFile-LF PTM (durable
+    linearizable, null recovery); over a [Volatile] region it is the STM —
+    "the algorithm for the STM is similar, minus the pwbs". *)
+
+include Tm.Tm_intf.S with type t = Core0.t and type tx = Core0.tx
+
+val create :
+  ?mode:Pmem.Region.mode ->
+  ?size:int ->
+  ?max_threads:int ->
+  ?ws_cap:int ->
+  ?num_roots:int ->
+  ?read_tries:int ->
+  unit ->
+  t
+(** Defaults: persistent, [size = 2^18] cells, 64 threads, write-sets of up
+    to 2048 entries, 8 roots. *)
+
+val recover : t -> unit
+(** Null recovery: after {!Pmem.Region.crash}, complete (idempotently) the
+    apply phase of the last committed transaction, if still open. *)
+
+val allocated_cells : t -> int
+(** Cells currently held by live blocks, computed from the quiescent
+    allocator state (testing/diagnostics; do not call concurrently). *)
+
+val curtx_info : t -> int * int * bool
+(** Debug peek at the commit state: (sequence, tid, request-still-open).
+    Step-free; usable from a scheduler [on_round] hook. *)

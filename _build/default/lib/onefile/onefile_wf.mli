@@ -1,0 +1,34 @@
+(** OneFile with bounded wait-free progress (paper §III-E).
+
+    Threads publish each mutative transaction as a closure in a shared
+    operations array; an updater aggregates every published-but-uncommitted
+    operation into a single write-set, so after at most two commits
+    following publication the operation's result is guaranteed to be in the
+    results array.  Read-only transactions fall back to publication after
+    [read_tries] failed optimistic attempts (4 in the paper).  Closure
+    descriptors are reclaimed with hazard eras keyed on transaction
+    sequence numbers (§IV-B). *)
+
+include Tm.Tm_intf.S with type t = Core0.t and type tx = Core0.tx
+
+val create :
+  ?mode:Pmem.Region.mode ->
+  ?size:int ->
+  ?max_threads:int ->
+  ?ws_cap:int ->
+  ?num_roots:int ->
+  ?read_tries:int ->
+  unit ->
+  t
+
+val recover : t -> unit
+(** Null recovery. Published closures are transient and do not survive a
+    crash; committed operations already have durable results. *)
+
+val allocated_cells : t -> int
+(** Cells currently held by live blocks, computed from the quiescent
+    allocator state (testing/diagnostics; do not call concurrently). *)
+
+val curtx_info : t -> int * int * bool
+(** Debug peek at the commit state: (sequence, tid, request-still-open).
+    Step-free; usable from a scheduler [on_round] hook. *)

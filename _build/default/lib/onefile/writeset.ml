@@ -1,0 +1,71 @@
+let linear_threshold_default = 40
+let linear_threshold = linear_threshold_default
+
+type t = {
+  addrs : int array;
+  vals : int array;
+  mutable n : int;
+  index : (int, int) Hashtbl.t; (* addr -> entry position, once large *)
+  mutable hashed : bool;
+  cap : int;
+  threshold : int;
+}
+
+let create ?linear_threshold cap =
+  {
+    addrs = Array.make cap 0;
+    vals = Array.make cap 0;
+    n = 0;
+    index = Hashtbl.create 64;
+    hashed = false;
+    cap;
+    threshold =
+      (match linear_threshold with Some t -> t | None -> linear_threshold_default);
+  }
+
+let clear t =
+  t.n <- 0;
+  if t.hashed then begin
+    Hashtbl.reset t.index;
+    t.hashed <- false
+  end
+
+let size t = t.n
+let is_empty t = t.n = 0
+
+let position t addr =
+  if t.hashed then Hashtbl.find_opt t.index addr
+  else begin
+    let rec go i =
+      if i >= t.n then None else if t.addrs.(i) = addr then Some i else go (i + 1)
+    in
+    go 0
+  end
+
+let build_index t =
+  for i = 0 to t.n - 1 do
+    Hashtbl.replace t.index t.addrs.(i) i
+  done;
+  t.hashed <- true
+
+let put t addr v =
+  match position t addr with
+  | Some i -> t.vals.(i) <- v
+  | None ->
+      if t.n >= t.cap then failwith "Writeset: transaction exceeds capacity";
+      t.addrs.(t.n) <- addr;
+      t.vals.(t.n) <- v;
+      if (not t.hashed) && t.n + 1 > t.threshold then build_index t;
+      if t.hashed then Hashtbl.replace t.index addr t.n;
+      t.n <- t.n + 1
+
+let find t addr =
+  match position t addr with Some i -> Some t.vals.(i) | None -> None
+
+let addr_at t i = t.addrs.(i)
+let val_at t i = t.vals.(i)
+
+let iter t f =
+  for i = 0 to t.n - 1 do
+    f t.addrs.(i) t.vals.(i)
+  done

@@ -1,0 +1,31 @@
+(** Redo-log write-set (paper §III-A).
+
+    An array of (address, value) entries with add-or-replace semantics:
+    "implemented as an array with an intrusive hash-set, where short-sized
+    transactions (less than 40 stores) do a linear lookup in the array,
+    while larger transactions do a lookup on the hash-set". *)
+
+type t
+
+val linear_threshold : int
+(** 40, as in the paper. *)
+
+val create : ?linear_threshold:int -> int -> t
+(** [create cap]: capacity in entries.  [linear_threshold] overrides the
+    array-scan/hash-set switchover (default 40) — used by the ablation
+    benchmark. *)
+
+val clear : t -> unit
+val size : t -> int
+val is_empty : t -> bool
+
+val put : t -> int -> int -> unit
+(** [put t addr v] adds or replaces the entry for [addr].
+    Raises [Failure] when the capacity is exceeded. *)
+
+val find : t -> int -> int option
+(** Latest value stored for [addr] in this transaction, if any. *)
+
+val addr_at : t -> int -> int
+val val_at : t -> int -> int
+val iter : t -> (int -> int -> unit) -> unit

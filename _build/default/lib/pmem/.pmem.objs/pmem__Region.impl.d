@@ -1,0 +1,1 @@
+lib/pmem/region.ml: Array Pstats Rng Runtime Satomic Sched Word

@@ -1,0 +1,66 @@
+type t = {
+  mutable pwb : int;
+  mutable pfence : int;
+  mutable cas : int;
+  mutable dcas : int;
+  mutable loads : int;
+  mutable stores : int;
+  mutable commits : int;
+  mutable aborts : int;
+  mutable helps : int;
+}
+
+let create () =
+  {
+    pwb = 0;
+    pfence = 0;
+    cas = 0;
+    dcas = 0;
+    loads = 0;
+    stores = 0;
+    commits = 0;
+    aborts = 0;
+    helps = 0;
+  }
+
+let reset t =
+  t.pwb <- 0;
+  t.pfence <- 0;
+  t.cas <- 0;
+  t.dcas <- 0;
+  t.loads <- 0;
+  t.stores <- 0;
+  t.commits <- 0;
+  t.aborts <- 0;
+  t.helps <- 0
+
+let copy t =
+  {
+    pwb = t.pwb;
+    pfence = t.pfence;
+    cas = t.cas;
+    dcas = t.dcas;
+    loads = t.loads;
+    stores = t.stores;
+    commits = t.commits;
+    aborts = t.aborts;
+    helps = t.helps;
+  }
+
+let diff a b =
+  {
+    pwb = a.pwb - b.pwb;
+    pfence = a.pfence - b.pfence;
+    cas = a.cas - b.cas;
+    dcas = a.dcas - b.dcas;
+    loads = a.loads - b.loads;
+    stores = a.stores - b.stores;
+    commits = a.commits - b.commits;
+    aborts = a.aborts - b.aborts;
+    helps = a.helps - b.helps;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "pwb=%d pfence=%d cas=%d dcas=%d loads=%d stores=%d commits=%d aborts=%d helps=%d"
+    t.pwb t.pfence t.cas t.dcas t.loads t.stores t.commits t.aborts t.helps

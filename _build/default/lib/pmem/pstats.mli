@@ -1,0 +1,26 @@
+(** Instruction/operation counters for the persistence cost table (§V-B).
+
+    Counted at the point the simulated hardware primitive is issued, so the
+    per-transaction numbers can be compared directly against the paper's
+    formulas (pwb, pfence, CAS-or-DCAS as functions of the number of
+    modified words). *)
+
+type t = {
+  mutable pwb : int;
+  mutable pfence : int;
+  mutable cas : int;  (** single-word CAS *)
+  mutable dcas : int;  (** double-word CAS on a TMType *)
+  mutable loads : int;
+  mutable stores : int;
+  mutable commits : int;
+  mutable aborts : int;
+  mutable helps : int;  (** write-sets applied on behalf of another thread *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+val diff : t -> t -> t
+(** [diff later earlier] *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,114 @@
+open Runtime
+
+type mode = Volatile | Persistent
+
+let line_cells = 4
+
+type t = {
+  mode : mode;
+  cells : Word.t Satomic.t array;
+  durable : Word.t array; (* empty in Volatile mode *)
+  dirty : bool array; (* per line; empty in Volatile mode *)
+  stats : Pstats.t;
+}
+
+let create ?(mode = Persistent) n =
+  let cells = Array.init n (fun _ -> Satomic.make Word.zero) in
+  let durable, dirty =
+    match mode with
+    | Volatile -> ([||], [||])
+    | Persistent ->
+        (Array.make n Word.zero, Array.make ((n + line_cells - 1) / line_cells) false)
+  in
+  { mode; cells; durable; dirty; stats = Pstats.create () }
+
+let mode t = t.mode
+let size t = Array.length t.cells
+let stats t = t.stats
+let line_of i = i / line_cells
+
+let mark_dirty t i =
+  match t.mode with Volatile -> () | Persistent -> t.dirty.(line_of i) <- true
+
+let load t i =
+  t.stats.loads <- t.stats.loads + 1;
+  Satomic.get t.cells.(i)
+
+let cas t i old nw =
+  t.stats.dcas <- t.stats.dcas + 1;
+  let ok = Satomic.compare_and_set t.cells.(i) old nw in
+  if ok then mark_dirty t i;
+  ok
+
+let cas1 t i old nw =
+  t.stats.cas <- t.stats.cas + 1;
+  let ok = Satomic.compare_and_set t.cells.(i) old nw in
+  if ok then mark_dirty t i;
+  ok
+
+let store t i w =
+  t.stats.stores <- t.stats.stores + 1;
+  Satomic.set t.cells.(i) w;
+  mark_dirty t i
+
+let flush_line t line =
+  let lo = line * line_cells in
+  let hi = min (Array.length t.cells) (lo + line_cells) - 1 in
+  for j = lo to hi do
+    t.durable.(j) <- Satomic.get_relaxed t.cells.(j)
+  done;
+  t.dirty.(line) <- false
+
+let pwb_cost = ref 1
+let pfence_cost = ref 4
+
+let burn n =
+  for _ = 1 to n do
+    Sched.step_point ()
+  done
+
+let pwb t i =
+  match t.mode with
+  | Volatile -> ()
+  | Persistent ->
+      t.stats.pwb <- t.stats.pwb + 1;
+      burn !pwb_cost;
+      flush_line t (line_of i)
+
+let pwb_range t off len =
+  if len > 0 then begin
+    let first = line_of off and last = line_of (off + len - 1) in
+    for line = first to last do
+      pwb t (line * line_cells)
+    done
+  end
+
+let pfence t =
+  match t.mode with
+  | Volatile -> ()
+  | Persistent ->
+      t.stats.pfence <- t.stats.pfence + 1;
+      burn !pfence_cost
+
+let dirty_lines t =
+  Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 t.dirty
+
+let crash t ?(evict_fraction = 0.0) ?rng () =
+  (match t.mode with
+  | Volatile -> invalid_arg "Region.crash: volatile region"
+  | Persistent -> ());
+  let rng = match rng with Some r -> r | None -> Rng.create 1 in
+  Array.iteri
+    (fun line d ->
+      if d && evict_fraction > 0.0 && Rng.float rng < evict_fraction then
+        flush_line t line)
+    t.dirty;
+  Array.iteri
+    (fun i cell -> Satomic.set cell t.durable.(i))
+    t.cells;
+  Array.fill t.dirty 0 (Array.length t.dirty) false
+
+let peek t i = Satomic.get_relaxed t.cells.(i)
+
+let peek_durable t i =
+  match t.mode with Volatile -> peek t i | Persistent -> t.durable.(i)

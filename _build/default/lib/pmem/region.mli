@@ -1,0 +1,80 @@
+(** Simulated byte-addressable memory region made of TMType cells.
+
+    A region is an array of {!Word.t} cells (value + sequence — the paper's
+    "all even-numbered words are a value, all odd-numbered words a
+    sequence").  In [Persistent] mode it carries an x86-like persistence
+    model: ordinary stores and CASes land in the volatile ("cache") side,
+    {!pwb} writes one cache line back to the durable side, {!pfence} orders
+    pwbs, and {!crash} discards all volatile state that was not written
+    back — optionally letting a random subset of dirty lines survive, the
+    way arbitrary cache eviction would on real hardware.
+
+    In [Volatile] mode the durable side does not exist and pwb/pfence are
+    free: this is the heap of the STM variants ("the algorithm for the STM
+    is similar, minus the pwbs").
+
+    All accesses go through {!Satomic}, so they are scheduling points under
+    simulation and genuine atomics under real domains. *)
+
+type mode = Volatile | Persistent
+
+type t
+
+val create : ?mode:mode -> int -> t
+(** [create n] allocates a region of [n] cells, all {!Word.zero}.
+    Default mode: [Persistent]. *)
+
+val mode : t -> mode
+val size : t -> int
+val stats : t -> Pstats.t
+val line_cells : int
+(** Cells per simulated cache line (4 cells of 16 bytes = 64-byte lines). *)
+
+(** {1 Cell access} *)
+
+val load : t -> int -> Word.t
+val cas : t -> int -> Word.t -> Word.t -> bool
+(** Double-word CAS on a cell; counted in [stats.dcas]. *)
+
+val cas1 : t -> int -> Word.t -> Word.t -> bool
+(** Same primitive, counted as a single-word CAS ([stats.cas]) — for
+    metadata cells like [curTx] that only conceptually occupy one word. *)
+
+val store : t -> int -> Word.t -> unit
+(** Plain (non-CAS) store, for thread-private cells such as a thread's own
+    write-set log, and for recovery code. *)
+
+(** {1 Persistence} *)
+
+val pwb : t -> int -> unit
+(** Write back the cache line containing cell [i]. *)
+
+val pwb_range : t -> int -> int -> unit
+(** [pwb_range t off len]: one pwb per distinct line covering
+    [off .. off+len-1]. *)
+
+val pfence : t -> unit
+
+val pwb_cost : int ref
+val pfence_cost : int ref
+(** Simulated-time prices (scheduling steps) of the persistence
+    primitives.  On real hardware an ordering fence that drains the write
+    pipeline costs an order of magnitude more than issuing a CLWB; the
+    defaults (pwb = 1, pfence = 8) encode that ratio, and the §V-B-table
+    benchmark reports raw counts regardless of these prices. *)
+
+val crash : t -> ?evict_fraction:float -> ?rng:Runtime.Rng.t -> unit -> unit
+(** Simulate a full-system crash followed by restart: every dirty line is
+    lost, except that each has probability [evict_fraction] (default 0) of
+    having been evicted (hence persisted) before the crash.  The volatile
+    side is then reloaded from the durable side.  Raises [Invalid_argument]
+    on a [Volatile] region. *)
+
+val dirty_lines : t -> int
+(** Number of lines with unpersisted modifications (testing aid). *)
+
+val peek : t -> int -> Word.t
+(** Read the volatile side without a scheduling step (checkers only). *)
+
+val peek_durable : t -> int -> Word.t
+(** Read the durable side directly (checkers only). *)

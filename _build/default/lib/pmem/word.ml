@@ -1,0 +1,5 @@
+type t = { v : int; s : int }
+
+let make v s = { v; s }
+let zero = { v = 0; s = 0 }
+let pp ppf t = Format.fprintf ppf "(%d,#%d)" t.v t.s

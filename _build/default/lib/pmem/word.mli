@@ -1,0 +1,15 @@
+(** A TMType cell content: a value word and its sequence word.
+
+    The paper's basic data type (Alg. 1) is two adjacent 64-bit words
+    modified together by one CMPXCHG16B.  Here the two words are an
+    immutable boxed pair, swapped atomically by a CAS on the enclosing
+    cell — same atomicity, no bit stealing, ABA-free by monotone [seq]. *)
+
+type t = private { v : int; s : int }
+
+val make : int -> int -> t
+(** [make v s] *)
+
+val zero : t
+
+val pp : Format.formatter -> t -> unit

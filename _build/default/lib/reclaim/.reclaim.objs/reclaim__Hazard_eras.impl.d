@@ -1,0 +1,1 @@
+lib/reclaim/hazard_eras.ml: Array List Runtime Satomic Sched

@@ -1,0 +1,1 @@
+lib/reclaim/hazard_pointers.ml: Array List Runtime Satomic Sched

@@ -1,0 +1,69 @@
+open Runtime
+
+type 'a record = { obj : 'a; birth : int; del : int }
+
+type 'a t = {
+  clock : int Satomic.t;
+  eras : int Satomic.t array; (* 0 = not reading *)
+  limbo : 'a record list array; (* per-thread retired lists *)
+  free : 'a -> unit;
+  scan_threshold : int;
+  max_threads : int;
+}
+
+let create ?(scan_threshold = 8) ~max_threads ~free () =
+  {
+    clock = Satomic.make 1;
+    eras = Array.init max_threads (fun _ -> Satomic.make 0);
+    limbo = Array.make max_threads [];
+    free;
+    scan_threshold;
+    max_threads;
+  }
+
+let current_era t = Satomic.get t.clock
+let new_era t = Satomic.fetch_and_add t.clock 1 + 1
+let set_era t e = Satomic.set t.eras.(Sched.self ()) e
+let clear t = Satomic.set t.eras.(Sched.self ()) 0
+
+let protect_current t =
+  let e = Satomic.get t.clock in
+  set_era t e;
+  e
+
+let rec get_protected t ~read =
+  let mine = t.eras.(Sched.self ()) in
+  let v = read () in
+  let e = Satomic.get t.clock in
+  if Satomic.get mine = e then v
+  else begin
+    Satomic.set mine e;
+    get_protected t ~read
+  end
+
+let conflicts t r =
+  let alive = ref false in
+  for i = 0 to t.max_threads - 1 do
+    let e = Satomic.get t.eras.(i) in
+    if e <> 0 && e >= r.birth && e <= r.del then alive := true
+  done;
+  !alive
+
+let scan t me =
+  let keep, drop = List.partition (conflicts t) t.limbo.(me) in
+  t.limbo.(me) <- keep;
+  List.iter (fun r -> t.free r.obj) drop
+
+let retire_at t ~birth ~del obj =
+  let me = Sched.self () in
+  t.limbo.(me) <- { obj; birth; del } :: t.limbo.(me);
+  if List.length t.limbo.(me) >= t.scan_threshold then scan t me
+
+let retire t ~birth obj = retire_at t ~birth ~del:(Satomic.get t.clock) obj
+
+let flush t =
+  for me = 0 to t.max_threads - 1 do
+    scan t me
+  done
+
+let pending t = Array.fold_left (fun acc l -> acc + List.length l) 0 t.limbo

@@ -1,0 +1,1 @@
+lib/runtime/satomic.ml: Atomic Sched

@@ -1,0 +1,1 @@
+lib/runtime/sched.ml: Array Domain Effect Fun List Rng

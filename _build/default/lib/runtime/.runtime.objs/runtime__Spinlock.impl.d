@@ -1,0 +1,1 @@
+lib/runtime/spinlock.ml: Backoff Satomic Sched

@@ -1,0 +1,19 @@
+(* Deterministic per-instance jitter: without it, round-robin lockstep can
+   keep two contending transactions perfectly symmetric and livelock them
+   (or starve a reader against a periodic writer) forever. *)
+
+let instances = Atomic.make 0
+
+type t = { min : int; max : int; mutable cur : int; rng : Rng.t }
+
+let create ?(min = 1) ?(max = 64) () =
+  { min; max; cur = min; rng = Rng.create (1 + Atomic.fetch_and_add instances 1) }
+
+let once t =
+  let spins = 1 + Rng.int t.rng t.cur in
+  for _ = 1 to spins do
+    if Sched.in_fiber () then Sched.step_point () else Domain.cpu_relax ()
+  done;
+  if t.cur < t.max then t.cur <- t.cur * 2
+
+let reset t = t.cur <- t.min

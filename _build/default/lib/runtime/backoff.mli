@@ -1,0 +1,10 @@
+(** Truncated exponential backoff.
+
+    Under simulation a backoff burns scheduling steps (simulated time);
+    under real domains it calls [Domain.cpu_relax]. *)
+
+type t
+
+val create : ?min:int -> ?max:int -> unit -> t
+val once : t -> unit
+val reset : t -> unit

@@ -1,0 +1,59 @@
+type t = { mutable data : int array; mutable len : int; mutable sorted : bool }
+
+let create () = { data = Array.make 1024 0; len = 0; sorted = true }
+
+let add t v =
+  if t.len = Array.length t.data then begin
+    let bigger = Array.make (2 * t.len) 0 in
+    Array.blit t.data 0 bigger 0 t.len;
+    t.data <- bigger
+  end;
+  t.data.(t.len) <- v;
+  t.len <- t.len + 1;
+  t.sorted <- false
+
+let count t = t.len
+
+let ensure_sorted t =
+  if not t.sorted then begin
+    let sub = Array.sub t.data 0 t.len in
+    Array.sort compare sub;
+    Array.blit sub 0 t.data 0 t.len;
+    t.sorted <- true
+  end
+
+let percentile t p =
+  if t.len = 0 then 0
+  else begin
+    ensure_sorted t;
+    let rank = int_of_float (ceil (p /. 100.0 *. float_of_int t.len)) in
+    let idx = max 0 (min (t.len - 1) (rank - 1)) in
+    t.data.(idx)
+  end
+
+let mean t =
+  if t.len = 0 then 0.0
+  else begin
+    let sum = ref 0 in
+    for i = 0 to t.len - 1 do
+      sum := !sum + t.data.(i)
+    done;
+    float_of_int !sum /. float_of_int t.len
+  end
+
+let max_value t =
+  let m = ref 0 in
+  for i = 0 to t.len - 1 do
+    if t.data.(i) > !m then m := t.data.(i)
+  done;
+  !m
+
+let merge a b =
+  let r = create () in
+  for i = 0 to a.len - 1 do
+    add r a.data.(i)
+  done;
+  for i = 0 to b.len - 1 do
+    add r b.data.(i)
+  done;
+  r

@@ -1,0 +1,13 @@
+(** Sample collector for latency distributions (Fig. 7). *)
+
+type t
+
+val create : unit -> t
+val add : t -> int -> unit
+val count : t -> int
+val percentile : t -> float -> int
+(** [percentile t p] with [p] in [\[0, 100\]]; nearest-rank. 0 when empty. *)
+
+val mean : t -> float
+val max_value : t -> int
+val merge : t -> t -> t

@@ -1,0 +1,8 @@
+let run fns =
+  let spawn i fn =
+    Domain.spawn (fun () ->
+        Sched.set_domain_tid i;
+        fn ())
+  in
+  let domains = Array.mapi spawn fns in
+  Array.iter Domain.join domains

@@ -1,0 +1,9 @@
+(** Real-domain execution of the same workloads.
+
+    [run fns] spawns one [Domain] per function, registering tids so that
+    [Sched.self] works, and joins them all.  Used by smoke tests to check
+    that the algorithms run correctly under genuine parallelism; all
+    benchmark figures use the deterministic simulator instead (this
+    container has a single core — see DESIGN.md §2). *)
+
+val run : (unit -> unit) array -> unit

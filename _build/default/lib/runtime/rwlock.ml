@@ -1,0 +1,46 @@
+(* Counter-based reader indicator.  The original RomulusLog uses a
+   per-thread-slot "scalable" reader-writer lock to avoid reader contention
+   on one cache line; our simulator does not price cache-line sharing, but
+   it does price every shared access, so scanning N slots per write lock
+   would bill writers N steps for nothing.  One ingress counter plus a
+   writer flag is behaviourally equivalent here. *)
+
+type t = { readers : int Satomic.t; writer : Spinlock.t }
+
+let create ~max_threads:_ =
+  { readers = Satomic.make 0; writer = Spinlock.create () }
+
+let read_lock t =
+  let b = Backoff.create () in
+  let rec loop () =
+    if Spinlock.holder t.writer <> -1 then begin
+      Backoff.once b;
+      loop ()
+    end
+    else begin
+      Satomic.incr t.readers;
+      if Spinlock.holder t.writer = -1 then ()
+      else begin
+        (* writer arrived between check and increment: back out *)
+        Satomic.decr t.readers;
+        Backoff.once b;
+        loop ()
+      end
+    end
+  in
+  loop ()
+
+let read_unlock t = Satomic.decr t.readers
+
+let write_lock t =
+  Spinlock.acquire t.writer;
+  let b = Backoff.create () in
+  while Satomic.get t.readers <> 0 do
+    Backoff.once b
+  done
+
+let write_unlock t = Spinlock.release t.writer
+
+let reset t =
+  Satomic.set t.readers 0;
+  Spinlock.reset t.writer

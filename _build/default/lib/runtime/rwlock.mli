@@ -1,0 +1,16 @@
+(** Scalable reader-writer lock (per-thread reader indicators).
+
+    This is the reader-writer lock RomulusLog relies on: readers mark a
+    per-thread slot (no contention between readers), writers raise a flag
+    and wait for all reader slots to drain.  Writer-preference, blocking. *)
+
+type t
+
+val create : max_threads:int -> t
+val read_lock : t -> unit
+val read_unlock : t -> unit
+val write_lock : t -> unit
+val write_unlock : t -> unit
+
+val reset : t -> unit
+(** Force-release everything (post-crash recovery only). *)

@@ -1,0 +1,19 @@
+type t = { cell : int Satomic.t }
+
+let create () = { cell = Satomic.make (-1) }
+
+let try_acquire t =
+  Satomic.get t.cell = -1 && Satomic.compare_and_set t.cell (-1) (Sched.self ())
+
+let acquire t =
+  let b = Backoff.create () in
+  while not (try_acquire t) do
+    Backoff.once b
+  done
+
+let release t =
+  assert (Satomic.get_relaxed t.cell = Sched.self ());
+  Satomic.set t.cell (-1)
+
+let holder t = Satomic.get t.cell
+let reset t = Satomic.set t.cell (-1)

@@ -1,0 +1,18 @@
+(** Test-and-test-and-set spinlock with backoff.
+
+    Blocking by design — used by the blocking baselines (TinySTM, ESTM,
+    PMDK, Romulus) so that their lock-holder-preemption behaviour is visible
+    to the simulator. *)
+
+type t
+
+val create : unit -> t
+val acquire : t -> unit
+val try_acquire : t -> bool
+val release : t -> unit
+val holder : t -> int
+(** Tid of the current holder, or -1. *)
+
+val reset : t -> unit
+(** Force-release regardless of holder — locks are volatile, so a restart
+    after a crash begins with free locks. Recovery code only. *)

@@ -1,0 +1,1 @@
+lib/structures/counters.ml: Tm

@@ -1,0 +1,1 @@
+lib/structures/hash_set.mli: Tm

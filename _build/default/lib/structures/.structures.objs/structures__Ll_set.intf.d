@@ -1,0 +1,1 @@
+lib/structures/ll_set.mli: Tm

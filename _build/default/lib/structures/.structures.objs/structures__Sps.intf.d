@@ -1,0 +1,1 @@
+lib/structures/sps.mli: Runtime Tm

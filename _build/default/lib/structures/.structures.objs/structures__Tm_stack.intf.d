@@ -1,0 +1,1 @@
+lib/structures/tm_stack.mli: Tm

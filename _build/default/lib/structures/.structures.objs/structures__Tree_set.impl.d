@@ -1,0 +1,1 @@
+lib/structures/tree_set.ml: Tm

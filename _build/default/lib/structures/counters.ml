@@ -1,0 +1,58 @@
+(* Header layout: [array_ptr; n]. *)
+
+module Make (T : Tm.Tm_intf.S) = struct
+  type h = { tm : T.t; header : int }
+
+  let create tm ~root ~n =
+    let header =
+      T.update_tx tm (fun tx ->
+          let header = T.alloc tx 2 in
+          let arr = T.alloc tx n in
+          for i = 0 to n - 1 do
+            T.store tx (arr + i) 0
+          done;
+          T.store tx header arr;
+          T.store tx (header + 1) n;
+          T.store tx (T.root tm root) header;
+          header)
+    in
+    { tm; header }
+
+  let attach tm ~root =
+    { tm; header = T.read_tx tm (fun tx -> T.load tx (T.root tm root)) }
+
+  let increment_all h ~left_to_right =
+    ignore
+      (T.update_tx h.tm (fun tx ->
+           let arr = T.load tx h.header and n = T.load tx (h.header + 1) in
+           if left_to_right then
+             for i = 0 to n - 1 do
+               T.store tx (arr + i) (T.load tx (arr + i) + 1)
+             done
+           else
+             for i = n - 1 downto 0 do
+               T.store tx (arr + i) (T.load tx (arr + i) + 1)
+             done;
+           0))
+
+  let total h =
+    T.read_tx h.tm (fun tx ->
+        let arr = T.load tx h.header and n = T.load tx (h.header + 1) in
+        let sum = ref 0 in
+        for i = 0 to n - 1 do
+          sum := !sum + T.load tx (arr + i)
+        done;
+        !sum)
+
+  let values h =
+    let acc = ref [] in
+    ignore
+      (T.read_tx h.tm (fun tx ->
+           acc := [];
+           let arr = T.load tx h.header and n = T.load tx (h.header + 1) in
+           for i = n - 1 downto 0 do
+             acc := T.load tx (arr + i) :: !acc
+           done;
+           0));
+    !acc
+end

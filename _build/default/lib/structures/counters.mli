@@ -1,0 +1,17 @@
+(** The Fig. 7 latency workload: an array of counters where each update
+    transaction increments all of them, alternating left-to-right and
+    right-to-left — "a strong serialization of the transactions [that]
+    causes most STMs to have starvation effects". *)
+
+module Make (T : Tm.Tm_intf.S) : sig
+  type h
+
+  val create : T.t -> root:int -> n:int -> h
+  val attach : T.t -> root:int -> h
+
+  val increment_all : h -> left_to_right:bool -> unit
+  (** One transaction incrementing every counter in the given direction. *)
+
+  val total : h -> int
+  val values : h -> int list
+end

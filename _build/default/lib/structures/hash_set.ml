@@ -1,0 +1,136 @@
+(* Header layout: [buckets_ptr; nbuckets; size].  Node layout: [key; next].
+   nbuckets is always a power of two. *)
+
+module Make (T : Tm.Tm_intf.S) = struct
+  type h = { tm : T.t; header : int }
+
+  let node_cells = 2
+  let key_of n = n
+  let next_of n = n + 1
+
+  let create ?(initial_buckets = 8) tm ~root =
+    let nb =
+      let rec up k = if k >= initial_buckets then k else up (2 * k) in
+      up 2
+    in
+    let header =
+      T.update_tx tm (fun tx ->
+          let header = T.alloc tx 3 in
+          let arr = T.alloc tx nb in
+          T.store tx header arr;
+          T.store tx (header + 1) nb;
+          T.store tx (header + 2) 0;
+          T.store tx (T.root tm root) header;
+          header)
+    in
+    (* zero the buckets in chunked transactions: a single one would exceed
+       any realistic write-set for large pre-sized tables *)
+    let chunk = 512 in
+    let rec zero i =
+      if i < nb then begin
+        ignore
+          (T.update_tx tm (fun tx ->
+               let arr = T.load tx header in
+               for j = i to min (nb - 1) (i + chunk - 1) do
+                 T.store tx (arr + j) 0
+               done;
+               0));
+        zero (i + chunk)
+      end
+    in
+    zero 0;
+    { tm; header }
+
+  let attach tm ~root =
+    { tm; header = T.read_tx tm (fun tx -> T.load tx (T.root tm root)) }
+
+  let bucket_cell tx header k =
+    let arr = T.load tx header and nb = T.load tx (header + 1) in
+    arr + (k land (nb - 1))
+
+  let locate tx link k =
+    let rec go link =
+      let cur = T.load tx link in
+      if cur = 0 || T.load tx (key_of cur) = k then (link, cur)
+      else go (next_of cur)
+    in
+    go link
+
+  let resize tx header =
+    let old_arr = T.load tx header and old_nb = T.load tx (header + 1) in
+    let nb = 2 * old_nb in
+    let arr = T.alloc tx nb in
+    for i = 0 to nb - 1 do
+      T.store tx (arr + i) 0
+    done;
+    for i = 0 to old_nb - 1 do
+      let rec drain cur =
+        if cur <> 0 then begin
+          let nxt = T.load tx (next_of cur) in
+          let cell = arr + (T.load tx (key_of cur) land (nb - 1)) in
+          T.store tx (next_of cur) (T.load tx cell);
+          T.store tx cell cur;
+          drain nxt
+        end
+      in
+      drain (T.load tx (old_arr + i))
+    done;
+    T.store tx header arr;
+    T.store tx (header + 1) nb;
+    T.free tx old_arr
+
+  let add_in tx header k =
+    let link, cur = locate tx (bucket_cell tx header k) k in
+    if cur <> 0 then false
+    else begin
+      let node = T.alloc tx node_cells in
+      T.store tx (key_of node) k;
+      T.store tx (next_of node) 0;
+      T.store tx link node;
+      let size = T.load tx (header + 2) + 1 in
+      T.store tx (header + 2) size;
+      if size > 2 * T.load tx (header + 1) then resize tx header;
+      true
+    end
+
+  let remove_in tx header k =
+    let link, cur = locate tx (bucket_cell tx header k) k in
+    if cur = 0 then false
+    else begin
+      T.store tx link (T.load tx (next_of cur));
+      T.free tx cur;
+      T.store tx (header + 2) (T.load tx (header + 2) - 1);
+      true
+    end
+
+  let contains_in tx header k =
+    let _, cur = locate tx (bucket_cell tx header k) k in
+    cur <> 0
+
+  let cardinal_in tx header = T.load tx (header + 2)
+  let header_addr h = h.header
+
+  let add h k = T.update_tx h.tm (fun tx -> if add_in tx h.header k then 1 else 0) <> 0
+  let remove h k = T.update_tx h.tm (fun tx -> if remove_in tx h.header k then 1 else 0) <> 0
+  let contains h k = T.read_tx h.tm (fun tx -> if contains_in tx h.header k then 1 else 0) <> 0
+  let cardinal h = T.read_tx h.tm (fun tx -> cardinal_in tx h.header)
+  let buckets h = T.read_tx h.tm (fun tx -> T.load tx (h.header + 1))
+
+  let to_list h =
+    let acc = ref [] in
+    ignore
+      (T.read_tx h.tm (fun tx ->
+           acc := [];
+           let arr = T.load tx h.header and nb = T.load tx (h.header + 1) in
+           for i = 0 to nb - 1 do
+             let rec go cur =
+               if cur <> 0 then begin
+                 acc := T.load tx (key_of cur) :: !acc;
+                 go (T.load tx (next_of cur))
+               end
+             in
+             go (T.load tx (arr + i))
+           done;
+           0));
+    !acc
+end

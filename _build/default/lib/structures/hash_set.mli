@@ -1,0 +1,26 @@
+(** Resizable hash set of integer keys over any TM (the paper's "wait-free
+    resizable hash map" when instantiated with OneFile-WF).
+
+    Chained buckets; the bucket array doubles inside a single transaction
+    when the load factor exceeds 2 — atomic, and crash-atomic under a
+    persistent TM.  Pass [initial_buckets] to pre-size and avoid resize
+    transactions during steady state (they write the whole table). *)
+
+module Make (T : Tm.Tm_intf.S) : sig
+  type h
+
+  val create : ?initial_buckets:int -> T.t -> root:int -> h
+  val attach : T.t -> root:int -> h
+  val add : h -> int -> bool
+  val remove : h -> int -> bool
+  val contains : h -> int -> bool
+  val cardinal : h -> int
+  val buckets : h -> int
+  val add_in : T.tx -> int -> int -> bool
+  val remove_in : T.tx -> int -> int -> bool
+  val contains_in : T.tx -> int -> int -> bool
+  val cardinal_in : T.tx -> int -> int
+  val header_addr : h -> int
+  val to_list : h -> int list
+  (** Unordered. *)
+end

@@ -1,0 +1,95 @@
+(* Node layout: [key; next].  Header layout: [head; size]. *)
+
+module Make (T : Tm.Tm_intf.S) = struct
+  type h = { tm : T.t; header : int }
+
+  let header_cells = 2
+  let node_cells = 2
+  let key_of n = n
+  let next_of n = n + 1
+
+  let create tm ~root =
+    let header =
+      T.update_tx tm (fun tx ->
+          let header = T.alloc tx header_cells in
+          T.store tx header 0;
+          T.store tx (header + 1) 0;
+          T.store tx (T.root tm root) header;
+          header)
+    in
+    { tm; header }
+
+  let attach tm ~root =
+    { tm; header = T.read_tx tm (fun tx -> T.load tx (T.root tm root)) }
+
+  (* Returns (address of the link cell pointing at cur, cur). *)
+  let locate tx header k =
+    let rec go link =
+      let cur = T.load tx link in
+      if cur = 0 || T.load tx (key_of cur) >= k then (link, cur)
+      else go (next_of cur)
+    in
+    go header
+
+  let add_in tx header k =
+    let link, cur = locate tx header k in
+    if cur <> 0 && T.load tx (key_of cur) = k then false
+    else begin
+      let node = T.alloc tx node_cells in
+      T.store tx (key_of node) k;
+      T.store tx (next_of node) cur;
+      T.store tx link node;
+      T.store tx (header + 1) (T.load tx (header + 1) + 1);
+      true
+    end
+
+  let remove_in tx header k =
+    let link, cur = locate tx header k in
+    if cur = 0 || T.load tx (key_of cur) <> k then false
+    else begin
+      T.store tx link (T.load tx (next_of cur));
+      T.free tx cur;
+      T.store tx (header + 1) (T.load tx (header + 1) - 1);
+      true
+    end
+
+  let contains_in tx header k =
+    let _, cur = locate tx header k in
+    cur <> 0 && T.load tx (key_of cur) = k
+
+  let cardinal_in tx header = T.load tx (header + 1)
+  let header_addr h = h.header
+
+  let bool_tx f = f <> 0
+
+  let add h k = bool_tx (T.update_tx h.tm (fun tx -> if add_in tx h.header k then 1 else 0))
+  let remove h k = bool_tx (T.update_tx h.tm (fun tx -> if remove_in tx h.header k then 1 else 0))
+  let contains h k = bool_tx (T.read_tx h.tm (fun tx -> if contains_in tx h.header k then 1 else 0))
+  let cardinal h = T.read_tx h.tm (fun tx -> cardinal_in tx h.header)
+
+  let to_list h =
+    (* collected through a ref: the TM signature only returns ints, so the
+       traversal accumulates outside the transaction; the function may be
+       re-executed on abort, hence the reset at the start. *)
+    let acc = ref [] in
+    ignore
+      (T.read_tx h.tm (fun tx ->
+           acc := [];
+           let rec go cur =
+             if cur <> 0 then begin
+               acc := T.load tx (key_of cur) :: !acc;
+               go (T.load tx (next_of cur))
+             end
+           in
+           go (T.load tx h.header);
+           0));
+    List.rev !acc
+
+  let check_sorted h =
+    let l = to_list h in
+    let rec ok = function
+      | a :: (b :: _ as rest) -> a < b && ok rest
+      | _ -> true
+    in
+    ok l
+end

@@ -1,0 +1,44 @@
+(** Sorted singly-linked-list set of integer keys, as a functor over any TM.
+
+    This is the sequential implementation the paper wraps: annotate the
+    types (here: store node fields in TM cells), replace allocation with the
+    TM's, wrap methods in transactions — and the TM's progress property
+    carries over to the set. *)
+
+module Make (T : Tm.Tm_intf.S) : sig
+  type h
+
+  val create : T.t -> root:int -> h
+  (** Allocate an empty set whose header pointer lives in root slot
+      [root]. *)
+
+  val attach : T.t -> root:int -> h
+  (** Re-attach to a set previously created in [root] (e.g. after crash
+      recovery). *)
+
+  (** {1 Whole-transaction operations} *)
+
+  val add : h -> int -> bool
+  (** [add h k] inserts [k]; false if already present. *)
+
+  val remove : h -> int -> bool
+  val contains : h -> int -> bool
+  val cardinal : h -> int
+
+  (** {1 In-transaction operations} — compose several calls (even on
+      several structures) into one atomic transaction. *)
+
+  val add_in : T.tx -> int -> int -> bool
+  (** [add_in tx header k] where [header] is {!header_addr}. *)
+
+  val remove_in : T.tx -> int -> int -> bool
+  val contains_in : T.tx -> int -> int -> bool
+  val cardinal_in : T.tx -> int -> int
+  val header_addr : h -> int
+
+  val to_list : h -> int list
+  (** Ascending keys (one read-only transaction — a linearizable
+      traversal). *)
+
+  val check_sorted : h -> bool
+end

@@ -1,0 +1,134 @@
+(* Header layout: [array_ptr; n].  Plain variant: array of n words.
+   Allocating variant: array of n pointers to 2-cell objects
+   [payload; pad]. *)
+
+module Make (T : Tm.Tm_intf.S) = struct
+  type h = { tm : T.t; header : int }
+
+  let max_chunk = Tm.Tm_alloc.max_alloc
+
+  (* Arrays larger than the max allocation are built as a chain of chunks;
+     benchmarks use n <= max_alloc, so the common case is a single block. *)
+  let create_array tx n =
+    if n > max_chunk then invalid_arg "Sps: array too large for one block";
+    T.alloc tx n
+
+  (* initialization is chunked into several transactions: a single one
+     would exceed any realistic write-set for large arrays *)
+  let init_chunk = 512
+
+  let create tm ~root ~n =
+    let header =
+      T.update_tx tm (fun tx ->
+          let header = T.alloc tx 2 in
+          let arr = create_array tx n in
+          T.store tx header arr;
+          T.store tx (header + 1) n;
+          T.store tx (T.root tm root) header;
+          header)
+    in
+    let rec fill i =
+      if i < n then begin
+        ignore
+          (T.update_tx tm (fun tx ->
+               let arr = T.load tx header in
+               for j = i to min (n - 1) (i + init_chunk - 1) do
+                 T.store tx (arr + j) j
+               done;
+               0));
+        fill (i + init_chunk)
+      end
+    in
+    fill 0;
+    { tm; header }
+
+  let attach tm ~root =
+    { tm; header = T.read_tx tm (fun tx -> T.load tx (T.root tm root)) }
+
+  let size h = T.read_tx h.tm (fun tx -> T.load tx (h.header + 1))
+
+  let get h i =
+    T.read_tx h.tm (fun tx -> T.load tx (T.load tx h.header + i))
+
+  let swaps_tx h rng k =
+    ignore
+      (T.update_tx h.tm (fun tx ->
+           let arr = T.load tx h.header and n = T.load tx (h.header + 1) in
+           for _ = 1 to k do
+             let i = Runtime.Rng.int rng n and j = Runtime.Rng.int rng n in
+             let a = T.load tx (arr + i) and b = T.load tx (arr + j) in
+             T.store tx (arr + i) b;
+             T.store tx (arr + j) a
+           done;
+           0))
+
+  let checksum h =
+    T.read_tx h.tm (fun tx ->
+        let arr = T.load tx h.header and n = T.load tx (h.header + 1) in
+        let sum = ref 0 in
+        for i = 0 to n - 1 do
+          sum := !sum + T.load tx (arr + i)
+        done;
+        !sum)
+
+  let create_alloc tm ~root ~n =
+    let header =
+      T.update_tx tm (fun tx ->
+          let header = T.alloc tx 2 in
+          let arr = create_array tx n in
+          T.store tx header arr;
+          T.store tx (header + 1) n;
+          T.store tx (T.root tm root) header;
+          header)
+    in
+    let chunk = init_chunk / 8 in
+    let rec fill i =
+      if i < n then begin
+        ignore
+          (T.update_tx tm (fun tx ->
+               let arr = T.load tx header in
+               for j = i to min (n - 1) (i + chunk - 1) do
+                 let obj = T.alloc tx 2 in
+                 T.store tx obj j;
+                 T.store tx (obj + 1) 0;
+                 T.store tx (arr + j) obj
+               done;
+               0));
+        fill (i + chunk)
+      end
+    in
+    fill 0;
+    { tm; header }
+
+  let swaps_alloc_tx h rng k =
+    ignore
+      (T.update_tx h.tm (fun tx ->
+           let arr = T.load tx h.header and n = T.load tx (h.header + 1) in
+           for _ = 1 to k do
+             let i = Runtime.Rng.int rng n in
+             let rec draw () =
+               let j = Runtime.Rng.int rng n in
+               if j = i then draw () else j
+             in
+             let j = draw () in
+             let pi = T.load tx (arr + i) and pj = T.load tx (arr + j) in
+             (* swap the two pointers, re-allocating the object that lands
+                in slot i (Fig. 3: one alloc + one free per swap) *)
+             let fresh = T.alloc tx 2 in
+             T.store tx fresh (T.load tx pj);
+             T.store tx (fresh + 1) (T.load tx (pj + 1));
+             T.free tx pj;
+             T.store tx (arr + i) fresh;
+             T.store tx (arr + j) pi
+           done;
+           0))
+
+  let checksum_alloc h =
+    T.read_tx h.tm (fun tx ->
+        let arr = T.load tx h.header and n = T.load tx (h.header + 1) in
+        let sum = ref 0 in
+        for i = 0 to n - 1 do
+          sum := !sum + T.load tx (T.load tx (arr + i))
+        done;
+        !sum)
+end

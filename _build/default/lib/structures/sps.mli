@@ -1,0 +1,29 @@
+(** The SPS microbenchmark structure: an array of words in TM memory on
+    which transactions perform random swaps (Figs. 2, 3 and 8).
+
+    The [swaps_tx] operation performs [k] swaps in one transaction.  The
+    allocating variant replaces one of the two swapped slots' target
+    objects with a freshly allocated one, as in Fig. 3. *)
+
+module Make (T : Tm.Tm_intf.S) : sig
+  type h
+
+  val create : T.t -> root:int -> n:int -> h
+  (** Array of [n] words, initialized to [0, 1, ..., n-1]. *)
+
+  val attach : T.t -> root:int -> h
+  val size : h -> int
+  val get : h -> int -> int
+  val swaps_tx : h -> Runtime.Rng.t -> int -> unit
+  (** [swaps_tx h rng k] executes one transaction doing [k] random swaps. *)
+
+  val checksum : h -> int
+  (** Sum of all entries — invariant under swaps. *)
+
+  (** {1 Allocating variant} — entries point to 2-cell objects. *)
+
+  val create_alloc : T.t -> root:int -> n:int -> h
+  val swaps_alloc_tx : h -> Runtime.Rng.t -> int -> unit
+  val checksum_alloc : h -> int
+  (** Sum of the objects' payloads — invariant under allocating swaps. *)
+end

@@ -1,0 +1,88 @@
+(* Header layout: [head; tail; size].  Node layout: [value; next]. *)
+
+module Make (T : Tm.Tm_intf.S) = struct
+  type h = { tm : T.t; header : int }
+
+  let value_of n = n
+  let next_of n = n + 1
+
+  let create tm ~root =
+    let header =
+      T.update_tx tm (fun tx ->
+          let header = T.alloc tx 3 in
+          T.store tx header 0;
+          T.store tx (header + 1) 0;
+          T.store tx (header + 2) 0;
+          T.store tx (T.root tm root) header;
+          header)
+    in
+    { tm; header }
+
+  let attach tm ~root =
+    { tm; header = T.read_tx tm (fun tx -> T.load tx (T.root tm root)) }
+
+  let enqueue_in tx header v =
+    let node = T.alloc tx 2 in
+    T.store tx (value_of node) v;
+    T.store tx (next_of node) 0;
+    let tail = T.load tx (header + 1) in
+    if tail = 0 then T.store tx header node else T.store tx (next_of tail) node;
+    T.store tx (header + 1) node;
+    T.store tx (header + 2) (T.load tx (header + 2) + 1)
+
+  let dequeue_in tx header =
+    let head = T.load tx header in
+    if head = 0 then None
+    else begin
+      let v = T.load tx (value_of head) in
+      let nxt = T.load tx (next_of head) in
+      T.store tx header nxt;
+      if nxt = 0 then T.store tx (header + 1) 0;
+      T.free tx head;
+      T.store tx (header + 2) (T.load tx (header + 2) - 1);
+      Some v
+    end
+
+  let length_in tx header = T.load tx (header + 2)
+  let header_addr h = h.header
+
+  let enqueue h v =
+    ignore (T.update_tx h.tm (fun tx -> enqueue_in tx h.header v; 0))
+
+  (* dequeue returns an option; encode emptiness out-of-band since the TM
+     result channel is a single int (min_int marks "empty"). *)
+  let empty_marker = min_int
+
+  let dequeue h =
+    let r =
+      T.update_tx h.tm (fun tx ->
+          match dequeue_in tx h.header with Some v -> v | None -> empty_marker)
+    in
+    if r = empty_marker then None else Some r
+
+  let peek h =
+    let r =
+      T.read_tx h.tm (fun tx ->
+          let head = T.load tx h.header in
+          if head = 0 then empty_marker else T.load tx (value_of head))
+    in
+    if r = empty_marker then None else Some r
+
+  let length h = T.read_tx h.tm (fun tx -> length_in tx h.header)
+  let is_empty h = length h = 0
+
+  let to_list h =
+    let acc = ref [] in
+    ignore
+      (T.read_tx h.tm (fun tx ->
+           acc := [];
+           let rec go cur =
+             if cur <> 0 then begin
+               acc := T.load tx (value_of cur) :: !acc;
+               go (T.load tx (next_of cur))
+             end
+           in
+           go (T.load tx h.header);
+           0));
+    List.rev !acc
+end

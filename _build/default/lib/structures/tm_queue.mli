@@ -1,0 +1,28 @@
+(** FIFO queue (singly-linked) over any TM.
+
+    Wrapped in OneFile-PTM this is the persistent wait-free queue of §V-B;
+    the in-transaction operations make the paper's two-queue atomic
+    transfer a one-liner ([dequeue_in q1; enqueue_in q2] in one
+    transaction). *)
+
+module Make (T : Tm.Tm_intf.S) : sig
+  type h
+
+  val create : T.t -> root:int -> h
+  val attach : T.t -> root:int -> h
+
+  val enqueue : h -> int -> unit
+  val dequeue : h -> int option
+  (** [None] when empty. *)
+
+  val peek : h -> int option
+  val is_empty : h -> bool
+  val length : h -> int
+
+  val enqueue_in : T.tx -> int -> int -> unit
+  val dequeue_in : T.tx -> int -> int option
+  val length_in : T.tx -> int -> int
+  val header_addr : h -> int
+  val to_list : h -> int list
+  (** Front first. *)
+end

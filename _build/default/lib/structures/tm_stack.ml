@@ -1,0 +1,75 @@
+(* Header layout: [top; size].  Node layout: [value; next]. *)
+
+module Make (T : Tm.Tm_intf.S) = struct
+  type h = { tm : T.t; header : int }
+
+  let create tm ~root =
+    let header =
+      T.update_tx tm (fun tx ->
+          let header = T.alloc tx 2 in
+          T.store tx header 0;
+          T.store tx (header + 1) 0;
+          T.store tx (T.root tm root) header;
+          header)
+    in
+    { tm; header }
+
+  let attach tm ~root =
+    { tm; header = T.read_tx tm (fun tx -> T.load tx (T.root tm root)) }
+
+  let push_in tx header v =
+    let node = T.alloc tx 2 in
+    T.store tx node v;
+    T.store tx (node + 1) (T.load tx header);
+    T.store tx header node;
+    T.store tx (header + 1) (T.load tx (header + 1) + 1)
+
+  let pop_in tx header =
+    let top = T.load tx header in
+    if top = 0 then None
+    else begin
+      let v = T.load tx top in
+      T.store tx header (T.load tx (top + 1));
+      T.free tx top;
+      T.store tx (header + 1) (T.load tx (header + 1) - 1);
+      Some v
+    end
+
+  let header_addr h = h.header
+  let empty_marker = min_int
+
+  let push h v = ignore (T.update_tx h.tm (fun tx -> push_in tx h.header v; 0))
+
+  let pop h =
+    let r =
+      T.update_tx h.tm (fun tx ->
+          match pop_in tx h.header with Some v -> v | None -> empty_marker)
+    in
+    if r = empty_marker then None else Some r
+
+  let top h =
+    let r =
+      T.read_tx h.tm (fun tx ->
+          let top = T.load tx h.header in
+          if top = 0 then empty_marker else T.load tx top)
+    in
+    if r = empty_marker then None else Some r
+
+  let length h = T.read_tx h.tm (fun tx -> T.load tx (h.header + 1))
+  let is_empty h = length h = 0
+
+  let to_list h =
+    let acc = ref [] in
+    ignore
+      (T.read_tx h.tm (fun tx ->
+           acc := [];
+           let rec go cur =
+             if cur <> 0 then begin
+               acc := T.load tx cur :: !acc;
+               go (T.load tx (cur + 1))
+             end
+           in
+           go (T.load tx h.header);
+           0));
+    List.rev !acc
+end

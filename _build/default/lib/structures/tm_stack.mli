@@ -1,0 +1,18 @@
+(** LIFO stack over any TM — the running example of the paper's Fig. 1. *)
+
+module Make (T : Tm.Tm_intf.S) : sig
+  type h
+
+  val create : T.t -> root:int -> h
+  val attach : T.t -> root:int -> h
+  val push : h -> int -> unit
+  val pop : h -> int option
+  val top : h -> int option
+  val is_empty : h -> bool
+  val length : h -> int
+  val push_in : T.tx -> int -> int -> unit
+  val pop_in : T.tx -> int -> int option
+  val header_addr : h -> int
+  val to_list : h -> int list
+  (** Top first. *)
+end

@@ -1,0 +1,191 @@
+(* Node layout: [key; left; right; height].  Header layout: [root; size]. *)
+
+module Make (T : Tm.Tm_intf.S) = struct
+  type h = { tm : T.t; header : int }
+
+  let node_cells = 4
+  let key_of n = n
+  let left_of n = n + 1
+  let right_of n = n + 2
+  let height_of n = n + 3
+
+  let create tm ~root =
+    let header =
+      T.update_tx tm (fun tx ->
+          let header = T.alloc tx 2 in
+          T.store tx header 0;
+          T.store tx (header + 1) 0;
+          T.store tx (T.root tm root) header;
+          header)
+    in
+    { tm; header }
+
+  let attach tm ~root =
+    { tm; header = T.read_tx tm (fun tx -> T.load tx (T.root tm root)) }
+
+  let hgt tx n = if n = 0 then 0 else T.load tx (height_of n)
+
+  let update_height tx n =
+    let hl = hgt tx (T.load tx (left_of n)) and hr = hgt tx (T.load tx (right_of n)) in
+    T.store tx (height_of n) (1 + max hl hr)
+
+  let balance_factor tx n = hgt tx (T.load tx (left_of n)) - hgt tx (T.load tx (right_of n))
+
+  let rotate_right tx n =
+    let l = T.load tx (left_of n) in
+    T.store tx (left_of n) (T.load tx (right_of l));
+    T.store tx (right_of l) n;
+    update_height tx n;
+    update_height tx l;
+    l
+
+  let rotate_left tx n =
+    let r = T.load tx (right_of n) in
+    T.store tx (right_of n) (T.load tx (left_of r));
+    T.store tx (left_of r) n;
+    update_height tx n;
+    update_height tx r;
+    r
+
+  let rebalance tx n =
+    update_height tx n;
+    let bf = balance_factor tx n in
+    if bf > 1 then begin
+      if balance_factor tx (T.load tx (left_of n)) < 0 then
+        T.store tx (left_of n) (rotate_left tx (T.load tx (left_of n)));
+      rotate_right tx n
+    end
+    else if bf < -1 then begin
+      if balance_factor tx (T.load tx (right_of n)) > 0 then
+        T.store tx (right_of n) (rotate_right tx (T.load tx (right_of n)));
+      rotate_left tx n
+    end
+    else n
+
+  let add_in tx header k =
+    let added = ref false in
+    let rec insert n =
+      if n = 0 then begin
+        let node = T.alloc tx node_cells in
+        T.store tx (key_of node) k;
+        T.store tx (left_of node) 0;
+        T.store tx (right_of node) 0;
+        T.store tx (height_of node) 1;
+        added := true;
+        node
+      end
+      else
+        let nk = T.load tx (key_of n) in
+        if k = nk then n
+        else begin
+          if k < nk then T.store tx (left_of n) (insert (T.load tx (left_of n)))
+          else T.store tx (right_of n) (insert (T.load tx (right_of n)));
+          rebalance tx n
+        end
+    in
+    T.store tx header (insert (T.load tx header));
+    if !added then T.store tx (header + 1) (T.load tx (header + 1) + 1);
+    !added
+
+  let remove_in tx header k =
+    let removed = ref false in
+    (* unlink the minimum of subtree [n]; returns (new subtree, min node) *)
+    let rec take_min n =
+      let l = T.load tx (left_of n) in
+      if l = 0 then (T.load tx (right_of n), n)
+      else begin
+        let l', m = take_min l in
+        T.store tx (left_of n) l';
+        (rebalance tx n, m)
+      end
+    in
+    let rec delete n =
+      if n = 0 then 0
+      else
+        let nk = T.load tx (key_of n) in
+        if k < nk then begin
+          T.store tx (left_of n) (delete (T.load tx (left_of n)));
+          rebalance tx n
+        end
+        else if k > nk then begin
+          T.store tx (right_of n) (delete (T.load tx (right_of n)));
+          rebalance tx n
+        end
+        else begin
+          removed := true;
+          let l = T.load tx (left_of n) and r = T.load tx (right_of n) in
+          let replacement =
+            if l = 0 then r
+            else if r = 0 then l
+            else begin
+              let r', m = take_min r in
+              T.store tx (left_of m) l;
+              T.store tx (right_of m) r';
+              rebalance tx m
+            end
+          in
+          T.free tx n;
+          replacement
+        end
+    in
+    T.store tx header (delete (T.load tx header));
+    if !removed then T.store tx (header + 1) (T.load tx (header + 1) - 1);
+    !removed
+
+  let contains_in tx header k =
+    let rec go n =
+      if n = 0 then false
+      else
+        let nk = T.load tx (key_of n) in
+        if k = nk then true
+        else if k < nk then go (T.load tx (left_of n))
+        else go (T.load tx (right_of n))
+    in
+    go (T.load tx header)
+
+  let cardinal_in tx header = T.load tx (header + 1)
+  let header_addr h = h.header
+
+  let add h k = T.update_tx h.tm (fun tx -> if add_in tx h.header k then 1 else 0) <> 0
+  let remove h k = T.update_tx h.tm (fun tx -> if remove_in tx h.header k then 1 else 0) <> 0
+  let contains h k = T.read_tx h.tm (fun tx -> if contains_in tx h.header k then 1 else 0) <> 0
+  let cardinal h = T.read_tx h.tm (fun tx -> cardinal_in tx h.header)
+
+  let to_list h =
+    let acc = ref [] in
+    ignore
+      (T.read_tx h.tm (fun tx ->
+           acc := [];
+           let rec go n =
+             if n <> 0 then begin
+               go (T.load tx (right_of n));
+               acc := T.load tx (key_of n) :: !acc;
+               go (T.load tx (left_of n))
+             end
+           in
+           go (T.load tx h.header);
+           0));
+    !acc
+
+  let height h = T.read_tx h.tm (fun tx -> hgt tx (T.load tx h.header))
+
+  let check_invariants h =
+    T.read_tx h.tm (fun tx ->
+        (* returns height; -1 encodes a violation *)
+        let rec go n lo hi =
+          if n = 0 then 0
+          else
+            let k = T.load tx (key_of n) in
+            if k <= lo || k >= hi then -1
+            else
+              let hl = go (T.load tx (left_of n)) lo k in
+              let hr = go (T.load tx (right_of n)) k hi in
+              if hl < 0 || hr < 0 then -1
+              else if abs (hl - hr) > 1 then -1
+              else
+                let stored = T.load tx (height_of n) in
+                if stored <> 1 + max hl hr then -1 else stored
+        in
+        if go (T.load tx h.header) min_int max_int >= 0 then 1 else 0)
+    <> 0
+end

@@ -1,0 +1,30 @@
+(** Balanced binary search tree set (AVL) over any TM.
+
+    Stands in for the paper's red-black tree: same role (a balanced tree
+    with ~log2 n node traversals per operation, ~20 at 10^6 keys), simpler
+    to verify.  Rotations mutate node fields in place through the TM, so an
+    update transaction touches only the search path. *)
+
+module Make (T : Tm.Tm_intf.S) : sig
+  type h
+
+  val create : T.t -> root:int -> h
+  val attach : T.t -> root:int -> h
+  val add : h -> int -> bool
+  val remove : h -> int -> bool
+  val contains : h -> int -> bool
+  val cardinal : h -> int
+  val add_in : T.tx -> int -> int -> bool
+  val remove_in : T.tx -> int -> int -> bool
+  val contains_in : T.tx -> int -> int -> bool
+  val cardinal_in : T.tx -> int -> int
+  val header_addr : h -> int
+
+  val to_list : h -> int list
+  (** Ascending keys. *)
+
+  val height : h -> int
+
+  val check_invariants : h -> bool
+  (** BST ordering, AVL balance and stored-height correctness. *)
+end

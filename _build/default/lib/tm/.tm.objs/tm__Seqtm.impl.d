@@ -1,0 +1,1 @@
+lib/tm/seqtm.ml: Pmem Tm_alloc Tm_intf

@@ -1,0 +1,1 @@
+lib/tm/seqtm.mli: Tm_intf

@@ -1,0 +1,1 @@
+lib/tm/tm_alloc.ml: Tm_intf

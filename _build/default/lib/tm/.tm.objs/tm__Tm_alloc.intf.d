@@ -1,0 +1,1 @@
+lib/tm/tm_alloc.mli: Tm_intf

@@ -1,0 +1,51 @@
+open Tm_intf
+
+let name = "SeqTM"
+
+type t = {
+  region : Pmem.Region.t;
+  roots_base : int;
+  num_roots : int;
+  alloc : Tm_alloc.t;
+}
+
+type tx = { inst : t; read_only : bool }
+
+let ops inst =
+  {
+    aload = (fun a -> (Pmem.Region.load inst.region a).Pmem.Word.v);
+    astore = (fun a v -> Pmem.Region.store inst.region a (Pmem.Word.make v 0));
+  }
+
+let create ?(size = 1 lsl 16) ?(num_roots = 8) () =
+  let region = Pmem.Region.create ~mode:Pmem.Region.Volatile size in
+  let roots_base = 1 in
+  let meta_base = roots_base + num_roots in
+  let heap_base = meta_base + Tm_alloc.meta_cells in
+  let alloc = Tm_alloc.create ~meta_base ~heap_base ~heap_end:size in
+  let inst = { region; roots_base; num_roots; alloc } in
+  Tm_alloc.init alloc (ops inst);
+  inst
+
+let read_tx inst f = f { inst; read_only = true }
+let update_tx inst f = f { inst; read_only = false }
+let load tx a = (ops tx.inst).aload a
+
+let store tx a v =
+  if tx.read_only then raise Store_in_read_tx;
+  (ops tx.inst).astore a v
+
+let alloc tx n =
+  if tx.read_only then raise Store_in_read_tx;
+  Tm_alloc.alloc tx.inst.alloc (ops tx.inst) n
+
+let free tx a =
+  if tx.read_only then raise Store_in_read_tx;
+  Tm_alloc.free tx.inst.alloc (ops tx.inst) a
+
+let root inst i =
+  if i < 0 || i >= inst.num_roots then invalid_arg "Seqtm.root";
+  inst.roots_base + i
+
+let num_roots inst = inst.num_roots
+let region inst = inst.region

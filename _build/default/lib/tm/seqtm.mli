@@ -1,0 +1,13 @@
+(** Sequential oracle TM.
+
+    A trivial, single-threaded implementation of {!Tm_intf.S}: loads and
+    stores go straight to the region, transactions never abort, nothing is
+    logged.  It exists so that (a) data-structure functors can be unit
+    tested in isolation and (b) concurrent histories can be replayed against
+    a sequential specification in linearizability tests. *)
+
+include Tm_intf.S
+
+val create : ?size:int -> ?num_roots:int -> unit -> t
+(** Fresh volatile region with its own allocator. Defaults:
+    [size = 1 lsl 16] cells, [num_roots = 8]. *)

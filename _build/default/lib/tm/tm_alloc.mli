@@ -1,0 +1,42 @@
+(** Transactional segregated free-list allocator (paper §IV-A).
+
+    All metadata (free-list heads, bump pointer, block headers) consists of
+    ordinary TM words written through the host transaction, so a crash or
+    abort rolls the allocator back together with the data structure — "this
+    design ensures that memory is never leaked during a crash".  Freed
+    blocks keep their cells (and hence their ever-increasing sequence
+    numbers), which is what makes the paper's optimistic reclamation
+    (Propositions 1-3) safe.
+
+    Blocks are a header cell (storing the size class) followed by payload
+    cells, in power-of-two size classes. *)
+
+type t
+
+val meta_cells : int
+(** Number of metadata cells to reserve for an allocator instance. *)
+
+val max_alloc : int
+(** Largest supported allocation, in cells. *)
+
+val create : meta_base:int -> heap_base:int -> heap_end:int -> t
+
+val init : t -> Tm_intf.alloc_ops -> unit
+(** Format the heap; run inside the TM's initialization transaction. *)
+
+val alloc : t -> Tm_intf.alloc_ops -> int -> int
+(** [alloc t ops n] returns the payload address of a block with >= [n]
+    cells. Raises [Failure] when the heap is exhausted. *)
+
+val free : t -> Tm_intf.alloc_ops -> int -> unit
+
+val free_cells : t -> Tm_intf.alloc_ops -> int
+(** Total payload+header cells currently on free lists plus untouched
+    wilderness — for leak checks. *)
+
+val allocated_cells : t -> Tm_intf.alloc_ops -> int
+(** Total cells in live blocks: heap span minus {!free_cells}. *)
+
+val block_cells : int -> int
+(** [block_cells n] is the whole-block footprint (header included) that
+    [alloc n] consumes — for exact leak accounting in tests. *)

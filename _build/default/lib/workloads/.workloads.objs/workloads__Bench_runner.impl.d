@@ -1,0 +1,1 @@
+lib/workloads/bench_runner.ml: Array Histogram Rng Runtime Sched

@@ -1,0 +1,1 @@
+lib/workloads/crash_campaign.ml: Array Baselines Format List Onefile Pmem Rng Runtime Sched Structures Tm

@@ -1,0 +1,1 @@
+lib/workloads/crash_campaign.mli: Format

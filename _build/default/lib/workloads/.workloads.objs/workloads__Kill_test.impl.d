@@ -1,0 +1,1 @@
+lib/workloads/kill_test.ml: Array Hashtbl List Onefile Pmem Rng Runtime Sched Structures

@@ -1,0 +1,1 @@
+lib/workloads/kill_test.mli:

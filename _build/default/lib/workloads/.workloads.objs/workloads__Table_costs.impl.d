@@ -1,0 +1,1 @@
+lib/workloads/table_costs.ml: Baselines Format List Onefile Pmem String Tm

@@ -1,0 +1,27 @@
+(** The Fig. 12 (right) resilience experiment.
+
+    [processes] workers share two persistent queues and continually execute
+    one transaction that moves an item from one queue to the other
+    (allocating the target node, freeing the source node).  Every
+    [kill_every] rounds one worker is destroyed at an arbitrary point of
+    its execution and a replacement process is spawned into its thread
+    slot.  An observer checks, continuously, that the total number of items
+    is invariant; at the end the allocator is audited for leaks. *)
+
+type result = {
+  transfers : int;
+  kills : int;
+  torn_observations : int; (** observer saw a wrong total *)
+  final_total_ok : bool;
+  leaked_cells : int;
+}
+
+val run :
+  wf:bool ->
+  processes:int ->
+  rounds:int ->
+  kill_every:int option ->
+  items:int ->
+  seed:int ->
+  result
+(** [kill_every = None] is the "no kill" control run. *)

@@ -1,0 +1,87 @@
+module Region = Pmem.Region
+module Pstats = Pmem.Pstats
+module Lf = Onefile.Onefile_lf
+module Wf = Onefile.Onefile_wf
+
+type row = {
+  label : string;
+  nw : int;
+  pwb : float;
+  pfence : float;
+  cas_dcas : float;
+  paper_pwb : string;
+  paper_pfence : string;
+  paper_cas : string;
+}
+
+let ntx = 50
+
+(* Measure averaged per-tx costs of [run ()], each run writing nw words. *)
+let measure ~region ~run =
+  let st = Region.stats region in
+  run (); (* warm-up: first-touch effects *)
+  let snap = Pstats.copy st in
+  for _ = 1 to ntx do
+    run ()
+  done;
+  let d = Pstats.diff st snap in
+  let per x = float_of_int x /. float_of_int ntx in
+  (per d.Pstats.pwb, per d.Pstats.pfence, per (d.Pstats.cas + d.Pstats.dcas))
+
+let write_n_words (type t tx) (module T : Tm.Tm_intf.S with type t = t and type tx = tx)
+    (t : t) ~update ~nw =
+  let counter = ref 0 in
+  fun () ->
+    incr counter;
+    let base = !counter in
+    ignore
+      (update t (fun tx ->
+           for i = 0 to nw - 1 do
+             T.store tx (T.root t (i mod T.num_roots t)) (base + i)
+           done;
+           0))
+
+let measure_all ~nw =
+  if nw > 8 then invalid_arg "Table_costs: nw must be <= num_roots";
+  let mk label region run (paper_pwb, paper_pfence, paper_cas) =
+    let pwb, pfence, cas_dcas = measure ~region ~run in
+    { label; nw; pwb; pfence; cas_dcas; paper_pwb; paper_pfence; paper_cas }
+  in
+  let pmdk =
+    let t = Baselines.Pmdk.create () in
+    mk "PMDK" (Baselines.Pmdk.region t)
+      (write_n_words (module Baselines.Pmdk) t ~update:Baselines.Pmdk.update_tx ~nw)
+      ("2.25 Nw", "2 + 2 Nw", "1")
+  in
+  let romlog =
+    let t = Baselines.Romulus_log.create () in
+    mk "RomulusLog"
+      (Baselines.Romulus_log.region t)
+      (write_n_words
+         (module Baselines.Romulus_log)
+         t ~update:Baselines.Romulus_log.update_tx ~nw)
+      ("3 + 2 Nw", "4 or less", "1")
+  in
+  let of_lf =
+    let t = Lf.create () in
+    mk "OF (Lock-Free)" (Lf.region t)
+      (write_n_words (module Lf) t ~update:Lf.update_tx ~nw)
+      ("1 + 1.25 Nw", "0", "2 + Nw")
+  in
+  let of_wf =
+    let t = Wf.create ~max_threads:8 () in
+    mk "OF (Wait-Free)" (Wf.region t)
+      (write_n_words (module Wf) t ~update:Wf.update_tx ~nw)
+      ("2 + 1.25 Nw", "0", "3 + Nw")
+  in
+  [ pmdk; romlog; of_lf; of_wf ]
+
+let print ppf rows =
+  Format.fprintf ppf "%-16s | %10s | %10s | %12s | paper: pwb / pfence / CAS@."
+    "PTM" "pwb" "pfence" "CAS or DCAS";
+  Format.fprintf ppf "%s@." (String.make 78 '-');
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-16s | %10.2f | %10.2f | %12.2f | %s / %s / %s@."
+        r.label r.pwb r.pfence r.cas_dcas r.paper_pwb r.paper_pfence r.paper_cas)
+    rows

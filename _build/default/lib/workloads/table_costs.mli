@@ -1,0 +1,20 @@
+(** Reproduction of the §V-B cost table: pwb / pfence / CAS-or-DCAS counts
+    per update transaction as a function of the number of modified words,
+    measured from the instrumented region and printed next to the paper's
+    formulas. *)
+
+type row = {
+  label : string;
+  nw : int;
+  pwb : float;
+  pfence : float;
+  cas_dcas : float;
+  paper_pwb : string;
+  paper_pfence : string;
+  paper_cas : string;
+}
+
+val measure_all : nw:int -> row list
+(** One row per PTM: PMDK, RomulusLog, OneFile-LF, OneFile-WF. *)
+
+val print : Format.formatter -> row list -> unit

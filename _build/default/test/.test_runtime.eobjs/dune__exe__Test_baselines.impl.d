@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Int List Pmem Printf Rng Runtime Sched Set Structures Tm

@@ -1,0 +1,1 @@
+test/test_onefile.ml: Alcotest Array List Onefile Parallel Pmem Printf Rng Runtime Sched Tm

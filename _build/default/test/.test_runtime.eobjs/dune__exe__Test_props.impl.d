@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Gen Hashtbl Int List Map Mutex Onefile Pmem QCheck QCheck_alcotest Rng Runtime Sched Structures Tm

@@ -1,0 +1,1 @@
+test/test_reclaim.ml: Alcotest Reclaim Runtime Satomic Sched

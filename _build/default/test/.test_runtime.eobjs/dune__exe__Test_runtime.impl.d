@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Array Buffer Histogram Parallel Printf Rng Runtime Rwlock Satomic Sched Spinlock

@@ -1,0 +1,1 @@
+test/test_structures.ml: Alcotest Array Int List Onefile Pmem Printf QCheck QCheck_alcotest Queue Rng Runtime Sched Set Structures Tm

@@ -1,0 +1,1 @@
+test/test_tm.ml: Alcotest List Tm

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Histogram List Rng Runtime Satomic Workloads

@@ -1,0 +1,538 @@
+(* Tests for the baseline TMs (TinySTM, ESTM, RomulusLog/LR, PMDK) and the
+   hand-made lock-free structures (MSQueue, FAAQ, SimQueue*, HarrisHE,
+   FHMP). *)
+
+open Runtime
+module Region = Pmem.Region
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let run_fibers ?(seed = 42) ?cores ?policy n body =
+  ignore (Sched.run ~seed ?cores ?policy (Array.init n (fun i () -> body i)))
+
+(* ------------------------------------------------------------------ *)
+(* Generic TM semantics, instantiated per baseline *)
+
+module type HARNESS = sig
+  include Tm.Tm_intf.S
+
+  val fresh : unit -> t
+  val recover_after_crash : (t -> unit) option
+end
+
+module MakeTmTests (H : HARNESS) = struct
+  let test_root_roundtrip () =
+    let t = H.fresh () in
+    let r0 = H.root t 0 in
+    ignore (H.update_tx t (fun tx -> H.store tx r0 42; 0));
+    check int "read back" 42 (H.read_tx t (fun tx -> H.load tx r0))
+
+  let test_read_after_write () =
+    let t = H.fresh () in
+    let r0 = H.root t 0 in
+    let v =
+      H.update_tx t (fun tx ->
+          H.store tx r0 5;
+          let a = H.load tx r0 in
+          H.store tx r0 (a + 1);
+          H.load tx r0)
+    in
+    check int "sees own writes" 6 v
+
+  let test_increments () =
+    let t = H.fresh () in
+    let r0 = H.root t 0 in
+    let n = 4 and iters = 25 in
+    run_fibers ~seed:7 n (fun _ ->
+        for _ = 1 to iters do
+          ignore
+            (H.update_tx t (fun tx ->
+                 H.store tx r0 (H.load tx r0 + 1);
+                 0))
+        done);
+    check int "no lost increments" (n * iters) (H.read_tx t (fun tx -> H.load tx r0))
+
+  let test_snapshots () =
+    let t = H.fresh () in
+    let r0 = H.root t 0 and r1 = H.root t 1 in
+    let torn = ref 0 in
+    let writer () =
+      for i = 1 to 30 do
+        ignore
+          (H.update_tx t (fun tx ->
+               H.store tx r0 i;
+               H.store tx r1 i;
+               0))
+      done
+    in
+    let reader () =
+      for _ = 1 to 40 do
+        if H.read_tx t (fun tx -> H.load tx r1 - H.load tx r0) <> 0 then incr torn
+      done
+    in
+    ignore (Sched.run ~seed:13 [| writer; writer; reader |]);
+    check int "no torn pair" 0 !torn
+
+  let test_alloc_roundtrip () =
+    let t = H.fresh () in
+    let r0 = H.root t 0 in
+    ignore
+      (H.update_tx t (fun tx ->
+           let a = H.alloc tx 2 in
+           H.store tx a 7;
+           H.store tx (a + 1) 8;
+           H.store tx r0 a;
+           0));
+    let v =
+      H.read_tx t (fun tx ->
+          let a = H.load tx r0 in
+          H.load tx a + H.load tx (a + 1))
+    in
+    check int "allocated data" 15 v
+
+  let test_concurrent_alloc_free () =
+    let t = H.fresh () in
+    run_fibers ~seed:3 4 (fun i ->
+        let my_root = H.root t i in
+        for _ = 1 to 8 do
+          ignore
+            (H.update_tx t (fun tx ->
+                 let node = H.alloc tx 2 in
+                 H.store tx node 1;
+                 H.store tx (node + 1) (H.load tx my_root);
+                 H.store tx my_root node;
+                 0));
+          ignore
+            (H.update_tx t (fun tx ->
+                 let node = H.load tx my_root in
+                 H.store tx my_root (H.load tx (node + 1));
+                 H.free tx node;
+                 0))
+        done);
+    for i = 0 to 3 do
+      check int "stack drained" 0 (H.read_tx t (fun tx -> H.load tx (H.root t i)))
+    done
+
+  let test_crash_recovery () =
+    match H.recover_after_crash with
+    | None -> ()
+    | Some recover ->
+        let tears = ref 0 in
+        for stop_round = 2 to 40 do
+          let t = H.fresh () in
+          let r0 = H.root t 0 and r1 = H.root t 1 in
+          let body i () =
+            for k = 1 to 20 do
+              ignore
+                (H.update_tx t (fun tx ->
+                     let x = (i * 1000) + k in
+                     H.store tx r0 x;
+                     H.store tx r1 x;
+                     0))
+            done
+          in
+          ignore (Sched.run ~seed:stop_round ~max_rounds:stop_round [| body 1; body 2 |]);
+          Region.crash (H.region t) ();
+          recover t;
+          let a = H.read_tx t (fun tx -> H.load tx r0)
+          and b = H.read_tx t (fun tx -> H.load tx r1) in
+          if a <> b then incr tears
+        done;
+        check int "no torn recovered state" 0 !tears
+
+  let cases label =
+    [
+      Alcotest.test_case (label ^ ": root roundtrip") `Quick test_root_roundtrip;
+      Alcotest.test_case (label ^ ": read-after-write") `Quick test_read_after_write;
+      Alcotest.test_case (label ^ ": increments") `Quick test_increments;
+      Alcotest.test_case (label ^ ": snapshots") `Quick test_snapshots;
+      Alcotest.test_case (label ^ ": alloc roundtrip") `Quick test_alloc_roundtrip;
+      Alcotest.test_case (label ^ ": alloc/free") `Quick test_concurrent_alloc_free;
+      Alcotest.test_case (label ^ ": crash recovery") `Slow test_crash_recovery;
+    ]
+end
+
+module TinyTests = MakeTmTests (struct
+  include Baselines.Tinystm
+
+  let fresh () = create ~max_threads:8 ()
+  let recover_after_crash = None
+end)
+
+module EstmTests = MakeTmTests (struct
+  include Baselines.Estm
+
+  let fresh () = create ~max_threads:8 ()
+  let recover_after_crash = None
+end)
+
+module EstmElasticTests = MakeTmTests (struct
+  include Baselines.Estm
+
+  let fresh () = create ~max_threads:8 ~elastic:true ()
+  let recover_after_crash = None
+end)
+
+module RomLogTests = MakeTmTests (struct
+  include Baselines.Romulus_log
+
+  let fresh () = create ~half:(1 lsl 14) ~max_threads:8 ()
+  let recover_after_crash = Some recover
+end)
+
+module RomLrTests = MakeTmTests (struct
+  include Baselines.Romulus_lr
+
+  let fresh () = create ~half:(1 lsl 14) ~max_threads:8 ()
+  let recover_after_crash = Some recover
+end)
+
+module PmdkTests = MakeTmTests (struct
+  include Baselines.Pmdk
+
+  let fresh () = create ~size:(1 lsl 16) ~max_threads:8 ()
+  let recover_after_crash = Some recover
+end)
+
+(* Set functor over each blocking STM, against the sequential oracle. *)
+module TinySet = Structures.Ll_set.Make (Baselines.Tinystm)
+module EstmSet = Structures.Ll_set.Make (Baselines.Estm)
+module RomSet = Structures.Ll_set.Make (Baselines.Romulus_lr)
+
+let test_set_over_tiny () =
+  let t = Baselines.Tinystm.create ~max_threads:8 () in
+  let s = TinySet.create t ~root:0 in
+  run_fibers ~seed:21 4 (fun i ->
+      for k = 0 to 20 do
+        ignore (TinySet.add s ((k * 4) + i))
+      done;
+      for k = 0 to 20 do
+        if k mod 2 = 0 then ignore (TinySet.remove s ((k * 4) + i))
+      done);
+  check bool "sorted" true (TinySet.check_sorted s);
+  check int "cardinal" (4 * 10) (TinySet.cardinal s)
+
+let test_set_over_estm_elastic () =
+  let t = Baselines.Estm.create ~max_threads:8 ~elastic:true () in
+  let s = EstmSet.create t ~root:0 in
+  run_fibers ~seed:22 4 (fun i ->
+      for k = 0 to 20 do
+        ignore (EstmSet.add s ((k * 4) + i))
+      done);
+  check bool "sorted" true (EstmSet.check_sorted s);
+  check int "cardinal" (4 * 21) (EstmSet.cardinal s)
+
+let test_set_over_romulus_lr () =
+  let t = Baselines.Romulus_lr.create ~half:(1 lsl 14) ~max_threads:8 () in
+  let s = RomSet.create t ~root:0 in
+  run_fibers ~seed:23 4 (fun i ->
+      for k = 0 to 15 do
+        ignore (RomSet.add s ((k * 4) + i))
+      done);
+  check bool "sorted" true (RomSet.check_sorted s);
+  check int "cardinal" (4 * 16) (RomSet.cardinal s)
+
+(* ------------------------------------------------------------------ *)
+(* Hand-made queues *)
+
+let queue_no_loss enqueue dequeue () =
+  let popped = Array.make 4 [] in
+  run_fibers ~seed:5 4 (fun i ->
+      for k = 1 to 25 do
+        enqueue ((i * 1000) + k)
+      done;
+      for _ = 1 to 20 do
+        match dequeue () with
+        | Some v -> popped.(i) <- v :: popped.(i)
+        | None -> Alcotest.fail "unexpectedly empty"
+      done);
+  let rec drain acc = match dequeue () with Some v -> drain (v :: acc) | None -> acc in
+  let rest = drain [] in
+  let all = rest @ List.concat (Array.to_list popped) in
+  check int "nothing lost, nothing duplicated" 100 (List.length (List.sort_uniq compare all));
+  (* per-producer FIFO within each consumer *)
+  Array.iteri
+    (fun c l ->
+      let seq = List.rev l in
+      for p = 0 to 3 do
+        let from_p = List.filter (fun v -> v / 1000 = p) seq in
+        if List.sort compare from_p <> from_p then
+          Alcotest.fail (Printf.sprintf "consumer %d: producer %d out of order" c p)
+      done)
+    popped
+
+let test_msqueue_fifo () =
+  let q = Baselines.Msqueue.create () in
+  Baselines.Msqueue.enqueue q 1;
+  Baselines.Msqueue.enqueue q 2;
+  check (Alcotest.option int) "fifo" (Some 1) (Baselines.Msqueue.dequeue q);
+  check (Alcotest.option int) "fifo" (Some 2) (Baselines.Msqueue.dequeue q);
+  check (Alcotest.option int) "empty" None (Baselines.Msqueue.dequeue q)
+
+let test_msqueue_concurrent () =
+  let q = Baselines.Msqueue.create ~max_threads:8 () in
+  queue_no_loss (Baselines.Msqueue.enqueue q) (fun () -> Baselines.Msqueue.dequeue q) ()
+
+let test_faaq_concurrent () =
+  let q = Baselines.Faaq.create ~segment_size:16 ~max_threads:8 () in
+  queue_no_loss (Baselines.Faaq.enqueue q) (fun () -> Baselines.Faaq.dequeue q) ()
+
+let test_lcrq_fifo () =
+  let q = Baselines.Lcrq.create ~ring_size:4 () in
+  Baselines.Lcrq.enqueue q 1;
+  Baselines.Lcrq.enqueue q 2;
+  check (Alcotest.option int) "fifo" (Some 1) (Baselines.Lcrq.dequeue q);
+  check (Alcotest.option int) "fifo" (Some 2) (Baselines.Lcrq.dequeue q);
+  check (Alcotest.option int) "empty" None (Baselines.Lcrq.dequeue q)
+
+let test_lcrq_ring_overflow () =
+  (* more items than one ring: must spill into linked CRQs losslessly *)
+  let q = Baselines.Lcrq.create ~ring_size:4 () in
+  for i = 1 to 40 do
+    Baselines.Lcrq.enqueue q i
+  done;
+  for i = 1 to 40 do
+    check (Alcotest.option int) "order across rings" (Some i)
+      (Baselines.Lcrq.dequeue q)
+  done;
+  check (Alcotest.option int) "drained" None (Baselines.Lcrq.dequeue q)
+
+let test_lcrq_concurrent () =
+  let q = Baselines.Lcrq.create ~ring_size:16 ~max_threads:8 () in
+  queue_no_loss (Baselines.Lcrq.enqueue q) (fun () -> Baselines.Lcrq.dequeue q) ()
+
+let test_lcrq_hostile () =
+  let q = Baselines.Lcrq.create ~ring_size:8 ~max_threads:8 () in
+  let got = ref [] in
+  ignore
+    (Sched.run ~seed:47 ~cores:2 ~policy:Sched.Random_order
+       (Array.init 8 (fun i () ->
+            for k = 1 to 10 do
+              Baselines.Lcrq.enqueue q ((i * 100) + k)
+            done)));
+  let rec drain () =
+    match Baselines.Lcrq.dequeue q with
+    | Some v ->
+        got := v :: !got;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  check int "all present exactly once" 80 (List.length (List.sort_uniq compare !got))
+
+let test_ucqueue_concurrent () =
+  let q = Baselines.Ucqueue.create ~max_threads:8 () in
+  queue_no_loss (Baselines.Ucqueue.enqueue q) (fun () -> Baselines.Ucqueue.dequeue q) ()
+
+let test_ucqueue_hostile_schedule () =
+  let q = Baselines.Ucqueue.create ~max_threads:8 () in
+  let count = ref 0 in
+  ignore
+    (Sched.run ~seed:11 ~cores:2 ~policy:Sched.Random_order
+       (Array.init 8 (fun i () ->
+            for k = 1 to 10 do
+              Baselines.Ucqueue.enqueue q ((i * 100) + k)
+            done)));
+  let rec drain () =
+    match Baselines.Ucqueue.dequeue q with
+    | Some _ ->
+        incr count;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  check int "all operations completed" 80 !count
+
+(* ------------------------------------------------------------------ *)
+(* Harris-Michael list *)
+
+module IntSet = Set.Make (Int)
+
+let test_harris_sequential_oracle () =
+  let s = Baselines.Harris_list.create () in
+  let oracle = ref IntSet.empty in
+  let rng = Rng.create 31 in
+  for _ = 1 to 500 do
+    let k = Rng.int rng 60 in
+    match Rng.int rng 3 with
+    | 0 ->
+        let e = not (IntSet.mem k !oracle) in
+        oracle := IntSet.add k !oracle;
+        if Baselines.Harris_list.add s k <> e then Alcotest.fail "add mismatch"
+    | 1 ->
+        let e = IntSet.mem k !oracle in
+        oracle := IntSet.remove k !oracle;
+        if Baselines.Harris_list.remove s k <> e then Alcotest.fail "remove mismatch"
+    | _ ->
+        if Baselines.Harris_list.contains s k <> IntSet.mem k !oracle then
+          Alcotest.fail "contains mismatch"
+  done;
+  check (Alcotest.list int) "final contents" (IntSet.elements !oracle)
+    (Baselines.Harris_list.to_list s)
+
+let test_harris_concurrent () =
+  let s = Baselines.Harris_list.create ~max_threads:8 () in
+  run_fibers ~seed:17 6 (fun i ->
+      for k = 0 to 20 do
+        ignore (Baselines.Harris_list.add s ((k * 8) + i))
+      done;
+      for k = 0 to 20 do
+        if k mod 2 = 0 then ignore (Baselines.Harris_list.remove s ((k * 8) + i))
+      done);
+  let l = Baselines.Harris_list.to_list s in
+  check int "expected survivors" (6 * 10) (List.length l);
+  check bool "sorted" true (List.sort compare l = l);
+  List.iter
+    (fun v ->
+      let k = v / 8 and i = v mod 8 in
+      if k mod 2 = 0 || i >= 6 then Alcotest.fail "unexpected key")
+    l
+
+let test_harris_hostile () =
+  let s = Baselines.Harris_list.create ~max_threads:8 () in
+  ignore
+    (Sched.run ~seed:29 ~cores:3 ~policy:Sched.Random_order
+       (Array.init 8 (fun i () ->
+            for k = 0 to 12 do
+              ignore (Baselines.Harris_list.add s ((k * 8) + i));
+              ignore (Baselines.Harris_list.remove s ((k * 8) + i))
+            done)));
+  check (Alcotest.list int) "drained" [] (Baselines.Harris_list.to_list s)
+
+(* ------------------------------------------------------------------ *)
+(* EFRB lock-free external BST (NataHE stand-in) *)
+
+let test_efrb_sequential_oracle () =
+  let s = Baselines.Efrb_tree.create () in
+  let oracle = ref IntSet.empty in
+  let rng = Rng.create 41 in
+  for _ = 1 to 600 do
+    let k = Rng.int rng 80 in
+    match Rng.int rng 3 with
+    | 0 ->
+        let e = not (IntSet.mem k !oracle) in
+        oracle := IntSet.add k !oracle;
+        if Baselines.Efrb_tree.add s k <> e then Alcotest.fail "add mismatch"
+    | 1 ->
+        let e = IntSet.mem k !oracle in
+        oracle := IntSet.remove k !oracle;
+        if Baselines.Efrb_tree.remove s k <> e then Alcotest.fail "remove mismatch"
+    | _ ->
+        if Baselines.Efrb_tree.contains s k <> IntSet.mem k !oracle then
+          Alcotest.fail "contains mismatch"
+  done;
+  check (Alcotest.list int) "final contents" (IntSet.elements !oracle)
+    (Baselines.Efrb_tree.to_list s);
+  check bool "bst ordering" true (Baselines.Efrb_tree.check_bst s)
+
+let test_efrb_concurrent () =
+  let s = Baselines.Efrb_tree.create ~max_threads:8 () in
+  run_fibers ~seed:19 6 (fun i ->
+      for k = 0 to 20 do
+        ignore (Baselines.Efrb_tree.add s ((k * 8) + i))
+      done;
+      for k = 0 to 20 do
+        if k mod 2 = 0 then ignore (Baselines.Efrb_tree.remove s ((k * 8) + i))
+      done);
+  let l = Baselines.Efrb_tree.to_list s in
+  check int "expected survivors" (6 * 10) (List.length l);
+  check bool "bst ordering" true (Baselines.Efrb_tree.check_bst s)
+
+let test_efrb_hostile () =
+  let s = Baselines.Efrb_tree.create ~max_threads:8 () in
+  ignore
+    (Sched.run ~seed:37 ~cores:3 ~policy:Sched.Random_order
+       (Array.init 8 (fun i () ->
+            for k = 0 to 12 do
+              ignore (Baselines.Efrb_tree.add s ((k * 8) + i));
+              ignore (Baselines.Efrb_tree.remove s ((k * 8) + i))
+            done)));
+  check (Alcotest.list int) "drained" [] (Baselines.Efrb_tree.to_list s);
+  check bool "bst ordering" true (Baselines.Efrb_tree.check_bst s)
+
+(* ------------------------------------------------------------------ *)
+(* FHMP persistent queue *)
+
+let test_fhmp_fifo () =
+  let q = Baselines.Fhmp_queue.create () in
+  Baselines.Fhmp_queue.enqueue q 1;
+  Baselines.Fhmp_queue.enqueue q 2;
+  check (Alcotest.option int) "fifo" (Some 1) (Baselines.Fhmp_queue.dequeue q);
+  check (Alcotest.option int) "fifo" (Some 2) (Baselines.Fhmp_queue.dequeue q);
+  check (Alcotest.option int) "empty" None (Baselines.Fhmp_queue.dequeue q)
+
+let test_fhmp_concurrent () =
+  let q = Baselines.Fhmp_queue.create () in
+  queue_no_loss
+    (Baselines.Fhmp_queue.enqueue q)
+    (fun () -> Baselines.Fhmp_queue.dequeue q)
+    ()
+
+let test_fhmp_crash_keeps_enqueued () =
+  let q = Baselines.Fhmp_queue.create () in
+  let body () =
+    for i = 1 to 30 do
+      Baselines.Fhmp_queue.enqueue q i
+    done
+  in
+  ignore (Sched.run ~max_rounds:200 [| body |]);
+  Region.crash (Baselines.Fhmp_queue.region q) ();
+  Baselines.Fhmp_queue.recover q;
+  (* every persisted item dequeues in order, as a contiguous prefix 1..k *)
+  let rec drain last =
+    match Baselines.Fhmp_queue.dequeue q with
+    | Some v ->
+        check int "contiguous order" (last + 1) v;
+        drain v
+    | None -> last
+  in
+  let k = drain 0 in
+  check bool "a durable prefix survived" true (k >= 0 && k <= 30)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ("tinystm", TinyTests.cases "tiny");
+      ("estm", EstmTests.cases "estm" @ EstmElasticTests.cases "estm-elastic");
+      ("romulus-log", RomLogTests.cases "romlog");
+      ("romulus-lr", RomLrTests.cases "romlr");
+      ("pmdk", PmdkTests.cases "pmdk");
+      ( "sets-over-stms",
+        [
+          Alcotest.test_case "ll set over tinystm" `Quick test_set_over_tiny;
+          Alcotest.test_case "ll set over elastic estm" `Quick test_set_over_estm_elastic;
+          Alcotest.test_case "ll set over romulus-lr" `Quick test_set_over_romulus_lr;
+        ] );
+      ( "queues",
+        [
+          Alcotest.test_case "msqueue fifo" `Quick test_msqueue_fifo;
+          Alcotest.test_case "msqueue concurrent" `Quick test_msqueue_concurrent;
+          Alcotest.test_case "faaq concurrent" `Quick test_faaq_concurrent;
+          Alcotest.test_case "lcrq fifo" `Quick test_lcrq_fifo;
+          Alcotest.test_case "lcrq ring overflow" `Quick test_lcrq_ring_overflow;
+          Alcotest.test_case "lcrq concurrent" `Quick test_lcrq_concurrent;
+          Alcotest.test_case "lcrq hostile" `Quick test_lcrq_hostile;
+          Alcotest.test_case "simqueue* concurrent" `Quick test_ucqueue_concurrent;
+          Alcotest.test_case "simqueue* hostile" `Quick test_ucqueue_hostile_schedule;
+        ] );
+      ( "harris",
+        [
+          Alcotest.test_case "sequential oracle" `Quick test_harris_sequential_oracle;
+          Alcotest.test_case "concurrent" `Quick test_harris_concurrent;
+          Alcotest.test_case "hostile schedule" `Quick test_harris_hostile;
+        ] );
+      ( "efrb",
+        [
+          Alcotest.test_case "sequential oracle" `Quick test_efrb_sequential_oracle;
+          Alcotest.test_case "concurrent" `Quick test_efrb_concurrent;
+          Alcotest.test_case "hostile schedule" `Quick test_efrb_hostile;
+        ] );
+      ( "fhmp",
+        [
+          Alcotest.test_case "fifo" `Quick test_fhmp_fifo;
+          Alcotest.test_case "concurrent" `Quick test_fhmp_concurrent;
+          Alcotest.test_case "crash keeps prefix" `Quick test_fhmp_crash_keeps_enqueued;
+        ] );
+    ]

@@ -1,0 +1,257 @@
+(* Property-based tests (qcheck) on the core invariants from DESIGN.md §5:
+   serialization, ABA-freedom of the MCAS, snapshot consistency, allocator
+   disjointness, and crash atomicity — all under randomized schedules. *)
+
+open Runtime
+module Region = Pmem.Region
+module Word = Pmem.Word
+module Lf = Onefile.Onefile_lf
+module Wf = Onefile.Onefile_wf
+module Writeset = Onefile.Writeset
+
+module IntMap = Map.Make (Int)
+
+let mk_lf () = Lf.create ~mode:Region.Volatile ~size:(1 lsl 15) ~max_threads:8 ~ws_cap:256 ()
+
+(* ------------------------------------------------------------------ *)
+(* Write-set vs Hashtbl oracle *)
+
+let prop_writeset_oracle =
+  QCheck.Test.make ~count:300 ~name:"writeset-matches-hashtbl"
+    QCheck.(list (pair (int_range 1 100) (int_range 0 1000)))
+    (fun puts ->
+      let ws = Writeset.create 256 in
+      let oracle = Hashtbl.create 16 in
+      List.iter
+        (fun (a, v) ->
+          Writeset.put ws a v;
+          Hashtbl.replace oracle a v)
+        puts;
+      Hashtbl.fold
+        (fun a v acc -> acc && Writeset.find ws a = Some v)
+        oracle
+        (Writeset.size ws = Hashtbl.length oracle))
+
+(* ------------------------------------------------------------------ *)
+(* Serialization: counters are exact under any schedule *)
+
+let prop_exact_counting =
+  QCheck.Test.make ~count:40 ~name:"lf-wf-exact-counting-random-schedules"
+    QCheck.(triple (int_range 1 1000) (int_range 1 6) (int_range 1 4))
+    (fun (seed, threads, cores) ->
+      let check_api update read =
+        let t = mk_lf () in
+        let r0 = Lf.root t 0 in
+        let iters = 10 in
+        ignore
+          (Sched.run ~seed ~cores ~policy:Sched.Random_order
+             (Array.init threads (fun _ () ->
+                  for _ = 1 to iters do
+                    ignore
+                      (update t (fun tx ->
+                           Lf.store tx r0 (Lf.load tx r0 + 1);
+                           0))
+                  done)));
+        read t (fun tx -> Lf.load tx r0) = threads * iters
+      in
+      check_api Lf.update_tx Lf.read_tx && check_api Wf.update_tx Wf.read_tx)
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot consistency: multi-word reads are never torn *)
+
+let prop_no_torn_reads =
+  QCheck.Test.make ~count:40 ~name:"no-torn-multiword-reads"
+    QCheck.(pair (int_range 1 1000) (int_range 2 5))
+    (fun (seed, nwords) ->
+      let t = mk_lf () in
+      let torn = ref false in
+      let writer () =
+        for i = 1 to 25 do
+          ignore
+            (Lf.update_tx t (fun tx ->
+                 for w = 0 to nwords - 1 do
+                   Lf.store tx (Lf.root t w) ((i * 100) + w)
+                 done;
+                 0))
+        done
+      in
+      let reader () =
+        for _ = 1 to 25 do
+          let base = Lf.read_tx t (fun tx -> Lf.load tx (Lf.root t 0)) in
+          let vals =
+            List.init nwords (fun w ->
+                Lf.read_tx t (fun tx -> Lf.load tx (Lf.root t w)))
+          in
+          ignore base;
+          (* within ONE read tx, all words must belong to one write *)
+          let joint =
+            Lf.read_tx t (fun tx ->
+                let v0 = Lf.load tx (Lf.root t 0) in
+                let ok = ref true in
+                for w = 1 to nwords - 1 do
+                  if Lf.load tx (Lf.root t w) <> v0 + w && v0 <> 0 then ok := false
+                done;
+                if !ok then 1 else 0)
+          in
+          if joint = 0 then torn := true;
+          ignore vals
+        done
+      in
+      ignore
+        (Sched.run ~seed ~policy:Sched.Random_order [| writer; writer; reader |]);
+      not !torn)
+
+(* ------------------------------------------------------------------ *)
+(* Sequence invariants: no cell ever carries a seq above curTx's *)
+
+let prop_seq_dominated_by_curtx =
+  QCheck.Test.make ~count:30 ~name:"cell-seq-below-curtx"
+    QCheck.(pair (int_range 1 1000) (int_range 1 6))
+    (fun (seed, threads) ->
+      let t = mk_lf () in
+      ignore
+        (Sched.run ~seed ~policy:Sched.Random_order
+           (Array.init threads (fun i () ->
+                for k = 1 to 10 do
+                  ignore
+                    (Lf.update_tx t (fun tx ->
+                         Lf.store tx (Lf.root t (k mod 4)) ((i * 100) + k);
+                         0))
+                done)));
+      let region = Lf.region t in
+      let seq, _, _ = Lf.curtx_info t in
+      let ok = ref true in
+      (* data area only: cells below [root t 0] are algorithm metadata (the
+         redo-log entries keep user values in their second word) *)
+      for i = Lf.root t 0 to Region.size region - 1 do
+        if (Region.peek region i).Word.s > seq then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Set linearizability-style audit under random schedules *)
+
+module Lset = Structures.Ll_set.Make (Lf)
+
+let prop_set_audit =
+  QCheck.Test.make ~count:25 ~name:"set-operation-audit-random-schedules"
+    QCheck.(pair (int_range 1 1000) (int_range 2 5))
+    (fun (seed, threads) ->
+      let t = Lf.create ~mode:Region.Volatile ~size:(1 lsl 16) ~max_threads:8 ~ws_cap:256 () in
+      let s = Lset.create t ~root:0 in
+      let keyspace = 12 in
+      (* per-key tallies of operations that returned true *)
+      let adds = Array.make keyspace 0 and removes = Array.make keyspace 0 in
+      let lock = Mutex.create () in
+      let body i () =
+        let rng = Rng.create (seed + i) in
+        for _ = 1 to 20 do
+          let k = Rng.int rng keyspace in
+          if Rng.bool rng then begin
+            if Lset.add s k then begin
+              Mutex.lock lock;
+              adds.(k) <- adds.(k) + 1;
+              Mutex.unlock lock
+            end
+          end
+          else if Lset.remove s k then begin
+            Mutex.lock lock;
+            removes.(k) <- removes.(k) + 1;
+            Mutex.unlock lock
+          end
+        done
+      in
+      ignore
+        (Sched.run ~seed ~cores:3 ~policy:Sched.Random_order
+           (Array.init threads (fun i -> body i)));
+      let final = Lset.to_list s in
+      let ok = ref (Lset.check_sorted s) in
+      for k = 0 to keyspace - 1 do
+        let net = adds.(k) - removes.(k) in
+        let present = List.mem k final in
+        (* every successful add is matched by a successful remove, except
+           possibly the last one if the key is present *)
+        if not (net = if present then 1 else 0) then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* Allocator: live blocks never overlap, under random alloc/free *)
+
+let prop_alloc_disjoint =
+  QCheck.Test.make ~count:100 ~name:"allocator-live-blocks-disjoint"
+    (* bounded list: unbounded generation can exhaust the 2^16-cell heap,
+       which raises Failure and would count as a property failure *)
+    QCheck.(list_of_size Gen.(int_range 0 150) (int_range 1 40))
+    (fun sizes ->
+      let t = Tm.Seqtm.create ~size:(1 lsl 16) () in
+      let live = ref [] in
+      (* interleave allocs and frees deterministically from the sizes *)
+      List.iteri
+        (fun i n ->
+          if i mod 3 = 2 && !live <> [] then
+            match !live with
+            | (a, _) :: rest ->
+                ignore (Tm.Seqtm.update_tx t (fun tx -> Tm.Seqtm.free tx a; 0));
+                live := rest
+            | [] -> ()
+          else
+            let a = Tm.Seqtm.update_tx t (fun tx -> Tm.Seqtm.alloc tx n) in
+            live := (a, n) :: !live)
+        sizes;
+      (* pairwise disjointness over whole block footprints *)
+      let blocks =
+        List.map (fun (a, n) -> (a - 1, a - 1 + Tm.Tm_alloc.block_cells n)) !live
+      in
+      let rec disjoint = function
+        | [] -> true
+        | (lo, hi) :: rest ->
+            List.for_all (fun (lo', hi') -> hi <= lo' || hi' <= lo) rest
+            && disjoint rest
+      in
+      disjoint blocks)
+
+(* ------------------------------------------------------------------ *)
+(* Crash atomicity under random crash points and eviction *)
+
+let prop_crash_atomic =
+  QCheck.Test.make ~count:40 ~name:"crash-atomicity-random-points"
+    QCheck.(triple (int_range 1 200) (int_range 0 1) (int_range 0 100))
+    (fun (stop, wf, evict_pct) ->
+      let wf = wf = 1 in
+      let t = Lf.create ~size:(1 lsl 14) ~max_threads:4 ~ws_cap:64 () in
+      let update = if wf then Wf.update_tx else Lf.update_tx in
+      let body i () =
+        for k = 1 to 30 do
+          ignore
+            (update t (fun tx ->
+                 let x = (i * 1000) + k in
+                 Lf.store tx (Lf.root t 0) x;
+                 Lf.store tx (Lf.root t 1) (x * 2);
+                 0))
+        done
+      in
+      ignore (Sched.run ~seed:stop ~max_rounds:stop [| body 1; body 2 |]);
+      Region.crash (Lf.region t)
+        ~evict_fraction:(float_of_int evict_pct /. 100.0)
+        ~rng:(Rng.create stop) ();
+      (if wf then Wf.recover t else Lf.recover t);
+      let a = Lf.read_tx t (fun tx -> Lf.load tx (Lf.root t 0)) in
+      let b = Lf.read_tx t (fun tx -> Lf.load tx (Lf.root t 1)) in
+      b = 2 * a)
+
+let () =
+  Alcotest.run "properties"
+    [
+      ( "qcheck",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_writeset_oracle;
+            prop_exact_counting;
+            prop_no_torn_reads;
+            prop_seq_dominated_by_curtx;
+            prop_set_audit;
+            prop_alloc_disjoint;
+            prop_crash_atomic;
+          ] );
+    ]

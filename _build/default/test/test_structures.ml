@@ -1,0 +1,418 @@
+(* Data-structure functor tests: sequential semantics against stdlib
+   oracles (qcheck), structural invariants, concurrent linearizable use
+   over OneFile, and cross-structure atomic composition. *)
+
+open Runtime
+module Region = Pmem.Region
+module Seqtm = Tm.Seqtm
+module Lf = Onefile.Onefile_lf
+module Wf = Onefile.Onefile_wf
+
+module Sll = Structures.Ll_set.Make (Seqtm)
+module Stree = Structures.Tree_set.Make (Seqtm)
+module Shash = Structures.Hash_set.Make (Seqtm)
+module Squeue = Structures.Tm_queue.Make (Seqtm)
+module Sstack = Structures.Tm_stack.Make (Seqtm)
+module Ssps = Structures.Sps.Make (Seqtm)
+module Scnt = Structures.Counters.Make (Seqtm)
+
+module Lll = Structures.Ll_set.Make (Lf)
+module Ltree = Structures.Tree_set.Make (Lf)
+module Lhash = Structures.Hash_set.Make (Lf)
+module Lqueue = Structures.Tm_queue.Make (Lf)
+module Wll = Structures.Ll_set.Make (Wf)
+module Wqueue = Structures.Tm_queue.Make (Wf)
+
+module IntSet = Set.Make (Int)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+let ilist = Alcotest.list int
+
+(* ------------------------------------------------------------------ *)
+(* Generic set-semantics tests, shared by the three set structures *)
+
+type set_ops = {
+  sname : string;
+  sadd : int -> bool;
+  sremove : int -> bool;
+  scontains : int -> bool;
+  scardinal : unit -> int;
+  slist : unit -> int list;
+  scheck : unit -> bool;
+}
+
+let fresh_ll () =
+  let t = Seqtm.create () in
+  let s = Sll.create t ~root:0 in
+  {
+    sname = "ll";
+    sadd = Sll.add s;
+    sremove = Sll.remove s;
+    scontains = Sll.contains s;
+    scardinal = (fun () -> Sll.cardinal s);
+    slist = (fun () -> Sll.to_list s);
+    scheck = (fun () -> Sll.check_sorted s);
+  }
+
+let fresh_tree () =
+  let t = Seqtm.create () in
+  let s = Stree.create t ~root:0 in
+  {
+    sname = "tree";
+    sadd = Stree.add s;
+    sremove = Stree.remove s;
+    scontains = Stree.contains s;
+    scardinal = (fun () -> Stree.cardinal s);
+    slist = (fun () -> Stree.to_list s);
+    scheck = (fun () -> Stree.check_invariants s);
+  }
+
+let fresh_hash () =
+  let t = Seqtm.create ~size:(1 lsl 18) () in
+  let s = Shash.create ~initial_buckets:4 t ~root:0 in
+  {
+    sname = "hash";
+    sadd = Shash.add s;
+    sremove = Shash.remove s;
+    scontains = Shash.contains s;
+    scardinal = (fun () -> Shash.cardinal s);
+    slist = (fun () -> List.sort compare (Shash.to_list s));
+    scheck = (fun () -> true);
+  }
+
+let set_kinds = [ fresh_ll; fresh_tree; fresh_hash ]
+
+let test_set_basic fresh () =
+  let s = fresh () in
+  check bool "add new" true (s.sadd 5);
+  check bool "add dup" false (s.sadd 5);
+  check bool "contains" true (s.scontains 5);
+  check bool "not contains" false (s.scontains 6);
+  check bool "remove" true (s.sremove 5);
+  check bool "remove absent" false (s.sremove 5);
+  check int "empty" 0 (s.scardinal ())
+
+let test_set_many fresh () =
+  let s = fresh () in
+  let keys = List.init 200 (fun i -> (i * 37) mod 211) in
+  List.iter (fun k -> ignore (s.sadd k)) keys;
+  let expected = List.sort_uniq compare keys in
+  check ilist "contents" expected (s.slist ());
+  check int "cardinal" (List.length expected) (s.scardinal ());
+  check bool "invariants" true (s.scheck ());
+  List.iteri (fun i k -> if i mod 2 = 0 then ignore (s.sremove k)) expected;
+  check bool "invariants after removals" true (s.scheck ());
+  List.iteri
+    (fun i k -> check bool "membership" (i mod 2 = 1) (s.scontains k))
+    expected
+
+let qcheck_set_matches_oracle fresh =
+  let gen_ops =
+    QCheck.(
+      list (pair (int_range 0 2) (int_range 0 50)))
+  in
+  QCheck.Test.make ~count:200
+    ~name:("set-oracle-" ^ (fresh ()).sname)
+    gen_ops
+    (fun ops ->
+      let s = fresh () in
+      let oracle = ref IntSet.empty in
+      List.for_all
+        (fun (op, k) ->
+          match op with
+          | 0 ->
+              let expected = not (IntSet.mem k !oracle) in
+              oracle := IntSet.add k !oracle;
+              s.sadd k = expected && s.scheck ()
+          | 1 ->
+              let expected = IntSet.mem k !oracle in
+              oracle := IntSet.remove k !oracle;
+              s.sremove k = expected && s.scheck ()
+          | _ -> s.scontains k = IntSet.mem k !oracle)
+        ops
+      && s.slist () = IntSet.elements !oracle)
+
+(* ------------------------------------------------------------------ *)
+(* Tree specifics *)
+
+let test_tree_balance_sequential_fill () =
+  let t = Seqtm.create ~size:(1 lsl 18) () in
+  let s = Stree.create t ~root:0 in
+  for i = 1 to 1000 do
+    ignore (Stree.add s i)
+  done;
+  check bool "invariants" true (Stree.check_invariants s);
+  (* AVL height bound: 1.44 * log2(n+2) *)
+  check bool "balanced height" true (Stree.height s <= 15);
+  for i = 1 to 500 do
+    ignore (Stree.remove s (i * 2))
+  done;
+  check bool "invariants after deletes" true (Stree.check_invariants s);
+  check int "cardinal" 500 (Stree.cardinal s)
+
+let test_hash_resize () =
+  let t = Seqtm.create ~size:(1 lsl 18) () in
+  let s = Shash.create ~initial_buckets:2 t ~root:0 in
+  for i = 1 to 100 do
+    ignore (Shash.add s i)
+  done;
+  check bool "table grew" true (Shash.buckets s > 2);
+  check int "all present" 100 (Shash.cardinal s);
+  for i = 1 to 100 do
+    check bool "membership survives rehash" true (Shash.contains s i)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Queue / stack *)
+
+let test_queue_fifo () =
+  let t = Seqtm.create () in
+  let q = Squeue.create t ~root:0 in
+  check (Alcotest.option int) "empty" None (Squeue.dequeue q);
+  List.iter (Squeue.enqueue q) [ 1; 2; 3 ];
+  check ilist "order" [ 1; 2; 3 ] (Squeue.to_list q);
+  check (Alcotest.option int) "peek" (Some 1) (Squeue.peek q);
+  check (Alcotest.option int) "deq 1" (Some 1) (Squeue.dequeue q);
+  Squeue.enqueue q 4;
+  check (Alcotest.option int) "deq 2" (Some 2) (Squeue.dequeue q);
+  check (Alcotest.option int) "deq 3" (Some 3) (Squeue.dequeue q);
+  check (Alcotest.option int) "deq 4" (Some 4) (Squeue.dequeue q);
+  check (Alcotest.option int) "drained" None (Squeue.dequeue q);
+  check int "length" 0 (Squeue.length q)
+
+let qcheck_queue_oracle =
+  QCheck.Test.make ~count:200 ~name:"queue-oracle"
+    QCheck.(list (option (int_range 0 100)))
+    (fun ops ->
+      let t = Seqtm.create () in
+      let q = Squeue.create t ~root:0 in
+      let oracle = Queue.create () in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some v ->
+              Squeue.enqueue q v;
+              Queue.add v oracle;
+              Squeue.length q = Queue.length oracle
+          | None ->
+              let expected = Queue.take_opt oracle in
+              Squeue.dequeue q = expected)
+        ops)
+
+let test_stack_lifo () =
+  let t = Seqtm.create () in
+  let s = Sstack.create t ~root:0 in
+  List.iter (Sstack.push s) [ 1; 2; 3 ];
+  check ilist "order" [ 3; 2; 1 ] (Sstack.to_list s);
+  check (Alcotest.option int) "top" (Some 3) (Sstack.top s);
+  check (Alcotest.option int) "pop" (Some 3) (Sstack.pop s);
+  check (Alcotest.option int) "pop" (Some 2) (Sstack.pop s);
+  check (Alcotest.option int) "pop" (Some 1) (Sstack.pop s);
+  check (Alcotest.option int) "empty" None (Sstack.pop s)
+
+(* ------------------------------------------------------------------ *)
+(* SPS and counters *)
+
+let test_sps_checksum_invariant () =
+  let t = Seqtm.create () in
+  let s = Ssps.create t ~root:0 ~n:100 in
+  let expected = Ssps.checksum s in
+  let rng = Rng.create 4 in
+  for _ = 1 to 50 do
+    Ssps.swaps_tx s rng 4
+  done;
+  check int "checksum invariant" expected (Ssps.checksum s);
+  check int "size" 100 (Ssps.size s)
+
+let test_sps_alloc_checksum_invariant () =
+  let t = Seqtm.create ~size:(1 lsl 18) () in
+  let s = Ssps.create_alloc t ~root:0 ~n:50 in
+  let expected = Ssps.checksum_alloc s in
+  let rng = Rng.create 9 in
+  for _ = 1 to 50 do
+    Ssps.swaps_alloc_tx s rng 4
+  done;
+  check int "checksum invariant with alloc/free" expected (Ssps.checksum_alloc s)
+
+let test_counters_alternating () =
+  let t = Seqtm.create () in
+  let c = Scnt.create t ~root:0 ~n:8 in
+  for i = 1 to 10 do
+    Scnt.increment_all c ~left_to_right:(i mod 2 = 0)
+  done;
+  check int "total" 80 (Scnt.total c);
+  check ilist "uniform" (List.init 8 (fun _ -> 10)) (Scnt.values c)
+
+(* ------------------------------------------------------------------ *)
+(* Concurrent use over OneFile *)
+
+let run_fibers ?(seed = 42) n body =
+  ignore (Sched.run ~seed (Array.init n (fun i () -> body i)))
+
+let test_concurrent_ll_set_lf () =
+  let t = Lf.create ~mode:Region.Volatile () in
+  let s = Lll.create t ~root:0 in
+  let n = 4 in
+  (* each worker owns a disjoint key range plus a contended range *)
+  run_fibers n (fun i ->
+      for k = 0 to 14 do
+        ignore (Lll.add s ((i * 100) + k));
+        ignore (Lll.add s (1000 + k))
+      done);
+  check bool "sorted" true (Lll.check_sorted s);
+  check int "cardinal" ((n * 15) + 15) (Lll.cardinal s);
+  for i = 0 to n - 1 do
+    for k = 0 to 14 do
+      if not (Lll.contains s ((i * 100) + k)) then Alcotest.fail "missing key"
+    done
+  done
+
+let test_concurrent_tree_lf () =
+  let t = Lf.create ~mode:Region.Volatile ~size:(1 lsl 18) () in
+  let s = Ltree.create t ~root:0 in
+  run_fibers 4 (fun i ->
+      for k = 0 to 30 do
+        ignore (Ltree.add s ((k * 4) + i))
+      done;
+      for k = 0 to 30 do
+        if k mod 3 = 0 then ignore (Ltree.remove s ((k * 4) + i))
+      done);
+  check bool "tree invariants under concurrency" true (Ltree.check_invariants s)
+
+let test_concurrent_hash_lf () =
+  let t = Lf.create ~mode:Region.Volatile ~size:(1 lsl 18) () in
+  let s = Lhash.create ~initial_buckets:4 t ~root:0 in
+  run_fibers 4 (fun i ->
+      for k = 0 to 40 do
+        ignore (Lhash.add s ((k * 4) + i))
+      done);
+  check int "all inserted (with resizes racing)" (4 * 41) (Lhash.cardinal s)
+
+let test_concurrent_queue_wf () =
+  let t = Wf.create ~mode:Region.Volatile () in
+  let q = Wqueue.create t ~root:0 in
+  let popped = Array.make 4 [] in
+  run_fibers 4 (fun i ->
+      for k = 0 to 24 do
+        Wqueue.enqueue q ((i * 1000) + k)
+      done;
+      for _ = 0 to 19 do
+        match Wqueue.dequeue q with
+        | Some v -> popped.(i) <- v :: popped.(i)
+        | None -> Alcotest.fail "queue unexpectedly empty"
+      done);
+  let remaining = Wqueue.to_list q in
+  let all = List.concat (Array.to_list (Array.map List.rev popped)) @ remaining in
+  check int "nothing lost" 100 (List.length all);
+  check int "remaining" 20 (Wqueue.length q);
+  (* FIFO: in any single consumer's pop sequence, the items coming from one
+     producer must appear in their insertion order *)
+  Array.iteri
+    (fun i l ->
+      let mine = List.rev l in
+      for p = 0 to 3 do
+        let from_p = List.filter (fun v -> v / 1000 = p) mine in
+        check ilist
+          (Printf.sprintf "consumer %d sees producer %d in order" i p)
+          (List.sort compare from_p) from_p
+      done)
+    popped
+
+let test_two_queue_atomic_transfer () =
+  (* The paper's motivating scenario: dequeue from q1 + enqueue to q2 in
+     one transaction; total item count is invariant at every instant. *)
+  let t = Lf.create ~mode:Region.Volatile () in
+  let q1 = Lqueue.create t ~root:0 and q2 = Lqueue.create t ~root:1 in
+  for i = 1 to 20 do
+    Lqueue.enqueue q1 i
+  done;
+  let h1 = Lqueue.header_addr q1 and h2 = Lqueue.header_addr q2 in
+  let violations = ref 0 in
+  let mover () =
+    for _ = 1 to 30 do
+      ignore
+        (Lf.update_tx t (fun tx ->
+             (match Lqueue.dequeue_in tx h1 with
+             | Some v -> Lqueue.enqueue_in tx h2 v
+             | None -> (
+                 match Lqueue.dequeue_in tx h2 with
+                 | Some v -> Lqueue.enqueue_in tx h1 v
+                 | None -> ()));
+             0))
+    done
+  in
+  let observer () =
+    for _ = 1 to 40 do
+      let total =
+        Lf.read_tx t (fun tx -> Lqueue.length_in tx h1 + Lqueue.length_in tx h2)
+      in
+      if total <> 20 then incr violations
+    done
+  in
+  ignore (Sched.run ~seed:8 [| mover; mover; observer |]);
+  check int "total always 20" 0 !violations;
+  check int "final total" 20 (Lqueue.length q1 + Lqueue.length q2)
+
+let test_no_leak_after_churn () =
+  let t = Lf.create ~mode:Region.Volatile ~size:(1 lsl 18) () in
+  let s = Lll.create t ~root:0 in
+  let baseline = Lf.allocated_cells t in
+  run_fibers 4 (fun i ->
+      for k = 0 to 20 do
+        ignore (Lll.add s ((i * 50) + k))
+      done;
+      for k = 0 to 20 do
+        ignore (Lll.remove s ((i * 50) + k))
+      done);
+  check int "cardinal zero" 0 (Lll.cardinal s);
+  check int "all nodes returned to the allocator" baseline (Lf.allocated_cells t)
+
+let () =
+  let basic_cases =
+    List.concat_map
+      (fun fresh ->
+        let name = (fresh ()).sname in
+        [
+          Alcotest.test_case (name ^ ": basics") `Quick (test_set_basic fresh);
+          Alcotest.test_case (name ^ ": many keys") `Quick (test_set_many fresh);
+        ])
+      set_kinds
+  in
+  let qcheck_cases =
+    List.map
+      (fun fresh -> QCheck_alcotest.to_alcotest (qcheck_set_matches_oracle fresh))
+      set_kinds
+    @ [ QCheck_alcotest.to_alcotest qcheck_queue_oracle ]
+  in
+  Alcotest.run "structures"
+    [
+      ("sets", basic_cases);
+      ("properties", qcheck_cases);
+      ( "tree/hash",
+        [
+          Alcotest.test_case "tree balance" `Quick test_tree_balance_sequential_fill;
+          Alcotest.test_case "hash resize" `Quick test_hash_resize;
+        ] );
+      ( "queue/stack",
+        [
+          Alcotest.test_case "fifo" `Quick test_queue_fifo;
+          Alcotest.test_case "lifo" `Quick test_stack_lifo;
+        ] );
+      ( "workload-structures",
+        [
+          Alcotest.test_case "sps checksum" `Quick test_sps_checksum_invariant;
+          Alcotest.test_case "sps alloc checksum" `Quick test_sps_alloc_checksum_invariant;
+          Alcotest.test_case "counters" `Quick test_counters_alternating;
+        ] );
+      ( "concurrent",
+        [
+          Alcotest.test_case "ll set over LF" `Quick test_concurrent_ll_set_lf;
+          Alcotest.test_case "tree over LF" `Quick test_concurrent_tree_lf;
+          Alcotest.test_case "hash over LF" `Quick test_concurrent_hash_lf;
+          Alcotest.test_case "queue over WF" `Quick test_concurrent_queue_wf;
+          Alcotest.test_case "two-queue transfer" `Quick test_two_queue_atomic_transfer;
+          Alcotest.test_case "no leak after churn" `Quick test_no_leak_after_churn;
+        ] );
+    ]

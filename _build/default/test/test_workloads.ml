@@ -1,0 +1,136 @@
+(* Tests for the benchmark/experiment machinery itself: the fixed-round
+   runner, the kill test, the crash campaigns and the cost table. *)
+
+open Runtime
+module Br = Workloads.Bench_runner
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let test_runner_counts_ops () =
+  let sp = Br.default ~threads:3 ~cores:3 ~rounds:300 () in
+  (* each op = exactly 3 scheduling steps *)
+  let dummy = Satomic.make 0 in
+  let ops =
+    Br.run_ops sp (fun ~tid:_ ~rng:_ ->
+        ignore (Satomic.get dummy);
+        ignore (Satomic.get dummy);
+        ignore (Satomic.get dummy))
+  in
+  (* 3 threads x 300 rounds / 3 steps: about 300 ops, minus edge effects *)
+  check bool "op count plausible" true (ops > 250 && ops <= 310)
+
+let test_runner_deterministic () =
+  let run () =
+    let cell = Satomic.make 0 in
+    let sp = Br.default ~threads:4 ~cores:2 ~rounds:500 ~seed:9 () in
+    Br.run_ops sp (fun ~tid:_ ~rng ->
+        let v = Satomic.get cell in
+        if Rng.bool rng then Satomic.set cell (v + 1))
+  in
+  check int "same seed, same count" (run ()) (run ())
+
+let test_runner_throughput_unit () =
+  let sp = Br.default ~threads:1 ~cores:1 ~rounds:1000 () in
+  let dummy = Satomic.make 0 in
+  let thr = Br.throughput sp (fun ~tid:_ ~rng:_ -> ignore (Satomic.get dummy)) in
+  (* 1 step per op: ~1 op per round = ~1000 ops/kround *)
+  check bool "ops per kround near 1000" true (thr > 900.0 && thr <= 1001.0)
+
+let test_runner_latency_histogram () =
+  let sp = Br.default ~threads:2 ~cores:2 ~rounds:400 () in
+  let dummy = Satomic.make 0 in
+  let h =
+    Br.latency sp (fun ~tid:_ ~rng:_ ->
+        ignore (Satomic.get dummy);
+        ignore (Satomic.get dummy))
+  in
+  check bool "samples collected" true (Histogram.count h > 100);
+  check bool "latencies positive" true (Histogram.percentile h 50.0 >= 1)
+
+let kill_result ~wf ~kill =
+  Workloads.Kill_test.run ~wf ~processes:4 ~rounds:6000
+    ~kill_every:(if kill then Some 300 else None)
+    ~items:8 ~seed:5
+
+let test_kill_test_no_kill_clean () =
+  List.iter
+    (fun wf ->
+      let r = kill_result ~wf ~kill:false in
+      check int "no kills" 0 r.kills;
+      check int "no torn observations" 0 r.torn_observations;
+      check bool "total conserved" true r.final_total_ok;
+      check int "no leak" 0 r.leaked_cells;
+      check bool "made progress" true (r.transfers > 50))
+    [ false; true ]
+
+let test_kill_test_with_kills_clean () =
+  List.iter
+    (fun wf ->
+      let r = kill_result ~wf ~kill:true in
+      check bool "kills happened" true (r.kills > 5);
+      check int "no torn observations" 0 r.torn_observations;
+      check bool "total conserved" true r.final_total_ok;
+      check int "no leak" 0 r.leaked_cells;
+      check bool "progress despite kills" true (r.transfers > 20))
+    [ false; true ]
+
+let test_crash_campaigns_clean () =
+  let assert_clean label (r : Workloads.Crash_campaign.report) =
+    check int (label ^ " torn") 0 r.torn;
+    check int (label ^ " regressed") 0 r.regressed;
+    check int (label ^ " leaked") 0 r.leaked;
+    check bool (label ^ " ran") true (r.trials > 0)
+  in
+  assert_clean "of-lf-sps" (Workloads.Crash_campaign.onefile_sps ~wf:false ~trials:10 ());
+  assert_clean "of-wf-sps" (Workloads.Crash_campaign.onefile_sps ~wf:true ~trials:10 ());
+  assert_clean "of-lf-q" (Workloads.Crash_campaign.onefile_queues ~wf:false ~trials:10 ());
+  assert_clean "of-evict"
+    (Workloads.Crash_campaign.onefile_sps ~wf:false ~trials:10 ~evict:0.5 ());
+  assert_clean "romlog" (Workloads.Crash_campaign.romulus_sps ~lr:false ~trials:10 ());
+  assert_clean "romlr" (Workloads.Crash_campaign.romulus_sps ~lr:true ~trials:10 ());
+  assert_clean "pmdk" (Workloads.Crash_campaign.pmdk_sps ~trials:10 ())
+
+let test_cost_table_matches_paper_formulas () =
+  let rows = Workloads.Table_costs.measure_all ~nw:8 in
+  let find label =
+    List.find (fun r -> r.Workloads.Table_costs.label = label) rows
+  in
+  let lf = find "OF (Lock-Free)" in
+  (* DCAS = 2 + Nw exactly; pfence = 0 exactly *)
+  check bool "of-lf cas" true (abs_float (lf.cas_dcas -. 10.0) < 0.01);
+  check bool "of-lf pfence" true (lf.pfence = 0.0);
+  (* pwb within one line of the paper's 1 + 1.25 Nw *)
+  check bool "of-lf pwb close" true (abs_float (lf.pwb -. 11.0) <= 1.5);
+  let rom = find "RomulusLog" in
+  check bool "romlog pwb = 3 + 2Nw" true (abs_float (rom.pwb -. 19.0) < 0.01);
+  let pmdk = find "PMDK" in
+  check bool "pmdk pwb ~ 2.25Nw" true (abs_float (pmdk.pwb -. 18.0) <= 1.5);
+  let wf = find "OF (Wait-Free)" in
+  check bool "of-wf pfence" true (wf.pfence = 0.0);
+  check bool "of-wf dcas > of-lf dcas" true (wf.cas_dcas > lf.cas_dcas)
+
+let () =
+  Alcotest.run "workloads"
+    [
+      ( "bench-runner",
+        [
+          Alcotest.test_case "op counting" `Quick test_runner_counts_ops;
+          Alcotest.test_case "deterministic" `Quick test_runner_deterministic;
+          Alcotest.test_case "throughput unit" `Quick test_runner_throughput_unit;
+          Alcotest.test_case "latency histogram" `Quick test_runner_latency_histogram;
+        ] );
+      ( "kill-test",
+        [
+          Alcotest.test_case "no-kill control" `Quick test_kill_test_no_kill_clean;
+          Alcotest.test_case "kills stay clean" `Quick test_kill_test_with_kills_clean;
+        ] );
+      ( "crash-campaigns",
+        [ Alcotest.test_case "all clean" `Slow test_crash_campaigns_clean ] );
+      ( "cost-table",
+        [
+          Alcotest.test_case "matches paper formulas" `Quick
+            test_cost_table_matches_paper_formulas;
+        ] );
+    ]
