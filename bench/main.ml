@@ -518,7 +518,7 @@ let fig_kill mode =
       let run ~wf ~kill =
         Kill_test.run ~wf ~processes:procs ~rounds
           ~kill_every:(if kill then Some 500 else None)
-          ~items:16 ~seed:procs
+          ~items:16 ~seed:procs ()
       in
       let lf_nk = run ~wf:false ~kill:false in
       let lf_k = run ~wf:false ~kill:true in

@@ -29,7 +29,7 @@ let kill_cmd =
     let r =
       Workloads.Kill_test.run ~wf ~processes:procs ~rounds
         ~kill_every:(if kill_every = 0 then None else Some kill_every)
-        ~items:16 ~seed
+        ~items:16 ~seed ()
     in
     Format.printf
       "transfers=%d kills=%d torn=%d final_total_ok=%b leaked_cells=%d@."

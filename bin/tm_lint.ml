@@ -1,0 +1,75 @@
+(* tm_lint — walk the given source directories, run the Check.Lint rules
+   over every .ml, and check lib/ modules for missing .mli files.
+
+   Usage: tm_lint [DIR...]       (defaults: lib bin bench examples)
+
+   Exits 1 if any finding is reported; prints "tm_lint: OK (N files)"
+   otherwise.  Run from the repo root — paths are reported relative to the
+   current directory.  Wired to `dune build @lint` via the root dune file. *)
+
+let rec walk acc path =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry ->
+        if entry = "" || entry.[0] = '.' || entry = "_build" then acc
+        else walk acc (Filename.concat path entry))
+      acc (Sys.readdir path)
+  else path :: acc
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let () =
+  let dirs =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as dirs) -> dirs
+    | _ -> [ "lib"; "bin"; "bench"; "examples" ]
+  in
+  let explicit = Array.length Sys.argv > 1 in
+  let files =
+    List.concat_map
+      (fun d ->
+        if Sys.file_exists d then walk [] d
+        else if explicit then (
+          (* a typo'd path must not pass vacuously *)
+          Printf.eprintf "tm_lint: no such file or directory: %s\n" d;
+          exit 2)
+        else [])
+      dirs
+    |> List.sort compare
+  in
+  let sources =
+    List.filter
+      (fun f ->
+        Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli")
+      files
+  in
+  let findings =
+    List.concat_map
+      (fun path ->
+        if Filename.check_suffix path ".ml" then
+          Check.Lint.lint_source ~path (read_file path)
+        else [])
+      sources
+    @ Check.Lint.missing_mli ~files:sources
+  in
+  let findings =
+    List.sort
+      (fun a b ->
+        compare (a.Check.Lint.file, a.line, a.rule) (b.Check.Lint.file, b.line, b.rule))
+      findings
+  in
+  match findings with
+  | [] ->
+      Printf.printf "tm_lint: OK (%d files)\n"
+        (List.length
+           (List.filter (fun f -> Filename.check_suffix f ".ml") sources))
+  | fs ->
+      List.iter
+        (fun f -> print_endline (Check.Lint.finding_to_string f))
+        fs;
+      Printf.eprintf "tm_lint: %d finding(s)\n" (List.length fs);
+      exit 1

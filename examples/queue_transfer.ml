@@ -18,7 +18,7 @@ let () =
     (fun (label, wf) ->
       let r =
         Workloads.Kill_test.run ~wf ~processes ~rounds ~kill_every:(Some 400)
-          ~items ~seed:9
+          ~items ~seed:9 ()
       in
       Printf.printf
         "%-18s %6d transfers, %3d kills, torn observations: %d, \

@@ -1,3 +1,6 @@
+(* relaxed-ok: to_list/check_bst are quiescent debug scans, no steps. *)
+(* mutable-ok: [freed] flags are written only by the hazard-era reclaimer,
+   after the node is unreachable; read only by debug checks. *)
 open Runtime
 module He = Reclaim.Hazard_eras
 

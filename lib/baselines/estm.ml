@@ -1,3 +1,5 @@
+(* mutable-ok: tx records are confined to their owning fiber; [txs] is
+   grown in sequential set-up code only. *)
 module Region = Pmem.Region
 module Word = Pmem.Word
 module Pstats = Pmem.Pstats

@@ -1,3 +1,5 @@
+(* mutable-ok: single-owner growable scratch vector, never shared across
+   fibers. *)
 type t = { mutable data : int array; mutable n : int }
 
 let create ?(cap = 64) () = { data = Array.make cap 0; n = 0 }

@@ -1,3 +1,5 @@
+(* mutable-ok: [freed] flags are written only by the hazard-pointer
+   reclaimer after the ring is unreachable; read only by debug checks. *)
 open Runtime
 module Hp = Reclaim.Hazard_pointers
 

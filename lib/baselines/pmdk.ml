@@ -1,3 +1,6 @@
+(* mutable-ok: tx records and the volatile log-length mirror are confined
+   to the single in-flight writer under the global lock; [txs] is grown in
+   sequential set-up code only. *)
 module Region = Pmem.Region
 module Word = Pmem.Word
 module Writeset = Onefile.Writeset

@@ -1,3 +1,5 @@
+(* mutable-ok: tx records are confined to their owning fiber; [txs] is
+   grown in sequential set-up code only. *)
 (* Shared core of RomulusLog and RomulusLR (Correia, Felber, Ramalhete,
    SPAA'18): twin-replica PTM.  The region holds two replicas of the heap;
    an update transaction executes user code in place on one replica

@@ -1,0 +1,29 @@
+(** Shared core of RomulusLog and RomulusLR (Correia, Felber, Ramalhete,
+    SPAA'18): twin-replica PTM.  Use through the {!Romulus_log} /
+    {!Romulus_lr} views; this interface exists for them. *)
+
+type variant = Log | Lr
+type t
+type tx
+
+val create :
+  variant:variant ->
+  ?half:int ->
+  ?num_roots:int ->
+  ?max_threads:int ->
+  unit ->
+  t
+
+val run_read : t -> (tx -> 'a) -> 'a
+val run_update : t -> (tx -> 'a) -> 'a
+val load : tx -> int -> int
+val store : tx -> int -> int -> unit
+val alloc : tx -> int -> int
+val free : tx -> int -> unit
+val root : t -> int -> int
+val num_roots : t -> int
+val region : t -> Pmem.Region.t
+
+val recover : t -> unit
+(** Crash recovery: patch the whole heap span of the inconsistent replica
+    from the consistent one, as told by the persistent state cell. *)

@@ -1,3 +1,7 @@
+(* relaxed-ok: [clock] is also read by the step-free debug view; every
+   synchronizing read goes through Satomic.get. *)
+(* mutable-ok: tx records are confined to their owning fiber; [txs] is
+   grown in sequential set-up code only. *)
 module Region = Pmem.Region
 module Word = Pmem.Word
 module Pstats = Pmem.Pstats

@@ -1,3 +1,4 @@
+(* relaxed-ok: applied_batches is a step-free debug view. *)
 open Runtime
 
 type op = Enq of int | Deq

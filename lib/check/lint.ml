@@ -1,0 +1,292 @@
+(* Source-level concurrency lint — pure stdlib line/token scan.
+
+   The rules enforce repo-wide discipline that the deterministic scheduler
+   depends on; see lint.mli for the rationale of each.  The scanner strips
+   comments (nested, with embedded strings), string literals and character
+   literals first, so prose mentioning [Atomic] never trips a rule, then
+   searches for boundary-checked tokens.  Markers ((* relaxed-ok *),
+   (* mutable-ok *)) are looked up in the raw text, where they live as
+   comments. *)
+
+type finding = { file : string; line : int; rule : string; message : string }
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s:%d: [%s] %s" f.file f.line f.rule f.message
+
+let finding_to_string f = Format.asprintf "%a" pp_finding f
+
+(* ------------------------------------------------------------------ *)
+(* Comment / literal stripping                                         *)
+
+let strip src =
+  let n = String.length src in
+  let buf = Buffer.create n in
+  let blank c = Buffer.add_char buf (if c = '\n' then '\n' else ' ') in
+  (* state: 0 code; depth>0 comment; string/char handled inline *)
+  let rec code i =
+    if i >= n then ()
+    else
+      let c = src.[i] in
+      if c = '(' && i + 1 < n && src.[i + 1] = '*' then begin
+        blank '(';
+        blank '*';
+        comment 1 (i + 2)
+      end
+      else if c = '"' then begin
+        blank '"';
+        string_lit (i + 1)
+      end
+      else if c = '\'' && i + 2 < n && src.[i + 1] = '\\' then begin
+        (* escaped char literal: '\n' '\\' '\034' '\x41' ... *)
+        let j = ref (i + 2) in
+        while !j < n && src.[!j] <> '\'' do
+          incr j
+        done;
+        for k = i to min !j (n - 1) do
+          blank src.[k]
+        done;
+        code (!j + 1)
+      end
+      else if c = '\'' && i + 2 < n && src.[i + 2] = '\'' then begin
+        (* plain char literal 'x' *)
+        blank '\'';
+        blank src.[i + 1];
+        blank '\'';
+        code (i + 3)
+      end
+      else begin
+        Buffer.add_char buf c;
+        code (i + 1)
+      end
+  and comment depth i =
+    if i >= n then ()
+    else
+      let c = src.[i] in
+      if c = '(' && i + 1 < n && src.[i + 1] = '*' then begin
+        blank '(';
+        blank '*';
+        comment (depth + 1) (i + 2)
+      end
+      else if c = '*' && i + 1 < n && src.[i + 1] = ')' then begin
+        blank '*';
+        blank ')';
+        if depth = 1 then code (i + 2) else comment (depth - 1) (i + 2)
+      end
+      else if c = '"' then begin
+        blank '"';
+        comment_string depth (i + 1)
+      end
+      else begin
+        blank c;
+        comment depth (i + 1)
+      end
+  and string_lit i =
+    if i >= n then ()
+    else
+      let c = src.[i] in
+      if c = '\\' && i + 1 < n then begin
+        blank c;
+        blank src.[i + 1];
+        string_lit (i + 2)
+      end
+      else if c = '"' then begin
+        blank '"';
+        code (i + 1)
+      end
+      else begin
+        blank c;
+        string_lit (i + 1)
+      end
+  and comment_string depth i =
+    if i >= n then ()
+    else
+      let c = src.[i] in
+      if c = '\\' && i + 1 < n then begin
+        blank c;
+        blank src.[i + 1];
+        comment_string depth (i + 2)
+      end
+      else if c = '"' then begin
+        blank '"';
+        comment depth (i + 1)
+      end
+      else begin
+        blank c;
+        comment_string depth (i + 1)
+      end
+  in
+  code 0;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Token search                                                        *)
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '\''
+
+(* Occurrences of [tok] in [s] at an identifier boundary on both sides.
+   A leading '.' does NOT shield a match: [Stdlib.Atomic.] is still a raw
+   [Atomic.]; but [Satomic.] is not an [Atomic.]. *)
+let find_token s tok =
+  let n = String.length s and m = String.length tok in
+  let hits = ref [] in
+  for i = 0 to n - m do
+    if String.sub s i m = tok then begin
+      let pre_ok =
+        (not (is_ident_char tok.[0])) || i = 0 || not (is_ident_char s.[i - 1])
+      in
+      let post_ok =
+        (not (is_ident_char tok.[m - 1]))
+        || i + m >= n
+        || not (is_ident_char s.[i + m])
+      in
+      if pre_ok && post_ok then hits := i :: !hits
+    end
+  done;
+  List.rev !hits
+
+let line_of_offset s off =
+  let l = ref 1 in
+  for i = 0 to min off (String.length s - 1) - 1 do
+    if s.[i] = '\n' then incr l
+  done;
+  !l
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let has_marker raw marker = contains raw marker
+
+(* ------------------------------------------------------------------ *)
+(* Rules                                                               *)
+
+let under dir path =
+  let d = dir ^ "/" in
+  String.length path >= String.length d && String.sub path 0 (String.length d) = d
+
+let scanned path =
+  under "lib" path || under "bin" path || under "bench" path
+  || under "examples" path
+
+let rule_raw_atomic ~path ~stripped acc =
+  if path = "lib/runtime/satomic.ml" then acc
+  else
+    List.fold_left
+      (fun acc off ->
+        {
+          file = path;
+          line = line_of_offset stripped off;
+          rule = "raw-atomic";
+          message =
+            "raw Atomic operation: use Runtime.Satomic so the access is a \
+             Sched.step_point (a raw atomic is invisible to the deterministic \
+             scheduler and silently shrinks the interleaving space)";
+        }
+        :: acc)
+      acc
+      (find_token stripped "Atomic.")
+
+let rule_determinism ~path ~stripped acc =
+  if not (under "lib" path) then acc
+  else
+    List.fold_left
+      (fun acc tok ->
+        List.fold_left
+          (fun acc off ->
+            {
+              file = path;
+              line = line_of_offset stripped off;
+              rule = "nondeterminism";
+              message =
+                tok
+                ^ " is forbidden in lib/ (runs must be reproducible from the \
+                   scheduler seed: use Runtime.Rng, or take time as a \
+                   parameter)";
+            }
+            :: acc)
+          acc
+          (find_token stripped tok))
+      acc
+      [ "Random."; "Unix.gettimeofday"; "Sys.time" ]
+
+let relaxed_tokens =
+  [ "get_relaxed"; "fetch_and_add_relaxed"; "peek_durable"; "Region.peek" ]
+
+let rule_relaxed ~path ~raw ~stripped acc =
+  if has_marker raw "relaxed-ok" then acc
+  else
+    List.fold_left
+      (fun acc tok ->
+        List.fold_left
+          (fun acc off ->
+            {
+              file = path;
+              line = line_of_offset stripped off;
+              rule = "relaxed-needs-marker";
+              message =
+                tok
+                ^ " used without a (* relaxed-ok: ... *) marker: non-stepping \
+                   accesses bypass the scheduler and need a stated \
+                   justification";
+            }
+            :: acc)
+          acc
+          (find_token stripped tok))
+      acc relaxed_tokens
+
+let rule_mutable ~path ~raw ~stripped acc =
+  if (not (under "lib" path)) || has_marker raw "mutable-ok" then acc
+  else
+    match find_token stripped "mutable" with
+    | [] -> acc
+    | off :: _ ->
+        {
+          file = path;
+          line = line_of_offset stripped off;
+          rule = "mutable-needs-marker";
+          message =
+            "mutable state in lib/ without a (* mutable-ok: ... *) marker: \
+             shared mutation outside Satomic is only sound if confined to one \
+             fiber or to the cooperative scheduler — say which";
+        }
+        :: acc
+
+let lint_source ~path raw =
+  if not (scanned path) then []
+  else if Filename.check_suffix path ".ml" then begin
+    let stripped = strip raw in
+    []
+    |> rule_raw_atomic ~path ~stripped
+    |> rule_determinism ~path ~stripped
+    |> rule_relaxed ~path ~raw ~stripped
+    |> rule_mutable ~path ~raw ~stripped
+    |> List.sort (fun a b -> compare (a.file, a.line) (b.file, b.line))
+  end
+  else []
+
+let missing_mli ~files =
+  let set = Hashtbl.create 64 in
+  List.iter (fun f -> Hashtbl.replace set f ()) files;
+  List.filter_map
+    (fun f ->
+      if
+        under "lib" f
+        && Filename.check_suffix f ".ml"
+        && not (Hashtbl.mem set (f ^ "i"))
+      then
+        Some
+          {
+            file = f;
+            line = 1;
+            rule = "missing-mli";
+            message =
+              "every lib/ module needs an .mli: an explicit interface is what \
+               keeps internal mutation internal";
+          }
+      else None)
+    files

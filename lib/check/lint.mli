@@ -1,0 +1,43 @@
+(** tm_lint — source-level concurrency lint (pure stdlib token scan).
+
+    The deterministic scheduler only controls interleavings it can see:
+    every shared access must be a {!Runtime.Sched.step_point}.  These
+    rules keep the whole tree honest about that:
+
+    - [raw-atomic] — [Atomic.] is forbidden everywhere except
+      [lib/runtime/satomic.ml]: a raw atomic is invisible to the scheduler
+      and silently shrinks the interleaving space explored by every test.
+    - [nondeterminism] — [Random.], [Unix.gettimeofday] and [Sys.time] are
+      forbidden in [lib/]: runs must be reproducible from the seed.
+    - [relaxed-needs-marker] — the non-stepping accessors ([get_relaxed],
+      [fetch_and_add_relaxed], [Region.peek], [peek_durable]) are allowed
+      only in files carrying a [(* relaxed-ok: ... *)] marker stating why
+      the access may bypass the scheduler.
+    - [mutable-needs-marker] — [mutable] state in [lib/] requires a
+      [(* mutable-ok: ... *)] marker saying what confines it (one fiber,
+      the cooperative scheduler, set-up code...).  Plain mutable counters
+      such as {!Pmem.Pstats} are only sound under the cooperative [Sched].
+    - [missing-mli] — every [lib/**/*.ml] must have an [.mli].
+
+    Comments, strings and character literals are stripped before token
+    search, so prose about [Atomic] does not trip the lint; markers are
+    looked up in the raw text.  Paths are repo-relative with ['/']
+    separators; only [lib/], [bin/], [bench/] and [examples/] are
+    scanned. *)
+
+type finding = { file : string; line : int; rule : string; message : string }
+
+val pp_finding : Format.formatter -> finding -> unit
+val finding_to_string : finding -> string
+
+val strip : string -> string
+(** Blank out comments (nested, string-aware), string literals and char
+    literals, preserving newlines (exposed for tests). *)
+
+val lint_source : path:string -> string -> finding list
+(** Token rules for one [.ml] file ([path] repo-relative).  Files outside
+    the scanned directories, and [.mli] files, yield no findings. *)
+
+val missing_mli : files:string list -> finding list
+(** Given all repo-relative source paths, report [lib/**/*.ml] files with
+    no sibling [.mli]. *)

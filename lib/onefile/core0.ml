@@ -18,7 +18,18 @@
    has done so too.  We make this explicit: [help] pwbs curTx before
    applying, so no data word can become durable with a sequence newer than
    the durable curTx — otherwise a crash could resurrect a half-persisted
-   transaction that recovery no longer knows about. *)
+   transaction that recovery no longer knows about.
+
+   That note, and the rest of the correctness argument, are checkable: the
+   [Check.Tmcheck] sanitizer (attached with [sanitize]) observes every
+   region access plus the transaction-lifecycle hooks below and validates
+   seq monotonicity, persistence ordering, apply-before-close, opacity,
+   hazard-era discipline and allocator discipline on every step. *)
+(* relaxed-ok: curtx_info/allocated_cells are step-free debug views, usable
+   from a scheduler on_round hook without perturbing the schedule. *)
+(* mutable-ok: tx records and the desc freed flag are confined to their
+   owning fiber / the reclamation epoch; the checker slot is written from
+   sequential set-up code only. *)
 
 module Region = Pmem.Region
 module Word = Pmem.Word
@@ -31,12 +42,15 @@ exception Abort = Tm.Tm_intf.Abort
 let curtx_cell = 4
 let round4 n = (n + 3) land lnot 3
 
+module Tmcheck = Check.Tmcheck
+
 type tx = {
   txregion : Region.t;
   txalloc : Tm.Tm_alloc.t;
   mutable start_seq : int;
   mutable read_only : bool;
   ws : Writeset.t;
+  txchk : Tmcheck.t option ref; (* shared with the owning instance *)
 }
 
 type desc = { opid : int; fn : tx -> int; mutable freed : bool }
@@ -61,6 +75,7 @@ type t = {
   (* per-thread scratch used when helping to apply a foreign write-set *)
   scratch_addrs : int array array;
   scratch_vals : int array array;
+  checker : Tmcheck.t option ref;
 }
 
 let req_cell inst tid = inst.ws_base + (tid * inst.ws_stride)
@@ -82,6 +97,13 @@ let create ?(mode = Region.Persistent) ?(size = 1 lsl 18) ?(max_threads = 64)
   let heap_base = meta_base + Tm.Tm_alloc.meta_cells in
   if heap_base + 64 > size then invalid_arg "Core0.create: region too small";
   let alloc = Tm.Tm_alloc.create ~meta_base ~heap_base ~heap_end:size in
+  let checker = ref None in
+  let free_desc d =
+    d.freed <- true;
+    match !checker with
+    | Some c -> Tmcheck.closure_free c ~opid:d.opid
+    | None -> ()
+  in
   let inst =
     {
       region;
@@ -102,13 +124,15 @@ let create ?(mode = Region.Persistent) ?(size = 1 lsl 18) ?(max_threads = 64)
               start_seq = 0;
               read_only = true;
               ws = Writeset.create ws_cap;
+              txchk = checker;
             });
       read_tries;
       pending = Array.init max_threads (fun _ -> Satomic.make None);
-      he = Hazard_eras.create ~max_threads ~free:(fun d -> d.freed <- true) ();
+      he = Hazard_eras.create ~max_threads ~free:free_desc ();
       next_opid = Satomic.make 0;
       scratch_addrs = Array.init max_threads (fun _ -> Array.make ws_cap 0);
       scratch_vals = Array.init max_threads (fun _ -> Array.make ws_cap 0);
+      checker;
     }
   in
   (* initial state: seq 1 committed by nobody; requests closed *)
@@ -127,6 +151,40 @@ let create ?(mode = Region.Persistent) ?(size = 1 lsl 18) ?(max_threads = 64)
   | Region.Volatile -> ());
   Pstats.reset (stats inst);
   inst
+
+(* ------------------------------------------------------------------ *)
+(* Sanitizer attachment                                                 *)
+
+let layout inst =
+  {
+    Tmcheck.curtx_cell;
+    max_threads = inst.max_threads;
+    ws_cap = inst.ws_cap;
+    req_cell = req_cell inst;
+    nstores_cell = nstores_cell inst;
+    entry_cell = entry_cell inst;
+    req_tid_of =
+      (fun a ->
+        if a >= inst.ws_base && a < inst.wf_base && (a - inst.ws_base) mod inst.ws_stride = 0
+        then Some ((a - inst.ws_base) / inst.ws_stride)
+        else None);
+    data_base = inst.roots_base;
+    heap_base = inst.heap_base;
+  }
+
+let set_checker inst c =
+  inst.checker := c;
+  Region.set_observer inst.region
+    (match c with Some c -> Some (Tmcheck.on_event c) | None -> None)
+
+let sanitize ?mode inst =
+  let c = Tmcheck.create ?mode (layout inst) inst.region in
+  set_checker inst (Some c);
+  c
+
+let desanitize inst = set_checker inst None
+let checker inst = !(inst.checker)
+let with_chk r f = match !r with Some c -> f c | None -> ()
 
 let read_curtx inst = Region.load inst.region curtx_cell
 
@@ -195,10 +253,19 @@ let help inst ~me (ct : Word.t) =
 
 (* Write the redo log into this thread's persistent log area and open the
    request; one pwb per covered cache line, no fence (the commit CAS acts
-   as the persistence fence, §III-D). *)
+   as the persistence fence, §III-D).
+
+   The request cell is flushed BEFORE the log is overwritten: closing a
+   request (close_request) is volatile, so without this pwb the durable
+   request can still read "open at seq S" while we overwrite the entries
+   for a later transaction — and a crash whose eviction persists some of
+   the new entries but not the request cell would make null recovery
+   re-apply a torn, mixed log at seq S.  Found by the Tmcheck sanitizer
+   (close-before-applied fired during post-crash recovery). *)
 let publish_log inst ~me (ws : Writeset.t) ~seq =
   let region = inst.region in
   let base = req_cell inst me in
+  Region.pwb region base;
   let n = Writeset.size ws in
   for i = 0 to n - 1 do
     Region.store region (base + 2 + i)
@@ -218,22 +285,37 @@ let load tx addr =
   | None ->
       let w = Region.load tx.txregion addr in
       if w.Word.s > tx.start_seq then raise Abort;
+      with_chk tx.txchk (fun c -> Tmcheck.tx_load c ~addr ~v:w.Word.v ~s:w.Word.s);
       w.Word.v
 
 let store tx addr v =
   if tx.read_only then raise Tm.Tm_intf.Store_in_read_tx;
+  with_chk tx.txchk (fun c -> Tmcheck.tx_store c ~addr);
   Writeset.put tx.ws addr v
 
 let alloc_ops tx =
   { Tm.Tm_intf.aload = (fun a -> load tx a); astore = (fun a v -> store tx a v) }
 
+(* The allocator's own free-list traffic is exempt from the sanitizer's
+   heap-access rule; bracket it so only user-level accesses are checked. *)
+let in_allocator tx f =
+  match !(tx.txchk) with
+  | None -> f ()
+  | Some c ->
+      Tmcheck.alloc_enter c;
+      Fun.protect ~finally:(fun () -> Tmcheck.alloc_exit c) f
+
 let alloc tx n =
   if tx.read_only then raise Tm.Tm_intf.Store_in_read_tx;
-  Tm.Tm_alloc.alloc tx.txalloc (alloc_ops tx) n
+  let payload = in_allocator tx (fun () -> Tm.Tm_alloc.alloc tx.txalloc (alloc_ops tx) n) in
+  with_chk tx.txchk (fun c ->
+      Tmcheck.note_alloc c ~payload ~cells:(Tm.Tm_alloc.block_cells n - 1));
+  payload
 
 let free tx a =
   if tx.read_only then raise Tm.Tm_intf.Store_in_read_tx;
-  Tm.Tm_alloc.free tx.txalloc (alloc_ops tx) a
+  with_chk tx.txchk (fun c -> Tmcheck.note_free c ~payload:a);
+  in_allocator tx (fun () -> Tm.Tm_alloc.free tx.txalloc (alloc_ops tx) a)
 
 let root inst i =
   if i < 0 || i >= inst.num_roots then invalid_arg "root";
@@ -258,11 +340,16 @@ let lf_read_tx inst f =
     else begin
       tx.start_seq <- ct.Word.v;
       tx.read_only <- true;
+      with_chk inst.checker (fun c ->
+          Tmcheck.tx_begin c ~read_only:true ~start_seq:tx.start_seq);
       match f tx with
       | exception Abort ->
+          with_chk inst.checker Tmcheck.tx_abort;
           st.Pstats.aborts <- st.Pstats.aborts + 1;
           attempt ()
-      | r -> r
+      | r ->
+          with_chk inst.checker (fun c -> Tmcheck.tx_end c ~committed:None);
+          r
     end
   in
   attempt ()
@@ -281,16 +368,23 @@ let lf_update_tx inst f =
       tx.start_seq <- ct.Word.v;
       tx.read_only <- false;
       Writeset.clear tx.ws;
+      with_chk inst.checker (fun c ->
+          Tmcheck.tx_begin c ~read_only:false ~start_seq:tx.start_seq);
       match f tx with
       | exception Abort ->
+          with_chk inst.checker Tmcheck.tx_abort;
           st.Pstats.aborts <- st.Pstats.aborts + 1;
           attempt ()
       | result ->
-          if Writeset.is_empty tx.ws then result
+          if Writeset.is_empty tx.ws then begin
+            with_chk inst.checker (fun c -> Tmcheck.tx_end c ~committed:None);
+            result
+          end
           else begin
             let seq = ct.Word.v + 1 in
             publish_log inst ~me tx.ws ~seq;
             if Region.cas1 inst.region curtx_cell ct (Word.make seq me) then begin
+              with_chk inst.checker (fun c -> Tmcheck.tx_end c ~committed:(Some seq));
               Region.pwb inst.region curtx_cell;
               apply_own inst ~seq tx.ws;
               close_request inst ~tid:me ~seq;
@@ -298,6 +392,7 @@ let lf_update_tx inst f =
               result
             end
             else begin
+              with_chk inst.checker Tmcheck.tx_abort;
               st.Pstats.aborts <- st.Pstats.aborts + 1;
               attempt ()
             end
@@ -329,8 +424,11 @@ let aggregate inst tx =
       if ack <> opw.Word.v then
         match Satomic.get inst.pending.(u) with
         | Some d when d.opid = opw.Word.v ->
-            if d.freed then
-              failwith "OneFile-WF: hazard-era violation (freed closure)";
+            (match !(inst.checker) with
+            | Some c -> Tmcheck.closure_exec c ~opid:d.opid ~freed:d.freed
+            | None ->
+                if d.freed then
+                  failwith "OneFile-WF: hazard-era violation (freed closure)");
             let r = d.fn tx in
             store tx (res_cell inst u) r;
             store tx (ack_cell inst u) d.opid
@@ -369,23 +467,34 @@ let wf_update_tx inst f =
         tx.start_seq <- ct.Word.v;
         tx.read_only <- false;
         Writeset.clear tx.ws;
+        with_chk inst.checker (fun c ->
+            Tmcheck.tx_begin c ~read_only:false ~start_seq:tx.start_seq);
         Hazard_eras.set_era inst.he ct.Word.v;
         match aggregate inst tx with
         | exception Abort ->
+            with_chk inst.checker Tmcheck.tx_abort;
             st.Pstats.aborts <- st.Pstats.aborts + 1;
             loop ()
         | () ->
-            if Writeset.is_empty tx.ws then loop ()
+            if Writeset.is_empty tx.ws then begin
+              with_chk inst.checker (fun c -> Tmcheck.tx_end c ~committed:None);
+              loop ()
+            end
             else begin
               let seq = ct.Word.v + 1 in
               publish_log inst ~me tx.ws ~seq;
               if Region.cas1 region_ curtx_cell ct (Word.make seq me) then begin
+                with_chk inst.checker (fun c ->
+                    Tmcheck.tx_end c ~committed:(Some seq));
                 Region.pwb region_ curtx_cell;
                 apply_own inst ~seq tx.ws;
                 close_request inst ~tid:me ~seq;
                 st.Pstats.commits <- st.Pstats.commits + 1
               end
-              else st.Pstats.aborts <- st.Pstats.aborts + 1;
+              else begin
+                with_chk inst.checker Tmcheck.tx_abort;
+                st.Pstats.aborts <- st.Pstats.aborts + 1
+              end;
               loop ()
             end
       end
@@ -412,11 +521,16 @@ let wf_read_tx inst f =
       else begin
         tx.start_seq <- ct.Word.v;
         tx.read_only <- true;
+        with_chk inst.checker (fun c ->
+            Tmcheck.tx_begin c ~read_only:true ~start_seq:tx.start_seq);
         match f tx with
         | exception Abort ->
+            with_chk inst.checker Tmcheck.tx_abort;
             st.Pstats.aborts <- st.Pstats.aborts + 1;
             attempt (k - 1)
-        | r -> r
+        | r ->
+            with_chk inst.checker (fun c -> Tmcheck.tx_end c ~committed:None);
+            r
       end
     end
   in

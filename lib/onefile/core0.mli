@@ -1,0 +1,79 @@
+(** Shared core of the OneFile algorithms (internal module).
+
+    [Onefile_lf] and [Onefile_wf] are thin views over this module; use
+    those.  The extra surface here — the protocol internals and the
+    sanitizer attachment — exists for the test-suite, which drives
+    half-finished commit protocols (crash-point and seeded-violation
+    tests) that the public API deliberately cannot express. *)
+
+type tx
+type t
+
+val create :
+  ?mode:Pmem.Region.mode ->
+  ?size:int ->
+  ?max_threads:int ->
+  ?ws_cap:int ->
+  ?num_roots:int ->
+  ?read_tries:int ->
+  unit ->
+  t
+
+(** {1 Transactions} *)
+
+val lf_read_tx : t -> (tx -> 'a) -> 'a
+val lf_update_tx : t -> (tx -> 'a) -> 'a
+val wf_read_tx : t -> (tx -> int) -> int
+val wf_update_tx : t -> (tx -> int) -> int
+val load : tx -> int -> int
+val store : tx -> int -> int -> unit
+val alloc : tx -> int -> int
+val free : tx -> int -> unit
+val root : t -> int -> int
+val num_roots : t -> int
+val region : t -> Pmem.Region.t
+val recover : t -> unit
+val allocated_cells : t -> int
+val curtx_info : t -> int * int * bool
+
+(** {1 Sanitizer attachment}
+
+    Simulation-only (see {!Check.Tmcheck}).  Attach to a quiescent
+    instance; the checker then observes every region access through the
+    observer hook plus the transaction-lifecycle hooks wired into the
+    functions above. *)
+
+val layout : t -> Check.Tmcheck.layout
+(** Where this instance keeps curTx, the per-thread logs, the roots and
+    the heap — everything the checker needs to classify an address. *)
+
+val sanitize : ?mode:Check.Tmcheck.mode -> t -> Check.Tmcheck.t
+(** Build a checker for this instance and install it as the region
+    observer.  Returns it so tests can read {!Check.Tmcheck.violations}. *)
+
+val desanitize : t -> unit
+(** Detach the checker and the region observer. *)
+
+val checker : t -> Check.Tmcheck.t option
+
+val set_checker : t -> Check.Tmcheck.t option -> unit
+(** Low-level variant of {!sanitize}/{!desanitize} for tests that build
+    the checker themselves (e.g. in [Collect] mode over a custom layout). *)
+
+(** {1 Protocol internals} — exposed for the crash-point and
+    seeded-violation tests, which exercise the commit protocol one step at
+    a time.  Not for normal use. *)
+
+val curtx_cell : int
+val req_cell : t -> int -> int
+val nstores_cell : t -> int -> int
+val entry_cell : t -> int -> int -> int
+val read_curtx : t -> Pmem.Word.t
+val is_open : t -> Pmem.Word.t -> bool
+
+val put_one : t -> seq:int -> int -> int -> unit
+(** Sequence-guarded DCAS of one redo-log entry (Alg. 1 lines 10-15). *)
+
+val close_request : t -> tid:int -> seq:int -> unit
+val publish_log : t -> me:int -> Writeset.t -> seq:int -> unit
+val help : t -> me:int -> Pmem.Word.t -> unit

@@ -16,3 +16,6 @@ let region = Core0.region
 let recover = Core0.recover
 let allocated_cells = Core0.allocated_cells
 let curtx_info = Core0.curtx_info
+let sanitize = Core0.sanitize
+let desanitize = Core0.desanitize
+let checker = Core0.checker

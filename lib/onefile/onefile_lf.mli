@@ -32,3 +32,13 @@ val allocated_cells : t -> int
 val curtx_info : t -> int * int * bool
 (** Debug peek at the commit state: (sequence, tid, request-still-open).
     Step-free; usable from a scheduler [on_round] hook. *)
+
+val sanitize : ?mode:Check.Tmcheck.mode -> t -> Check.Tmcheck.t
+(** Attach the {!Check.Tmcheck} opacity/durability sanitizer to this
+    instance (simulation-only; attach while quiescent).  Returns the
+    checker so callers can inspect {!Check.Tmcheck.violations}. *)
+
+val desanitize : t -> unit
+(** Detach the sanitizer and region observer. *)
+
+val checker : t -> Check.Tmcheck.t option

@@ -1,3 +1,5 @@
+(* mutable-ok: a write-set belongs to exactly one transaction, which
+   belongs to exactly one fiber. *)
 let linear_threshold_default = 40
 let linear_threshold = linear_threshold_default
 

@@ -1,3 +1,5 @@
+(* mutable-ok: plain counters, sound only under the cooperative Sched
+   (or sequential code) — see pstats.mli. *)
 type t = {
   mutable pwb : int;
   mutable pfence : int;

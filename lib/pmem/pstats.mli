@@ -3,7 +3,16 @@
     Counted at the point the simulated hardware primitive is issued, so the
     per-transaction numbers can be compared directly against the paper's
     formulas (pwb, pfence, CAS-or-DCAS as functions of the number of
-    modified words). *)
+    modified words).
+
+    {b Simulation-only soundness.}  These are plain [mutable] fields
+    incremented without synchronization.  That is sound here only because
+    every increment happens between scheduling points of the cooperative
+    {!Runtime.Sched} (or in sequential code): fibers never interleave
+    inside an increment.  Under real parallel domains the counters would
+    race and under-count — do not reuse this module outside the simulator.
+    tm_lint flags any such unmarked shared mutation in [lib/]; this module
+    carries the [mutable-ok] marker for the reason above. *)
 
 type t = {
   mutable pwb : int;

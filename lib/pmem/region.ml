@@ -1,8 +1,22 @@
+(* relaxed-ok: peek/peek_durable are defined here; get_relaxed backs the
+   line write-back, which models hardware cache eviction, not a program
+   access, and must not be a scheduling point. *)
+(* mutable-ok: the observer slot is written only from sequential set-up
+   code (Tmcheck attach/detach), never from inside a simulation. *)
+
 open Runtime
 
 type mode = Volatile | Persistent
 
 let line_cells = 4
+
+type event =
+  | Ev_load of { addr : int; w : Word.t }
+  | Ev_store of { addr : int; was : Word.t; now : Word.t }
+  | Ev_cas of { addr : int; old : Word.t; desired : Word.t; ok : bool; dcas : bool }
+  | Ev_pwb of { line : int }
+  | Ev_pfence
+  | Ev_crash
 
 type t = {
   mode : mode;
@@ -10,6 +24,7 @@ type t = {
   durable : Word.t array; (* empty in Volatile mode *)
   dirty : bool array; (* per line; empty in Volatile mode *)
   stats : Pstats.t;
+  mutable observer : (event -> unit) option;
 }
 
 let create ?(mode = Persistent) n =
@@ -20,7 +35,10 @@ let create ?(mode = Persistent) n =
     | Persistent ->
         (Array.make n Word.zero, Array.make ((n + line_cells - 1) / line_cells) false)
   in
-  { mode; cells; durable; dirty; stats = Pstats.create () }
+  { mode; cells; durable; dirty; stats = Pstats.create (); observer = None }
+
+let set_observer t o = t.observer <- o
+let notify t ev = match t.observer with None -> () | Some f -> f ev
 
 let mode t = t.mode
 let size t = Array.length t.cells
@@ -32,24 +50,32 @@ let mark_dirty t i =
 
 let load t i =
   t.stats.loads <- t.stats.loads + 1;
-  Satomic.get t.cells.(i)
+  let w = Satomic.get t.cells.(i) in
+  notify t (Ev_load { addr = i; w });
+  w
 
 let cas t i old nw =
   t.stats.dcas <- t.stats.dcas + 1;
   let ok = Satomic.compare_and_set t.cells.(i) old nw in
   if ok then mark_dirty t i;
+  notify t (Ev_cas { addr = i; old; desired = nw; ok; dcas = true });
   ok
 
 let cas1 t i old nw =
   t.stats.cas <- t.stats.cas + 1;
   let ok = Satomic.compare_and_set t.cells.(i) old nw in
   if ok then mark_dirty t i;
+  notify t (Ev_cas { addr = i; old; desired = nw; ok; dcas = false });
   ok
 
 let store t i w =
   t.stats.stores <- t.stats.stores + 1;
+  let was =
+    match t.observer with None -> Word.zero | Some _ -> Satomic.get_relaxed t.cells.(i)
+  in
   Satomic.set t.cells.(i) w;
-  mark_dirty t i
+  mark_dirty t i;
+  notify t (Ev_store { addr = i; was; now = w })
 
 let flush_line t line =
   let lo = line * line_cells in
@@ -73,7 +99,8 @@ let pwb t i =
   | Persistent ->
       t.stats.pwb <- t.stats.pwb + 1;
       burn !pwb_cost;
-      flush_line t (line_of i)
+      flush_line t (line_of i);
+      notify t (Ev_pwb { line = line_of i })
 
 let pwb_range t off len =
   if len > 0 then begin
@@ -88,7 +115,8 @@ let pfence t =
   | Volatile -> ()
   | Persistent ->
       t.stats.pfence <- t.stats.pfence + 1;
-      burn !pfence_cost
+      burn !pfence_cost;
+      notify t Ev_pfence
 
 let dirty_lines t =
   Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 t.dirty
@@ -106,7 +134,8 @@ let crash t ?(evict_fraction = 0.0) ?rng () =
   Array.iteri
     (fun i cell -> Satomic.set cell t.durable.(i))
     t.cells;
-  Array.fill t.dirty 0 (Array.length t.dirty) false
+  Array.fill t.dirty 0 (Array.length t.dirty) false;
+  notify t Ev_crash
 
 let peek t i = Satomic.get_relaxed t.cells.(i)
 

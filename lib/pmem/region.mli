@@ -78,3 +78,27 @@ val peek : t -> int -> Word.t
 
 val peek_durable : t -> int -> Word.t
 (** Read the durable side directly (checkers only). *)
+
+(** {1 Instrumentation}
+
+    An optional observer is invoked synchronously after every memory
+    operation — this is the hook the {!Check.Tmcheck} sanitizer attaches
+    to.  The callback runs at the exact point of the access, with no
+    scheduling point between the access and the callback, so under the
+    deterministic {!Runtime.Sched} it sees a linearization of all
+    shared-memory traffic.  Observers must not access the region through
+    the stepping API (use {!peek}/{!peek_durable}), and are meaningful
+    only under the cooperative scheduler or sequential code — not under
+    real domains. *)
+
+type event =
+  | Ev_load of { addr : int; w : Word.t }
+  | Ev_store of { addr : int; was : Word.t; now : Word.t }
+  | Ev_cas of { addr : int; old : Word.t; desired : Word.t; ok : bool; dcas : bool }
+      (** [dcas] distinguishes {!cas} (double-word, data) from {!cas1}
+          (metadata). *)
+  | Ev_pwb of { line : int }  (** fired after the line was written back *)
+  | Ev_pfence
+  | Ev_crash  (** fired after eviction and reload from the durable side *)
+
+val set_observer : t -> (event -> unit) option -> unit

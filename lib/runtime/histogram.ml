@@ -1,3 +1,4 @@
+(* mutable-ok: confined to the measuring fiber / sequential reporting. *)
 type t = { mutable data : int array; mutable len : int; mutable sorted : bool }
 
 let create () = { data = Array.make 1024 0; len = 0; sorted = true }

@@ -1,3 +1,5 @@
+(* mutable-ok: each Rng stream is owned by one fiber (or by set-up code);
+   streams are [split], never shared. *)
 type t = { mutable state : int64 }
 
 let create seed = { state = Int64.of_int seed }

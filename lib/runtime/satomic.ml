@@ -1,3 +1,5 @@
+(* relaxed-ok: this module defines the relaxed accessors. *)
+
 type 'a t = 'a Atomic.t
 
 let make = Atomic.make
@@ -25,3 +27,4 @@ let fetch_and_add a n =
 let incr a = ignore (fetch_and_add a 1)
 let decr a = ignore (fetch_and_add a (-1))
 let get_relaxed a = Atomic.get a
+let fetch_and_add_relaxed a n = Atomic.fetch_and_add a n

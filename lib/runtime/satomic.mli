@@ -25,4 +25,15 @@ val decr : int t -> unit
 
 val get_relaxed : 'a t -> 'a
 (** Read without consuming a scheduling step.  Only for debug inspection and
-    single-threaded checkers; never inside a concurrent algorithm. *)
+    single-threaded checkers; never inside a concurrent algorithm.
+
+    [tm_lint] restricts the [_relaxed] accessors (and {!Pmem.Region}'s
+    peeks) to files carrying a [(* relaxed-ok: ... *)] marker, because an
+    access that is not a step point is invisible to the deterministic
+    scheduler and silently shrinks the interleaving space it explores. *)
+
+val fetch_and_add_relaxed : int t -> int -> int
+(** Fetch-and-add without a scheduling step — for set-up-path ID counters
+    whose ordering is irrelevant to any checked schedule (e.g.
+    {!Backoff.create}'s per-instance seed).  Same restrictions as
+    {!get_relaxed}. *)

@@ -1,3 +1,6 @@
+(* mutable-ok: this IS the cooperative scheduler — its state is mutated
+   only between fiber switches, on the scheduler side of the effect
+   handler. *)
 open Effect
 open Effect.Deep
 

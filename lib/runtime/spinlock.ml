@@ -1,3 +1,5 @@
+(* relaxed-ok: the release-side assert reads the holder without a step;
+   ownership makes it race-free. *)
 type t = { cell : int Satomic.t }
 
 let create () = { cell = Satomic.make (-1) }

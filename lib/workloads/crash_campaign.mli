@@ -15,13 +15,19 @@ type report = {
 
 val pp : Format.formatter -> report -> unit
 
-val onefile_sps : wf:bool -> trials:int -> ?evict:float -> unit -> report
-(** Persistent SPS whose checksum is the invariant. *)
+val onefile_sps :
+  wf:bool -> trials:int -> ?evict:float -> ?sanitize:bool -> unit -> report
+(** Persistent SPS whose checksum is the invariant.  [sanitize] (default
+    false) attaches the {!Check.Tmcheck} opacity/durability sanitizer to
+    every trial instance: any invariant violation raises at the faulting
+    step instead of surfacing as a torn audit. *)
 
-val onefile_queues : wf:bool -> trials:int -> ?evict:float -> unit -> report
+val onefile_queues :
+  wf:bool -> trials:int -> ?evict:float -> ?sanitize:bool -> unit -> report
 (** Two-queue transfers; invariant: item multiset conserved, no leak. *)
 
-val onefile_tree : wf:bool -> trials:int -> ?evict:float -> unit -> report
+val onefile_tree :
+  wf:bool -> trials:int -> ?evict:float -> ?sanitize:bool -> unit -> report
 (** Balanced-tree churn; invariants: BST order + balance + stored heights,
     allocator exactly accounts for the surviving nodes. *)
 

@@ -11,11 +11,12 @@ type result = {
   leaked_cells : int;
 }
 
-let run ~wf ~processes ~rounds ~kill_every ~items ~seed =
+let run ~wf ~processes ~rounds ~kill_every ~items ~seed ?(sanitize = false) () =
   let tm =
     Lf.create ~mode:Pmem.Region.Persistent ~size:(1 lsl 17)
       ~max_threads:(processes + 1) ~ws_cap:128 ()
   in
+  if sanitize then ignore (Lf.sanitize tm);
   let update = if wf then Wf.update_tx else Lf.update_tx in
   let read = if wf then Wf.read_tx else Lf.read_tx in
   let q1 = Q.create tm ~root:0 and q2 = Q.create tm ~root:1 in

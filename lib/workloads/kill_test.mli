@@ -23,5 +23,9 @@ val run :
   kill_every:int option ->
   items:int ->
   seed:int ->
+  ?sanitize:bool ->
+  unit ->
   result
-(** [kill_every = None] is the "no kill" control run. *)
+(** [kill_every = None] is the "no kill" control run.  [sanitize] (default
+    false) attaches the {!Check.Tmcheck} sanitizer for the whole run,
+    including the kill/respawn churn. *)

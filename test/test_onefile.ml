@@ -556,9 +556,12 @@ let test_lf_cost_counts () =
          done;
          0));
   let d = Pstats.diff st snap in
-  (* pwb: 1 (curTx) + ceil((2+Nw)/4) (log lines) + Nw (data) *)
+  (* pwb: 1 (request flush before the log is recycled — a deliberate +1
+     over the paper, so a crash can never pair a stale-open durable
+     request with a torn rewritten log) + ceil((2+Nw)/4) (log lines)
+     + 1 (curTx) + Nw (data) *)
   let log_lines = (2 + nw + 3) / 4 in
-  check int "pwb count" (1 + log_lines + nw) d.Pstats.pwb;
+  check int "pwb count" (2 + log_lines + nw) d.Pstats.pwb;
   check int "pfence count" 0 d.Pstats.pfence;
   (* CAS: commit + close-request; DCAS: one per word *)
   check int "cas count" 2 d.Pstats.cas;
@@ -579,11 +582,12 @@ let test_wf_cost_counts () =
          done;
          0));
   let d = Pstats.diff st snap in
-  (* the WF row of the table: one extra pwb (operation publication); the
-     result and opid-acknowledgment words add two to Nw *)
+  (* the WF row of the table: one extra pwb (operation publication) on
+     top of the LF count (which includes the request flush); the result
+     and opid-acknowledgment words add two to Nw *)
   let nw' = nw + 2 in
   let log_lines = (2 + nw' + 3) / 4 in
-  check int "pwb count" (2 + log_lines + nw') d.Pstats.pwb;
+  check int "pwb count" (3 + log_lines + nw') d.Pstats.pwb;
   check int "pfence count" 0 d.Pstats.pfence;
   check int "dcas count" nw' d.Pstats.dcas;
   check int "one commit" 1 d.Pstats.commits

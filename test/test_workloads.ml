@@ -52,7 +52,7 @@ let test_runner_latency_histogram () =
 let kill_result ~wf ~kill =
   Workloads.Kill_test.run ~wf ~processes:4 ~rounds:6000
     ~kill_every:(if kill then Some 300 else None)
-    ~items:8 ~seed:5
+    ~items:8 ~seed:5 ()
 
 let test_kill_test_no_kill_clean () =
   List.iter
@@ -101,8 +101,9 @@ let test_cost_table_matches_paper_formulas () =
   (* DCAS = 2 + Nw exactly; pfence = 0 exactly *)
   check bool "of-lf cas" true (abs_float (lf.cas_dcas -. 10.0) < 0.01);
   check bool "of-lf pfence" true (lf.pfence = 0.0);
-  (* pwb within one line of the paper's 1 + 1.25 Nw *)
-  check bool "of-lf pwb close" true (abs_float (lf.pwb -. 11.0) <= 1.5);
+  (* pwb within one line of the paper's 1 + 1.25 Nw, plus the request
+     flush this implementation adds before recycling the log *)
+  check bool "of-lf pwb close" true (abs_float (lf.pwb -. 12.0) <= 1.5);
   let rom = find "RomulusLog" in
   check bool "romlog pwb = 3 + 2Nw" true (abs_float (rom.pwb -. 19.0) < 0.01);
   let pmdk = find "PMDK" in
