@@ -3,17 +3,26 @@
 
      dune exec bench/main.exe -- --figure fig5 --full
      dune exec bench/main.exe -- --figure all
+     dune exec bench/main.exe -- --figure fig5 --json          # BENCH_fig5.json
+     dune exec bench/main.exe -- --figure fig5 --baseline BENCH_fig5.json
 
    Throughput unit: committed operations per 1000 simulated rounds
    ("ops/kround").  The simulated machine has [cores] CPUs; thread counts
    beyond that are over-subscription, as in the paper.  Latency unit:
    simulated rounds.  See EXPERIMENTS.md for the paper-vs-measured record
-   and the workload-scaling notes. *)
+   and the workload-scaling notes.
+
+   With [--json], every figure run is also serialized (config, seed,
+   series tables, telemetry snapshot) through {!Workloads.Bench_json};
+   [--baseline FILE] diffs the fresh run against a previously saved file
+   and exits nonzero when a series regressed beyond [--tolerance]. *)
 
 open Workloads
 module Region = Pmem.Region
 module Rng = Runtime.Rng
 module Sched = Runtime.Sched
+module Telemetry = Runtime.Telemetry
+module J = Bench_json
 module Lf = Onefile.Onefile_lf
 module Wf = Onefile.Onefile_wf
 
@@ -32,21 +41,52 @@ let full =
     tree_keys = 8192;
   }
 
+(* Base seed (--seed) mixed into every workload seed; 0 keeps the historic
+   seeds so default output is unchanged. *)
+let base_seed = ref 0
+let mix seed = seed + (1_000_003 * !base_seed)
+
 let spec mode ~threads ~seed =
-  { Bench_runner.threads; cores; rounds = mode.rounds; seed; policy = Sched.Round_robin }
+  {
+    Bench_runner.threads;
+    cores;
+    rounds = mode.rounds;
+    seed = mix seed;
+    policy = Sched.Round_robin;
+  }
 
 let pr fmt = Format.printf fmt
 
-let print_series_header name cols =
-  pr "@.# %s@." name;
-  pr "threads";
-  List.iter (fun c -> pr ", %s" c) cols;
-  pr "@."
+(* Telemetry registry for the figure currently running; every OneFile
+   instance built through the TM_FRESH wrappers below reports into it. *)
+let tele = ref (Telemetry.create ())
 
-let print_row threads values =
-  pr "%d" threads;
-  List.iter (fun v -> pr ", %.1f" v) values;
-  pr "@."
+(* Every series a figure prints is also recorded here as a Bench_json
+   table, so --json / --baseline see exactly what the text output shows. *)
+let tables : J.table list ref = ref []
+
+let record ~title ~columns ~better rows =
+  tables :=
+    {
+      J.title;
+      columns;
+      better;
+      rows = List.map (fun (label, values) -> { J.label; values }) rows;
+    }
+    :: !tables
+
+let emit ?(label_col = "threads") ~title ~columns ~better rows =
+  record ~title ~columns ~better rows;
+  pr "@.# %s@." title;
+  pr "%s" label_col;
+  List.iter (fun c -> pr ", %s" c) columns;
+  pr "@.";
+  List.iter
+    (fun (label, values) ->
+      pr "%s" label;
+      List.iter (fun v -> pr ", %.1f" v) values;
+      pr "@.")
+    rows
 
 (* ------------------------------------------------------------------ *)
 (* Series definitions *)
@@ -62,13 +102,19 @@ let vol_size = 1 lsl 18
 module Of_lf_v = struct
   include Lf
 
-  let fresh () = create ~mode:Region.Volatile ~size:vol_size ~ws_cap:2048 ()
+  let fresh () =
+    let t = create ~mode:Region.Volatile ~size:vol_size ~ws_cap:2048 () in
+    attach_telemetry t !tele;
+    t
 end
 
 module Of_wf_v = struct
   include Wf
 
-  let fresh () = create ~mode:Region.Volatile ~size:vol_size ~ws_cap:2048 ()
+  let fresh () =
+    let t = create ~mode:Region.Volatile ~size:vol_size ~ws_cap:2048 () in
+    attach_telemetry t !tele;
+    t
 end
 
 module Tiny_v = struct
@@ -92,13 +138,19 @@ end
 module Of_lf_p = struct
   include Lf
 
-  let fresh () = create ~mode:Region.Persistent ~size:vol_size ~ws_cap:2048 ()
+  let fresh () =
+    let t = create ~mode:Region.Persistent ~size:vol_size ~ws_cap:2048 () in
+    attach_telemetry t !tele;
+    t
 end
 
 module Of_wf_p = struct
   include Wf
 
-  let fresh () = create ~mode:Region.Persistent ~size:vol_size ~ws_cap:2048 ()
+  let fresh () =
+    let t = create ~mode:Region.Persistent ~size:vol_size ~ws_cap:2048 () in
+    attach_telemetry t !tele;
+    t
 end
 
 module Pmdk_p = struct
@@ -164,22 +216,23 @@ let fig_sps mode ~alloc ~persistent =
   in
   List.iter
     (fun swaps ->
-      print_series_header
-        (Printf.sprintf "SPS%s%s: %d-word array, %d swaps/tx (swaps per kround)"
-           (if alloc then "+alloc" else "")
-           (if persistent then " persistent" else "")
-           n swaps)
-        (List.map fst series);
-      List.iter
-        (fun threads ->
-          let sp = spec mode ~threads ~seed:(threads + (swaps * 131)) in
-          let values =
-            List.map
-              (fun (_, point) -> point ~n ~swaps ~alloc sp *. float_of_int swaps)
-              series
-          in
-          print_row threads values)
-        mode.threads)
+      let title =
+        Printf.sprintf "SPS%s%s: %d-word array, %d swaps/tx (swaps per kround)"
+          (if alloc then "+alloc" else "")
+          (if persistent then " persistent" else "")
+          n swaps
+      in
+      let rows =
+        List.map
+          (fun threads ->
+            let sp = spec mode ~threads ~seed:(threads + (swaps * 131)) in
+            ( string_of_int threads,
+              List.map
+                (fun (_, point) -> point ~n ~swaps ~alloc sp *. float_of_int swaps)
+                series ))
+          mode.threads
+      in
+      emit ~title ~columns:(List.map fst series) ~better:J.Higher_better rows)
     swaps_list
 
 (* ------------------------------------------------------------------ *)
@@ -309,19 +362,20 @@ let update_ratios_permille = [ 1000; 100; 10; 0 ]
 let fig_sets mode ~name ~keys ~series =
   List.iter
     (fun upd ->
-      print_series_header
-        (Printf.sprintf "%s, %d keys, update ratio %.1f%% (ops per kround)" name
-           keys
-           (float_of_int upd /. 10.0))
-        (List.map fst series);
-      List.iter
-        (fun threads ->
-          let sp = spec mode ~threads ~seed:(threads + (upd * 7)) in
-          let values =
-            List.map (fun (_, point) -> point ~keys ~update_pct:upd sp) series
-          in
-          print_row threads values)
-        mode.threads)
+      let title =
+        Printf.sprintf "%s, %d keys, update ratio %.1f%% (ops per kround)" name
+          keys
+          (float_of_int upd /. 10.0)
+      in
+      let rows =
+        List.map
+          (fun threads ->
+            let sp = spec mode ~threads ~seed:(threads + (upd * 7)) in
+            ( string_of_int threads,
+              List.map (fun (_, point) -> point ~keys ~update_pct:upd sp) series ))
+          mode.threads
+      in
+      emit ~title ~columns:(List.map fst series) ~better:J.Higher_better rows)
     update_ratios_permille
 
 (* ------------------------------------------------------------------ *)
@@ -408,20 +462,17 @@ let fig_queues mode =
     ]
   in
   let arrayq = [ ("LCRQ", lcrq_point); ("FAAQueue", faaq_point) ] in
-  print_series_header "Queues, linked-list based (enq+deq pairs per kround)"
-    (List.map fst linked);
-  List.iter
-    (fun threads ->
-      let sp = spec mode ~threads ~seed:threads in
-      print_row threads (List.map (fun (_, p) -> p sp) linked))
-    mode.threads;
-  print_series_header "Queues, array based (enq+deq pairs per kround)"
-    (List.map fst arrayq);
-  List.iter
-    (fun threads ->
-      let sp = spec mode ~threads ~seed:threads in
-      print_row threads (List.map (fun (_, p) -> p sp) arrayq))
-    mode.threads
+  let sweep series =
+    List.map
+      (fun threads ->
+        let sp = spec mode ~threads ~seed:threads in
+        (string_of_int threads, List.map (fun (_, p) -> p sp) series))
+      mode.threads
+  in
+  emit ~title:"Queues, linked-list based (enq+deq pairs per kround)"
+    ~columns:(List.map fst linked) ~better:J.Higher_better (sweep linked);
+  emit ~title:"Queues, array based (enq+deq pairs per kround)"
+    ~columns:(List.map fst arrayq) ~better:J.Higher_better (sweep arrayq)
 
 let fig_pqueues mode =
   let series =
@@ -434,13 +485,15 @@ let fig_pqueues mode =
       ("FHMP", fhmp_point);
     ]
   in
-  print_series_header "Persistent queues (enq+deq pairs per kround)"
-    (List.map fst series);
-  List.iter
-    (fun threads ->
-      let sp = spec mode ~threads ~seed:threads in
-      print_row threads (List.map (fun (_, p) -> p sp) series))
-    mode.threads
+  let rows =
+    List.map
+      (fun threads ->
+        let sp = spec mode ~threads ~seed:threads in
+        (string_of_int threads, List.map (fun (_, p) -> p sp) series))
+      mode.threads
+  in
+  emit ~title:"Persistent queues (enq+deq pairs per kround)"
+    ~columns:(List.map fst series) ~better:J.Higher_better rows
 
 (* ------------------------------------------------------------------ *)
 (* Latency percentiles (Fig. 7) *)
@@ -485,20 +538,24 @@ let fig_latency mode =
   in
   List.iter
     (fun threads ->
-      pr "@.# Latency percentiles (rounds/tx), 64 alternating counters, %d threads@."
-        threads;
-      pr "%-10s" "series";
-      List.iter (fun p -> pr ", p%-7g" p) percentiles;
-      pr ", max@.";
-      List.iter
-        (fun (name, mk) ->
-          let h = mk ~threads ~rounds:mode.rounds ~seed:threads in
-          pr "%-10s" name;
-          List.iter
-            (fun p -> pr ", %-8d" (Runtime.Histogram.percentile h p))
-            percentiles;
-          pr ", %d@." (Runtime.Histogram.max_value h))
-        series)
+      let rows =
+        List.map
+          (fun (name, mk) ->
+            let h = mk ~threads ~rounds:mode.rounds ~seed:(mix threads) in
+            ( name,
+              List.map
+                (fun p -> float_of_int (Runtime.Histogram.percentile h p))
+                percentiles
+              @ [ float_of_int (Runtime.Histogram.max_value h) ] ))
+          series
+      in
+      emit ~label_col:"series"
+        ~title:
+          (Printf.sprintf
+             "Latency percentiles (rounds/tx), 64 alternating counters, %d threads"
+             threads)
+        ~columns:[ "p50"; "p90"; "p99"; "p99.9"; "p99.99"; "max" ]
+        ~better:J.Lower_better rows)
     (List.filter (fun t -> t >= 2 && t <= 16) mode.threads)
 
 (* ------------------------------------------------------------------ *)
@@ -506,55 +563,93 @@ let fig_latency mode =
 
 let fig_kill mode =
   pr "@.# Kill test: N processes transfer items between two persistent queues;@.";
-  pr "# one process killed and respawned every 500 rounds (transfers per kround)@.";
-  pr "procs, OF-LF no-kill, OF-LF kill, OF-WF no-kill, OF-WF kill, kills(lf+wf), torn, leak@.";
+  pr "# one process killed and respawned every 500 rounds@.";
   let procs_list = List.filter (fun t -> t >= 2 && t <= 32) mode.threads in
-  List.iter
-    (fun procs ->
-      let rounds = mode.rounds in
-      let per_kround transfers =
-        1000.0 *. float_of_int transfers /. float_of_int rounds
-      in
-      let run ~wf ~kill =
-        Kill_test.run ~wf ~processes:procs ~rounds
-          ~kill_every:(if kill then Some 500 else None)
-          ~items:16 ~seed:procs ()
-      in
-      let lf_nk = run ~wf:false ~kill:false in
-      let lf_k = run ~wf:false ~kill:true in
-      let wf_nk = run ~wf:true ~kill:false in
-      let wf_k = run ~wf:true ~kill:true in
-      let bad (r : Kill_test.result) =
-        (if r.final_total_ok then 0 else 1) + r.torn_observations
-      in
-      pr "%d, %.1f, %.1f, %.1f, %.1f, %d+%d, %d, %d@." procs
-        (per_kround lf_nk.transfers)
-        (per_kround lf_k.transfers)
-        (per_kround wf_nk.transfers)
-        (per_kround wf_k.transfers)
-        lf_k.kills wf_k.kills
-        (bad lf_k + bad wf_k + bad lf_nk + bad wf_nk)
-        (lf_k.leaked_cells + wf_k.leaked_cells))
-    procs_list
+  let results =
+    List.map
+      (fun procs ->
+        let rounds = mode.rounds in
+        let run ~wf ~kill =
+          Kill_test.run ~wf ~processes:procs ~rounds
+            ~kill_every:(if kill then Some 500 else None)
+            ~items:16 ~seed:(mix procs) ()
+        in
+        (procs, run ~wf:false ~kill:false, run ~wf:false ~kill:true,
+         run ~wf:true ~kill:false, run ~wf:true ~kill:true))
+      procs_list
+  in
+  let per_kround transfers =
+    1000.0 *. float_of_int transfers /. float_of_int mode.rounds
+  in
+  let bad (r : Kill_test.result) =
+    (if r.final_total_ok then 0 else 1) + r.torn_observations
+  in
+  emit ~label_col:"procs" ~title:"Kill test: transfers per kround"
+    ~columns:[ "OF-LF no-kill"; "OF-LF kill"; "OF-WF no-kill"; "OF-WF kill" ]
+    ~better:J.Higher_better
+    (List.map
+       (fun (procs, lf_nk, lf_k, wf_nk, wf_k) ->
+         ( string_of_int procs,
+           [
+             per_kround lf_nk.Kill_test.transfers;
+             per_kround lf_k.Kill_test.transfers;
+             per_kround wf_nk.Kill_test.transfers;
+             per_kround wf_k.Kill_test.transfers;
+           ] ))
+       results);
+  emit ~label_col:"procs" ~title:"Kill test: kills injected"
+    ~columns:[ "OF-LF"; "OF-WF" ] ~better:J.Info
+    (List.map
+       (fun (procs, _, lf_k, _, wf_k) ->
+         ( string_of_int procs,
+           [ float_of_int lf_k.Kill_test.kills; float_of_int wf_k.Kill_test.kills ]
+         ))
+       results);
+  emit ~label_col:"procs" ~title:"Kill test: integrity violations"
+    ~columns:[ "torn+mismatch"; "leaked cells" ] ~better:J.Lower_better
+    (List.map
+       (fun (procs, lf_nk, lf_k, wf_nk, wf_k) ->
+         ( string_of_int procs,
+           [
+             float_of_int (bad lf_k + bad wf_k + bad lf_nk + bad wf_nk);
+             float_of_int
+               (lf_k.Kill_test.leaked_cells + wf_k.Kill_test.leaked_cells);
+           ] ))
+       results)
 
 let fig_crashes () =
-  pr "@.# Crash-recovery campaign (whole-system crash at swept points)@.";
-  let t = Crash_campaign.onefile_sps ~wf:false ~trials:30 () in
-  pr "OF-LF  SPS      : %a@." Crash_campaign.pp t;
-  let t = Crash_campaign.onefile_sps ~wf:true ~trials:30 () in
-  pr "OF-WF  SPS      : %a@." Crash_campaign.pp t;
-  let t = Crash_campaign.onefile_queues ~wf:false ~trials:30 () in
-  pr "OF-LF  queues   : %a@." Crash_campaign.pp t;
-  let t = Crash_campaign.onefile_queues ~wf:true ~trials:30 () in
-  pr "OF-WF  queues   : %a@." Crash_campaign.pp t;
-  let t = Crash_campaign.onefile_sps ~wf:false ~trials:30 ~evict:0.5 () in
-  pr "OF-LF  SPS evict: %a@." Crash_campaign.pp t;
-  let t = Crash_campaign.romulus_sps ~lr:false ~trials:30 () in
-  pr "RomLog pair     : %a@." Crash_campaign.pp t;
-  let t = Crash_campaign.romulus_sps ~lr:true ~trials:30 () in
-  pr "RomLR  pair     : %a@." Crash_campaign.pp t;
-  let t = Crash_campaign.pmdk_sps ~trials:30 () in
-  pr "PMDK   pair     : %a@." Crash_campaign.pp t
+  let campaigns =
+    [
+      ("OF-LF SPS", fun () -> Crash_campaign.onefile_sps ~wf:false ~trials:30 ());
+      ("OF-WF SPS", fun () -> Crash_campaign.onefile_sps ~wf:true ~trials:30 ());
+      ( "OF-LF queues",
+        fun () -> Crash_campaign.onefile_queues ~wf:false ~trials:30 () );
+      ( "OF-WF queues",
+        fun () -> Crash_campaign.onefile_queues ~wf:true ~trials:30 () );
+      ( "OF-LF SPS evict",
+        fun () -> Crash_campaign.onefile_sps ~wf:false ~trials:30 ~evict:0.5 () );
+      ("RomLog pair", fun () -> Crash_campaign.romulus_sps ~lr:false ~trials:30 ());
+      ("RomLR pair", fun () -> Crash_campaign.romulus_sps ~lr:true ~trials:30 ());
+      ("PMDK pair", fun () -> Crash_campaign.pmdk_sps ~trials:30 ());
+    ]
+  in
+  let rows =
+    List.map
+      (fun (label, run) ->
+        let r = run () in
+        ( label,
+          [
+            float_of_int r.Crash_campaign.trials;
+            float_of_int r.torn;
+            float_of_int r.regressed;
+            float_of_int r.leaked;
+          ] ))
+      campaigns
+  in
+  emit ~label_col:"campaign"
+    ~title:"Crash-recovery campaign (whole-system crash at swept points)"
+    ~columns:[ "trials"; "torn"; "regressed"; "leaked" ]
+    ~better:J.Lower_better rows
 
 (* ------------------------------------------------------------------ *)
 (* Ablations of the design choices DESIGN.md calls out *)
@@ -562,85 +657,103 @@ let fig_crashes () =
 let fig_ablation mode =
   (* 1. WF read-only fallback bound: the paper uses 4 optimistic attempts
      before publishing the read as an operation *)
-  pr "@.# Ablation: OF-WF read_tries (read-heavy 90%%/10%% counter workload)@.";
-  pr "read_tries, ops/kround (8 threads, 4 cores)@.";
-  List.iter
-    (fun tries ->
-      let t =
-        Wf.create ~mode:Region.Volatile ~size:(1 lsl 15) ~ws_cap:256
-          ~read_tries:tries ()
-      in
-      let r0 = Wf.root t 0 in
-      let sp =
-        { Bench_runner.threads = 8; cores = 4; rounds = mode.rounds / 2;
-          seed = 3; policy = Sched.Random_order }
-      in
-      let thr =
-        Bench_runner.throughput sp (fun ~tid:_ ~rng ->
-            if Rng.int rng 10 = 0 then
-              ignore (Wf.update_tx t (fun tx -> Wf.store tx r0 (Wf.load tx r0 + 1); 0))
-            else ignore (Wf.read_tx t (fun tx -> Wf.load tx r0)))
-      in
-      pr "%d, %.1f@." tries thr)
-    [ 0; 1; 4; 16 ];
+  emit ~label_col:"read_tries"
+    ~title:"Ablation: OF-WF read_tries (read-heavy 90%/10% counter workload)"
+    ~columns:[ "ops/kround" ] ~better:J.Higher_better
+    (List.map
+       (fun tries ->
+         let t =
+           Wf.create ~mode:Region.Volatile ~size:(1 lsl 15) ~ws_cap:256
+             ~read_tries:tries ()
+         in
+         let r0 = Wf.root t 0 in
+         let sp =
+           { Bench_runner.threads = 8; cores = 4; rounds = mode.rounds / 2;
+             seed = mix 3; policy = Sched.Random_order }
+         in
+         let thr =
+           Bench_runner.throughput sp (fun ~tid:_ ~rng ->
+               if Rng.int rng 10 = 0 then
+                 ignore
+                   (Wf.update_tx t (fun tx -> Wf.store tx r0 (Wf.load tx r0 + 1); 0))
+               else ignore (Wf.read_tx t (fun tx -> Wf.load tx r0)))
+         in
+         (string_of_int tries, [ thr ]))
+       [ 0; 1; 4; 16 ]);
   (* 2. Over-subscription: fixed 32 threads, shrinking machine *)
-  pr "@.# Ablation: over-subscription (SPS 16 swaps/tx, 32 threads)@.";
-  pr "cores, OF-LF, OF-WF, TinySTM@.";
-  List.iter
-    (fun c ->
-      let point pnt =
-        pnt ~n:1000 ~swaps:16 ~alloc:false
-          { Bench_runner.threads = 32; cores = c; rounds = mode.rounds;
-            seed = c; policy = Sched.Round_robin }
-      in
-      pr "%d, %.1f, %.1f, %.1f@." c
-        (point Sps_of_lf.point) (point Sps_of_wf.point) (point Sps_tiny.point))
-    [ 2; 4; 8; 16; 32 ];
+  emit ~label_col:"cores"
+    ~title:"Ablation: over-subscription (SPS 16 swaps/tx, 32 threads)"
+    ~columns:[ "OF-LF"; "OF-WF"; "TinySTM" ] ~better:J.Higher_better
+    (List.map
+       (fun c ->
+         let point pnt =
+           pnt ~n:1000 ~swaps:16 ~alloc:false
+             { Bench_runner.threads = 32; cores = c; rounds = mode.rounds;
+               seed = mix c; policy = Sched.Round_robin }
+         in
+         ( string_of_int c,
+           [ point Sps_of_lf.point; point Sps_of_wf.point; point Sps_tiny.point ]
+         ))
+       [ 2; 4; 8; 16; 32 ]);
   (* 3. Write-set lookup threshold (the paper's 40): real wall-clock of
-     populating + probing a large redo log *)
-  pr "@.# Ablation: write-set linear/hash threshold (wall-clock, 512-store tx)@.";
-  pr "threshold, ns/op@.";
-  List.iter
-    (fun thr ->
-      let ws = Onefile.Writeset.create ~linear_threshold:thr 1024 in
-      let t0 = Unix.gettimeofday () in
-      let iters = 300 in
-      for _ = 1 to iters do
-        Onefile.Writeset.clear ws;
-        for i = 1 to 512 do
-          Onefile.Writeset.put ws (i * 8) i;
-          ignore (Onefile.Writeset.find ws ((i * 4) + 1))
-        done
-      done;
-      let dt = Unix.gettimeofday () -. t0 in
-      pr "%d, %.0f@." thr (dt /. float_of_int (iters * 1024) *. 1e9))
-    [ 0; 40; max_int ];
+     populating + probing a large redo log — informational, not gated *)
+  emit ~label_col:"threshold"
+    ~title:"Ablation: write-set linear/hash threshold (wall-clock, 512-store tx)"
+    ~columns:[ "ns/op" ] ~better:J.Info
+    (List.map
+       (fun (thr, label) ->
+         let ws = Onefile.Writeset.create ~linear_threshold:thr 1024 in
+         let t0 = Unix.gettimeofday () in
+         let iters = 300 in
+         for _ = 1 to iters do
+           Onefile.Writeset.clear ws;
+           for i = 1 to 512 do
+             Onefile.Writeset.put ws (i * 8) i;
+             ignore (Onefile.Writeset.find ws ((i * 4) + 1))
+           done
+         done;
+         let dt = Unix.gettimeofday () -. t0 in
+         (label, [ dt /. float_of_int (iters * 1024) *. 1e9 ]))
+       [ (0, "0"); (40, "40"); (max_int, "inf") ]);
   (* 4. Persistence cost model: how the fig8 ranking depends on the fence
      price (1 = the paper's DRAM-emulated NVM, higher = real NVM) *)
-  pr "@.# Ablation: pfence price vs persistent-SPS ranking (8 threads, 1 swap/tx)@.";
-  pr "pfence_cost, OF-LF, PMDK, RomLog@.";
   let saved = !Region.pfence_cost in
-  List.iter
-    (fun c ->
-      Region.pfence_cost := c;
-      let sp =
-        { Bench_runner.threads = 8; cores = 8; rounds = mode.rounds;
-          seed = c; policy = Sched.Round_robin }
-      in
-      let point pnt = pnt ~n:1024 ~swaps:1 ~alloc:false sp in
-      pr "%d, %.1f, %.1f, %.1f@." c
-        (point Sps_of_lf_p.point) (point Sps_pmdk.point) (point Sps_romlog.point))
-    [ 1; 4; 16 ];
+  emit ~label_col:"pfence_cost"
+    ~title:"Ablation: pfence price vs persistent-SPS ranking (8 threads, 1 swap/tx)"
+    ~columns:[ "OF-LF"; "PMDK"; "RomLog" ] ~better:J.Higher_better
+    (List.map
+       (fun c ->
+         Region.pfence_cost := c;
+         let sp =
+           { Bench_runner.threads = 8; cores = 8; rounds = mode.rounds;
+             seed = mix c; policy = Sched.Round_robin }
+         in
+         let point pnt = pnt ~n:1024 ~swaps:1 ~alloc:false sp in
+         ( string_of_int c,
+           [ point Sps_of_lf_p.point; point Sps_pmdk.point;
+             point Sps_romlog.point ] ))
+       [ 1; 4; 16 ]);
   Region.pfence_cost := saved
 
 (* ------------------------------------------------------------------ *)
 (* Cost table (§V-B) *)
 
 let fig_table1 () =
-  pr "@.# Persistence-cost table (per update transaction, Nw = 8 modified words)@.";
-  Table_costs.print Format.std_formatter (Table_costs.measure_all ~nw:8);
-  pr "@.# Same, Nw = 4@.";
-  Table_costs.print Format.std_formatter (Table_costs.measure_all ~nw:4)
+  let measure title ~nw =
+    let rows = Table_costs.measure_all ~nw in
+    pr "@.# %s@." title;
+    Table_costs.print Format.std_formatter rows;
+    record ~title
+      ~columns:[ "pwb"; "pfence"; "cas+dcas" ]
+      ~better:J.Lower_better
+      (List.map
+         (fun (r : Table_costs.row) -> (r.label, [ r.pwb; r.pfence; r.cas_dcas ]))
+         rows)
+  in
+  measure "Persistence-cost table (per update transaction, Nw = 8 modified words)"
+    ~nw:8;
+  measure "Persistence-cost table (per update transaction, Nw = 4 modified words)"
+    ~nw:4
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks *)
@@ -704,10 +817,12 @@ let figures =
     ("micro", "bechamel primitive micro-benchmarks");
   ]
 
-let run_figure mode name =
+let run_figure mode mode_name name =
+  tables := [];
+  tele := Telemetry.create ();
   pr "@.==== %s ====@."
     (try List.assoc name figures with Not_found -> name);
-  match name with
+  (match name with
   | "fig2" -> fig_sps mode ~alloc:false ~persistent:false
   | "fig3" -> fig_sps mode ~alloc:true ~persistent:false
   | "fig4" -> fig_queues mode
@@ -770,11 +885,26 @@ let run_figure mode name =
   | "crashes" -> fig_crashes ()
   | "ablation" -> fig_ablation mode
   | "micro" -> micro ()
-  | other -> pr "unknown figure %s@." other
+  | other -> pr "unknown figure %s@." other);
+  {
+    J.figure = name;
+    bench_mode = mode_name;
+    cores;
+    rounds = mode.rounds;
+    threads = mode.threads;
+    seed = !base_seed;
+    params = [ ("list_keys", mode.list_keys); ("tree_keys", mode.tree_keys) ];
+    tables = List.rev !tables;
+    telemetry = J.telemetry_items (Telemetry.snapshot !tele);
+  }
 
 let () =
   let figure = ref "all" in
   let use_full = ref false in
+  let json = ref false in
+  let out = ref "" in
+  let baseline_path = ref "" in
+  let tolerance = ref 0.10 in
   let args =
     [
       ( "--figure",
@@ -782,12 +912,53 @@ let () =
         "figure to run (fig2..fig12, table1, crashes, micro, all)" );
       ("--full", Arg.Set use_full, "full-size sweeps (slower)");
       ("--quick", Arg.Clear use_full, "quick sweeps (default)");
+      ("--json", Arg.Set json, "also write each run as BENCH_<figure>.json");
+      ( "--out",
+        Arg.Set_string out,
+        "output path for --json (single-figure runs only)" );
+      ( "--baseline",
+        Arg.Set_string baseline_path,
+        "prior BENCH_*.json to diff against; exit 1 on regression" );
+      ( "--tolerance",
+        Arg.Set_float tolerance,
+        "relative regression tolerance for --baseline (default 0.10)" );
+      ( "--seed",
+        Arg.Set_int base_seed,
+        "base seed mixed into every workload seed (default 0)" );
     ]
   in
   Arg.parse args (fun a -> figure := a) "onefile benchmark harness";
   let mode = if !use_full then full else quick in
+  let mode_name = if !use_full then "full" else "quick" in
   pr "# OneFile reproduction benchmarks — %s mode, %d simulated cores@."
-    (if !use_full then "full" else "quick")
-    cores;
-  if !figure = "all" then List.iter (fun (name, _) -> run_figure mode name) figures
-  else run_figure mode !figure
+    mode_name cores;
+  let names =
+    if !figure = "all" then List.map fst figures else [ !figure ]
+  in
+  let runs = List.map (run_figure mode mode_name) names in
+  if !json then
+    List.iter
+      (fun (r : J.run) ->
+        let path =
+          if !out <> "" && List.length runs = 1 then !out
+          else "BENCH_" ^ r.J.figure ^ ".json"
+        in
+        J.write_run path r;
+        pr "@.wrote %s@." path)
+      runs;
+  if !baseline_path <> "" then begin
+    match runs with
+    | [ current ] ->
+        let baseline = J.read_run !baseline_path in
+        let regs = J.diff ~tolerance:!tolerance ~baseline ~current () in
+        if regs = [] then pr "@.baseline %s: no regressions@." !baseline_path
+        else begin
+          pr "@.baseline %s: %d regression(s)@." !baseline_path
+            (List.length regs);
+          List.iter (fun r -> pr "  %a@." J.pp_regression r) regs;
+          exit 1
+        end
+    | _ ->
+        prerr_endline "--baseline requires a single --figure";
+        exit 2
+  end

@@ -76,6 +76,7 @@ type t = {
   scratch_addrs : int array array;
   scratch_vals : int array array;
   checker : Tmcheck.t option ref;
+  tele : Telemetry.sink; (* no-op counters until a registry is attached *)
 }
 
 let req_cell inst tid = inst.ws_base + (tid * inst.ws_stride)
@@ -133,6 +134,7 @@ let create ?(mode = Region.Persistent) ?(size = 1 lsl 18) ?(max_threads = 64)
       scratch_addrs = Array.init max_threads (fun _ -> Array.make ws_cap 0);
       scratch_vals = Array.init max_threads (fun _ -> Array.make ws_cap 0);
       checker;
+      tele = Telemetry.sink ();
     }
   in
   (* initial state: seq 1 committed by nobody; requests closed *)
@@ -186,6 +188,20 @@ let desanitize inst = set_checker inst None
 let checker inst = !(inst.checker)
 let with_chk r f = match !r with Some c -> f c | None -> ()
 
+(* ------------------------------------------------------------------ *)
+(* Telemetry attachment                                                 *)
+
+let attach_telemetry inst t =
+  Telemetry.attach inst.tele t;
+  Region.attach_telemetry inst.region t;
+  Hazard_eras.set_telemetry inst.he (Some t)
+
+let detach_telemetry inst =
+  Telemetry.detach inst.tele;
+  Hazard_eras.set_telemetry inst.he None
+
+let telemetry inst = !(inst.tele)
+
 let read_curtx inst = Region.load inst.region curtx_cell
 
 let is_open inst (ct : Word.t) =
@@ -204,7 +220,8 @@ let close_request inst ~tid ~seq =
   let cell = req_cell inst tid in
   let w = Region.load inst.region cell in
   if w.Word.v = seq then
-    ignore (Region.cas1 inst.region cell w (Word.make (seq + 1) 0))
+    if Region.cas1 inst.region cell w (Word.make (seq + 1) 0) then
+      Telemetry.bump inst.tele "log.recycles"
 
 (* Apply a committed write-set given as arrays (committer passes its own
    volatile write-set; helpers pass the snapshot they copied). *)
@@ -244,7 +261,10 @@ let help inst ~me (ct : Word.t) =
       (* the log cannot have been recycled while the request is still open *)
       let req' = Region.load region (req_cell inst tid) in
       if req'.Word.v = seq then begin
-        if tid <> me then (stats inst).Pstats.helps <- (stats inst).Pstats.helps + 1;
+        if tid <> me then begin
+          (stats inst).Pstats.helps <- (stats inst).Pstats.helps + 1;
+          Telemetry.bump inst.tele "tx.helps"
+        end;
         apply_arrays inst ~seq ~n addrs vals;
         close_request inst ~tid ~seq
       end
@@ -346,9 +366,11 @@ let lf_read_tx inst f =
       | exception Abort ->
           with_chk inst.checker Tmcheck.tx_abort;
           st.Pstats.aborts <- st.Pstats.aborts + 1;
+          Telemetry.bump inst.tele "tx.aborts";
           attempt ()
       | r ->
           with_chk inst.checker (fun c -> Tmcheck.tx_end c ~committed:None);
+          Telemetry.bump inst.tele "tx.ro_commits";
           r
     end
   in
@@ -358,6 +380,7 @@ let lf_update_tx inst f =
   let me = Sched.self () in
   let tx = inst.txs.(me) in
   let st = stats inst in
+  let t0 = Sched.now () in
   let rec attempt () =
     let ct = read_curtx inst in
     if is_open inst ct then begin
@@ -374,10 +397,12 @@ let lf_update_tx inst f =
       | exception Abort ->
           with_chk inst.checker Tmcheck.tx_abort;
           st.Pstats.aborts <- st.Pstats.aborts + 1;
+          Telemetry.bump inst.tele "tx.aborts";
           attempt ()
       | result ->
           if Writeset.is_empty tx.ws then begin
             with_chk inst.checker (fun c -> Tmcheck.tx_end c ~committed:None);
+            Telemetry.bump inst.tele "tx.ro_commits";
             result
           end
           else begin
@@ -389,11 +414,14 @@ let lf_update_tx inst f =
               apply_own inst ~seq tx.ws;
               close_request inst ~tid:me ~seq;
               st.Pstats.commits <- st.Pstats.commits + 1;
+              Telemetry.bump inst.tele "tx.commits";
+              Telemetry.record inst.tele "tx.latency" (Sched.now () - t0 + 1);
               result
             end
             else begin
               with_chk inst.checker Tmcheck.tx_abort;
               st.Pstats.aborts <- st.Pstats.aborts + 1;
+              Telemetry.bump inst.tele "tx.aborts";
               attempt ()
             end
           end
@@ -429,6 +457,7 @@ let aggregate inst tx =
             | None ->
                 if d.freed then
                   failwith "OneFile-WF: hazard-era violation (freed closure)");
+            Telemetry.bump inst.tele "wf.aggregated";
             let r = d.fn tx in
             store tx (res_cell inst u) r;
             store tx (ack_cell inst u) d.opid
@@ -441,6 +470,7 @@ let wf_update_tx inst f =
   let tx = inst.txs.(me) in
   let st = stats inst in
   let region_ = inst.region in
+  let t0 = Sched.now () in
   (* publish the operation (its "birth era" is the seq it was tagged with) *)
   let opid = Satomic.fetch_and_add inst.next_opid 1 + 1 in
   let rs = (Region.load region_ (res_cell inst me)).Word.s in
@@ -448,6 +478,7 @@ let wf_update_tx inst f =
   Satomic.set inst.pending.(me) (Some d);
   Region.store region_ (op_cell inst me) (Word.make opid rs);
   Region.pwb region_ (op_cell inst me);
+  Telemetry.bump inst.tele "wf.published";
   let rec loop () =
     let ackw = Region.load region_ (ack_cell inst me) in
     if ackw.Word.v = opid then begin
@@ -455,6 +486,7 @@ let wf_update_tx inst f =
       let resw = Region.load region_ (res_cell inst me) in
       Satomic.set inst.pending.(me) None;
       Hazard_eras.retire_at inst.he ~birth:rs ~del:ackw.Word.s d;
+      Telemetry.record inst.tele "tx.latency" (Sched.now () - t0 + 1);
       resw.Word.v
     end
     else begin
@@ -474,6 +506,7 @@ let wf_update_tx inst f =
         | exception Abort ->
             with_chk inst.checker Tmcheck.tx_abort;
             st.Pstats.aborts <- st.Pstats.aborts + 1;
+            Telemetry.bump inst.tele "tx.aborts";
             loop ()
         | () ->
             if Writeset.is_empty tx.ws then begin
@@ -489,11 +522,13 @@ let wf_update_tx inst f =
                 Region.pwb region_ curtx_cell;
                 apply_own inst ~seq tx.ws;
                 close_request inst ~tid:me ~seq;
-                st.Pstats.commits <- st.Pstats.commits + 1
+                st.Pstats.commits <- st.Pstats.commits + 1;
+                Telemetry.bump inst.tele "tx.commits"
               end
               else begin
                 with_chk inst.checker Tmcheck.tx_abort;
-                st.Pstats.aborts <- st.Pstats.aborts + 1
+                st.Pstats.aborts <- st.Pstats.aborts + 1;
+                Telemetry.bump inst.tele "tx.aborts"
               end;
               loop ()
             end
@@ -509,9 +544,11 @@ let wf_read_tx inst f =
   let tx = inst.txs.(me) in
   let st = stats inst in
   let rec attempt k =
-    if k <= 0 then
+    if k <= 0 then begin
       (* bounded fallback: publish the read-only function as an operation *)
+      Telemetry.bump inst.tele "wf.fallbacks";
       wf_update_tx inst f
+    end
     else begin
       let ct = read_curtx inst in
       if is_open inst ct then begin
@@ -527,9 +564,11 @@ let wf_read_tx inst f =
         | exception Abort ->
             with_chk inst.checker Tmcheck.tx_abort;
             st.Pstats.aborts <- st.Pstats.aborts + 1;
+            Telemetry.bump inst.tele "tx.aborts";
             attempt (k - 1)
         | r ->
             with_chk inst.checker (fun c -> Tmcheck.tx_end c ~committed:None);
+            Telemetry.bump inst.tele "tx.ro_commits";
             r
       end
     end
@@ -563,6 +602,10 @@ let recover inst =
   (* closures are not executable after a restart: orphaned published
      operations will never run, but committed ones already have their
      results applied by the help below. *)
+  Telemetry.bump inst.tele "recovery.runs";
   let ct = read_curtx inst in
-  if is_open inst ct then help inst ~me:0 ct;
+  if is_open inst ct then begin
+    Telemetry.bump inst.tele "recovery.helped";
+    help inst ~me:0 ct
+  end;
   Region.pfence inst.region

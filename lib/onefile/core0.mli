@@ -60,6 +60,26 @@ val set_checker : t -> Check.Tmcheck.t option -> unit
 (** Low-level variant of {!sanitize}/{!desanitize} for tests that build
     the checker themselves (e.g. in [Collect] mode over a custom layout). *)
 
+(** {1 Telemetry attachment}
+
+    While detached (the default), every counter bump in the hot paths is a
+    no-op (one pointer load + branch); see {!Runtime.Telemetry}. *)
+
+val attach_telemetry : t -> Runtime.Telemetry.t -> unit
+(** Wire this instance into the registry: transaction counters and the
+    commit-latency span ("tx.commits", "tx.ro_commits", "tx.aborts",
+    "tx.helps", "log.recycles", "wf.published", "wf.aggregated",
+    "wf.fallbacks", "recovery.runs", "recovery.helped", span
+    "tx.latency"), the region's Pstats as a pull source ("pmem.*"), and
+    the hazard-era reclaimer ("he.*"). *)
+
+val detach_telemetry : t -> unit
+(** Detach counters (the region pull source stays registered in the
+    registry it was added to — registries are cheap; use a fresh one to
+    start over). *)
+
+val telemetry : t -> Runtime.Telemetry.t option
+
 (** {1 Protocol internals} — exposed for the crash-point and
     seeded-violation tests, which exercise the commit protocol one step at
     a time.  Not for normal use. *)

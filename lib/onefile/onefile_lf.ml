@@ -19,3 +19,6 @@ let curtx_info = Core0.curtx_info
 let sanitize = Core0.sanitize
 let desanitize = Core0.desanitize
 let checker = Core0.checker
+let attach_telemetry = Core0.attach_telemetry
+let detach_telemetry = Core0.detach_telemetry
+let telemetry = Core0.telemetry

@@ -42,3 +42,13 @@ val desanitize : t -> unit
 (** Detach the sanitizer and region observer. *)
 
 val checker : t -> Check.Tmcheck.t option
+
+val attach_telemetry : t -> Runtime.Telemetry.t -> unit
+(** Wire this instance into a {!Runtime.Telemetry} registry: transaction
+    counters ("tx.commits", "tx.aborts", "tx.helps", "log.recycles", …),
+    the "tx.latency" span, the region's Pstats as a pull source
+    ("pmem.*") and the hazard-era reclaimer ("he.*").  While detached
+    (the default) every bump is a no-op. *)
+
+val detach_telemetry : t -> unit
+val telemetry : t -> Runtime.Telemetry.t option

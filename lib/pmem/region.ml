@@ -137,6 +137,21 @@ let crash t ?(evict_fraction = 0.0) ?rng () =
   Array.fill t.dirty 0 (Array.length t.dirty) false;
   notify t Ev_crash
 
+(* Pull source: the region's own Pstats, renamed into the telemetry
+   namespace.  Registered (not copied) so the snapshot always reflects the
+   live counters; one sink can aggregate many regions. *)
+let attach_telemetry t tele =
+  Telemetry.add_source tele (fun () ->
+      let s = t.stats in
+      [
+        ("pmem.pwb", s.Pstats.pwb);
+        ("pmem.pfence", s.Pstats.pfence);
+        ("pmem.cas", s.Pstats.cas);
+        ("pmem.dcas", s.Pstats.dcas);
+        ("pmem.loads", s.Pstats.loads);
+        ("pmem.stores", s.Pstats.stores);
+      ])
+
 let peek t i = Satomic.get_relaxed t.cells.(i)
 
 let peek_durable t i =

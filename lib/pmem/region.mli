@@ -102,3 +102,9 @@ type event =
   | Ev_crash  (** fired after eviction and reload from the durable side *)
 
 val set_observer : t -> (event -> unit) option -> unit
+
+val attach_telemetry : t -> Runtime.Telemetry.t -> unit
+(** Register this region's {!Pstats} as a pull source of the given
+    telemetry registry, under the ["pmem.*"] names (pwb, pfence, cas,
+    dcas, loads, stores).  The source reads the live counters at snapshot
+    time; attaching many regions to one registry sums them. *)

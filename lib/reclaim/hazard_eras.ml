@@ -1,3 +1,5 @@
+(* mutable-ok: the telemetry sink is a ref written from sequential set-up
+   code; bumps happen between scheduling points of the cooperative Sched. *)
 open Runtime
 
 type 'a record = { obj : 'a; birth : int; del : int }
@@ -9,6 +11,7 @@ type 'a t = {
   free : 'a -> unit;
   scan_threshold : int;
   max_threads : int;
+  tele : Telemetry.sink;
 }
 
 let create ?(scan_threshold = 8) ~max_threads ~free () =
@@ -19,7 +22,11 @@ let create ?(scan_threshold = 8) ~max_threads ~free () =
     free;
     scan_threshold;
     max_threads;
+    tele = Telemetry.sink ();
   }
+
+let set_telemetry t s =
+  match s with Some r -> Telemetry.attach t.tele r | None -> Telemetry.detach t.tele
 
 let current_era t = Satomic.get t.clock
 let new_era t = Satomic.fetch_and_add t.clock 1 + 1
@@ -52,10 +59,13 @@ let conflicts t r =
 let scan t me =
   let keep, drop = List.partition (conflicts t) t.limbo.(me) in
   t.limbo.(me) <- keep;
+  Telemetry.bump t.tele "he.scans";
+  Telemetry.bump t.tele "he.freed" ~by:(List.length drop);
   List.iter (fun r -> t.free r.obj) drop
 
 let retire_at t ~birth ~del obj =
   let me = Sched.self () in
+  Telemetry.bump t.tele "he.retired";
   t.limbo.(me) <- { obj; birth; del } :: t.limbo.(me);
   if List.length t.limbo.(me) >= t.scan_threshold then scan t me
 

@@ -53,3 +53,7 @@ val flush : 'a t -> unit
 
 val pending : 'a t -> int
 (** Number of retired-but-not-yet-freed objects. *)
+
+val set_telemetry : 'a t -> Runtime.Telemetry.t option -> unit
+(** Attach (or, with [None], detach) a telemetry registry; the reclaimer
+    then counts ["he.retired"], ["he.freed"] and ["he.scans"]. *)

@@ -1,3 +1,5 @@
+(* mutable-ok: the telemetry sink is a ref written from sequential set-up
+   code; bumps happen between scheduling points of the cooperative Sched. *)
 open Runtime
 
 type 'a t = {
@@ -7,6 +9,7 @@ type 'a t = {
   scan_threshold : int;
   max_threads : int;
   slots_per_thread : int;
+  tele : Telemetry.sink;
 }
 
 let create ?(slots_per_thread = 3) ?(scan_threshold = 8) ~max_threads ~free () =
@@ -19,7 +22,11 @@ let create ?(slots_per_thread = 3) ?(scan_threshold = 8) ~max_threads ~free () =
     scan_threshold;
     max_threads;
     slots_per_thread;
+    tele = Telemetry.sink ();
   }
+
+let set_telemetry t s =
+  match s with Some r -> Telemetry.attach t.tele r | None -> Telemetry.detach t.tele
 
 let publish t ~slot v = Satomic.set t.slots.(Sched.self ()).(slot) v
 
@@ -69,10 +76,13 @@ let hazardous t obj =
 let scan t me =
   let keep, drop = List.partition (hazardous t) t.limbo.(me) in
   t.limbo.(me) <- keep;
+  Telemetry.bump t.tele "hp.scans";
+  Telemetry.bump t.tele "hp.freed" ~by:(List.length drop);
   List.iter t.free drop
 
 let retire t obj =
   let me = Sched.self () in
+  Telemetry.bump t.tele "hp.retired";
   t.limbo.(me) <- obj :: t.limbo.(me);
   if List.length t.limbo.(me) >= t.scan_threshold then scan t me
 

@@ -28,3 +28,7 @@ val clear_all : 'a t -> unit
 val retire : 'a t -> 'a -> unit
 val flush : 'a t -> unit
 val pending : 'a t -> int
+
+val set_telemetry : 'a t -> Runtime.Telemetry.t option -> unit
+(** Attach (or, with [None], detach) a telemetry registry; the reclaimer
+    then counts ["hp.retired"], ["hp.freed"] and ["hp.scans"]. *)

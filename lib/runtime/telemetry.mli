@@ -1,0 +1,83 @@
+(** Counter/span registry: the telemetry sink of a run.
+
+    Components (the OneFile core, the reclaimers, the simulated NVM
+    region) are instrumented with named monotonic counters and latency
+    spans.  Each instrumented component holds a {!sink}; while no sink is
+    attached, every {!bump}/{!record} is a no-op costing one pointer load
+    and branch, so telemetry-off runs pay nothing measurable (the measured
+    delta is recorded in DESIGN.md §7).
+
+    Counter names are dot-separated ("tx.commits", "pmem.pwb", …); the
+    {!snapshot} merges direct counters with pull {e sources} — closures
+    registered by components whose counts live elsewhere (e.g.
+    {!Pmem.Pstats}) — summing duplicates, which makes one sink usable
+    across many TM instances of a benchmark sweep.
+
+    Simulation-only soundness: counters are plain mutable state bumped
+    between scheduling points of the cooperative {!Sched} (or from
+    sequential code) — the same confinement argument as [Pmem.Pstats].
+    Do not use under real parallel domains. *)
+
+type t
+
+val create : ?span_cap:int -> unit -> t
+(** [span_cap] bounds the exact samples kept per span (default [65536]);
+    further samples land in an overflow tally that keeps count/mean/max
+    exact while percentiles degrade to those of the first [span_cap]
+    samples. *)
+
+(** {1 Counters} *)
+
+val incr : ?by:int -> t -> string -> unit
+val get : t -> string -> int
+(** [0] for a name never incremented.  Does not consult sources. *)
+
+(** {1 Spans} *)
+
+val sample : t -> string -> int -> unit
+(** Record one latency sample (simulated rounds) under [name]. *)
+
+type summary = {
+  count : int;
+  mean : float;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+  max : int;
+}
+
+val span_summary : t -> string -> summary
+(** All-zero summary for an unknown span. *)
+
+(** {1 Sources and snapshots} *)
+
+val add_source : t -> (unit -> (string * int) list) -> unit
+(** Register a pull source folded into every {!snapshot}.  Sources survive
+    {!reset} (they read external state; reset that state separately). *)
+
+type snapshot = { counters : (string * int) list; spans : (string * summary) list }
+(** Both lists sorted by name; counters include all sources, duplicates
+    summed. *)
+
+val snapshot : t -> snapshot
+val reset : t -> unit
+(** Drop all counters and spans (sources stay registered). *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit
+
+(** {1 Optional-sink plumbing}
+
+    The pattern for instrumenting a component: hold a [sink] (initially
+    empty), call {!bump}/{!record} on it at the interesting points, and
+    let users {!attach} a registry.  Detached sinks make every call a
+    no-op. *)
+
+type sink = t option ref
+
+val sink : unit -> sink
+(** A fresh detached sink. *)
+
+val attach : sink -> t -> unit
+val detach : sink -> unit
+val bump : ?by:int -> sink -> string -> unit
+val record : sink -> string -> int -> unit

@@ -32,12 +32,18 @@ let trial ~stop ~evict ~build ~workload ~recover ~audit =
 
 module Sps_lf = Structures.Sps.Make (Lf)
 
-let onefile_sps ~wf ~trials ?(evict = 0.0) ?(sanitize = false) () =
+(* Every trial builds a fresh TM; [?telemetry] threads them all into one
+   registry, so e.g. its "recovery.runs" counter equals [report.trials]. *)
+let attach telemetry tm =
+  match telemetry with Some te -> Lf.attach_telemetry tm te | None -> ()
+
+let onefile_sps ~wf ~trials ?(evict = 0.0) ?(sanitize = false) ?telemetry () =
   let n = 64 in
   let update = if wf then Wf.update_tx else Lf.update_tx in
   let build () =
     let tm = Lf.create ~size:(1 lsl 15) ~max_threads:4 ~ws_cap:128 () in
     if sanitize then ignore (Lf.sanitize tm);
+    attach telemetry tm;
     let sps = Sps_lf.create tm ~root:0 ~n in
     (Lf.region tm, (tm, sps))
   in
@@ -79,12 +85,13 @@ let onefile_sps ~wf ~trials ?(evict = 0.0) ?(sanitize = false) () =
 
 module Q = Structures.Tm_queue.Make (Lf)
 
-let onefile_queues ~wf ~trials ?(evict = 0.0) ?(sanitize = false) () =
+let onefile_queues ~wf ~trials ?(evict = 0.0) ?(sanitize = false) ?telemetry () =
   let items = 12 in
   let update = if wf then Wf.update_tx else Lf.update_tx in
   let build () =
     let tm = Lf.create ~size:(1 lsl 15) ~max_threads:4 ~ws_cap:128 () in
     if sanitize then ignore (Lf.sanitize tm);
+    attach telemetry tm;
     let q1 = Q.create tm ~root:0 and q2 = Q.create tm ~root:1 in
     for i = 1 to items do
       Q.enqueue q1 i
@@ -124,12 +131,13 @@ let onefile_queues ~wf ~trials ?(evict = 0.0) ?(sanitize = false) () =
 
 module Tree = Structures.Tree_set.Make (Lf)
 
-let onefile_tree ~wf ~trials ?(evict = 0.0) ?(sanitize = false) () =
+let onefile_tree ~wf ~trials ?(evict = 0.0) ?(sanitize = false) ?telemetry () =
   let keys = 48 in
   let update = if wf then Wf.update_tx else Lf.update_tx in
   let build () =
     let tm = Lf.create ~size:(1 lsl 15) ~max_threads:4 ~ws_cap:256 () in
     if sanitize then ignore (Lf.sanitize tm);
+    attach telemetry tm;
     let tr = Tree.create tm ~root:0 in
     for i = 0 to (keys / 2) - 1 do
       ignore (Tree.add tr (2 * i))

@@ -16,18 +16,38 @@ type report = {
 val pp : Format.formatter -> report -> unit
 
 val onefile_sps :
-  wf:bool -> trials:int -> ?evict:float -> ?sanitize:bool -> unit -> report
+  wf:bool ->
+  trials:int ->
+  ?evict:float ->
+  ?sanitize:bool ->
+  ?telemetry:Runtime.Telemetry.t ->
+  unit ->
+  report
 (** Persistent SPS whose checksum is the invariant.  [sanitize] (default
     false) attaches the {!Check.Tmcheck} opacity/durability sanitizer to
     every trial instance: any invariant violation raises at the faulting
-    step instead of surfacing as a torn audit. *)
+    step instead of surfacing as a torn audit.  [telemetry] threads every
+    trial instance into one registry; since each trial runs recovery
+    exactly once, its ["recovery.runs"] counter equals [report.trials]. *)
 
 val onefile_queues :
-  wf:bool -> trials:int -> ?evict:float -> ?sanitize:bool -> unit -> report
+  wf:bool ->
+  trials:int ->
+  ?evict:float ->
+  ?sanitize:bool ->
+  ?telemetry:Runtime.Telemetry.t ->
+  unit ->
+  report
 (** Two-queue transfers; invariant: item multiset conserved, no leak. *)
 
 val onefile_tree :
-  wf:bool -> trials:int -> ?evict:float -> ?sanitize:bool -> unit -> report
+  wf:bool ->
+  trials:int ->
+  ?evict:float ->
+  ?sanitize:bool ->
+  ?telemetry:Runtime.Telemetry.t ->
+  unit ->
+  report
 (** Balanced-tree churn; invariants: BST order + balance + stored heights,
     allocator exactly accounts for the surviving nodes. *)
 

@@ -1,0 +1,196 @@
+(* Unit tests for the Runtime.Telemetry counter/span registry: counters and
+   sinks, pull sources, snapshot/reset, histogram-span edge cases (empty,
+   single sample, overflow tally), exactness of concurrent increments under
+   the deterministic scheduler, and the Core0 integration counters. *)
+
+open Runtime
+module Region = Pmem.Region
+module Telemetry = Runtime.Telemetry
+module Lf = Onefile.Onefile_lf
+module Wf = Onefile.Onefile_wf
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* --- counters ----------------------------------------------------- *)
+
+let test_counters () =
+  let t = Telemetry.create () in
+  check_int "fresh counter reads 0" 0 (Telemetry.get t "a");
+  Telemetry.incr t "a";
+  Telemetry.incr t "a" ~by:4;
+  Telemetry.incr t "b";
+  check_int "a accumulated" 5 (Telemetry.get t "a");
+  check_int "b accumulated" 1 (Telemetry.get t "b");
+  let snap = Telemetry.snapshot t in
+  check_bool "snapshot sorted by name" true
+    (List.map fst snap.Telemetry.counters = [ "a"; "b" ]);
+  Telemetry.reset t;
+  check_int "reset clears" 0 (Telemetry.get t "a")
+
+let test_sources () =
+  let t = Telemetry.create () in
+  let backing = ref 7 in
+  Telemetry.add_source t (fun () -> [ ("src", !backing); ("shared", 1) ]);
+  Telemetry.incr t "shared" ~by:2;
+  let snap = Telemetry.snapshot t in
+  check_int "pull source folded in" 7
+    (List.assoc "src" snap.Telemetry.counters);
+  check_int "duplicate names sum" 3
+    (List.assoc "shared" snap.Telemetry.counters);
+  backing := 9;
+  let snap = Telemetry.snapshot t in
+  check_int "sources are read at snapshot time" 9
+    (List.assoc "src" snap.Telemetry.counters);
+  Telemetry.reset t;
+  let snap = Telemetry.snapshot t in
+  check_int "sources survive reset" 9
+    (List.assoc "src" snap.Telemetry.counters)
+
+let test_sink_no_op () =
+  let s = Telemetry.sink () in
+  (* all no-ops while detached *)
+  Telemetry.bump s "x";
+  Telemetry.record s "sp" 3;
+  let t = Telemetry.create () in
+  Telemetry.attach s t;
+  Telemetry.bump s "x";
+  Telemetry.bump s "x" ~by:2;
+  Telemetry.record s "sp" 5;
+  check_int "bumps after attach counted" 3 (Telemetry.get t "x");
+  check_int "records after attach counted" 1
+    (Telemetry.span_summary t "sp").Telemetry.count;
+  Telemetry.detach s;
+  Telemetry.bump s "x";
+  check_int "bumps after detach dropped" 3 (Telemetry.get t "x")
+
+(* --- spans -------------------------------------------------------- *)
+
+let test_span_empty () =
+  let t = Telemetry.create () in
+  let s = Telemetry.span_summary t "never-sampled" in
+  check_int "count" 0 s.Telemetry.count;
+  check_int "p50" 0 s.Telemetry.p50;
+  check_int "p99" 0 s.Telemetry.p99;
+  check_int "max" 0 s.Telemetry.max;
+  check_bool "mean" true (s.Telemetry.mean = 0.0)
+
+let test_span_single () =
+  let t = Telemetry.create () in
+  Telemetry.sample t "sp" 42;
+  let s = Telemetry.span_summary t "sp" in
+  check_int "count" 1 s.Telemetry.count;
+  check_int "p50 is the sample" 42 s.Telemetry.p50;
+  check_int "p99 is the sample" 42 s.Telemetry.p99;
+  check_int "max" 42 s.Telemetry.max;
+  check_bool "mean" true (s.Telemetry.mean = 42.0)
+
+let test_span_overflow () =
+  let t = Telemetry.create ~span_cap:4 () in
+  (* 4 in-histogram samples 1..4, then 6 overflow samples 5..10 *)
+  for v = 1 to 10 do
+    Telemetry.sample t "sp" v
+  done;
+  let s = Telemetry.span_summary t "sp" in
+  check_int "count exact past the cap" 10 s.Telemetry.count;
+  check_int "max exact past the cap" 10 s.Telemetry.max;
+  check_bool "mean exact past the cap" true (s.Telemetry.mean = 5.5);
+  check_bool "percentiles reflect the first cap samples" true
+    (s.Telemetry.p99 <= 4)
+
+(* --- concurrency -------------------------------------------------- *)
+
+let test_concurrent_increments () =
+  (* Fibers interleave at every Satomic step point; the plain-mutable
+     counters must still be exact because increments happen between step
+     points (same confinement argument as Pstats). *)
+  let t = Telemetry.create () in
+  let threads = 6 and iters = 50 in
+  let cell = Satomic.make 0 in
+  ignore
+    (Sched.run ~cores:3 ~policy:Sched.Random_order ~seed:7
+       (Array.init threads (fun _ () ->
+            for _ = 1 to iters do
+              ignore (Satomic.get cell);
+              Telemetry.incr t "n";
+              Telemetry.sample t "sp" 1;
+              ignore (Satomic.fetch_and_add cell 1)
+            done)));
+  check_int "counter exact under interleaving" (threads * iters)
+    (Telemetry.get t "n");
+  check_int "span count exact under interleaving" (threads * iters)
+    (Telemetry.span_summary t "sp").Telemetry.count
+
+(* --- Core0 integration -------------------------------------------- *)
+
+let test_onefile_counters () =
+  let tm = Lf.create ~mode:Region.Persistent ~size:(1 lsl 14) ~ws_cap:64 () in
+  let t = Telemetry.create () in
+  Lf.attach_telemetry tm t;
+  let r0 = Lf.root tm 0 in
+  let n = 25 in
+  for i = 1 to n do
+    ignore (Lf.update_tx tm (fun tx -> Lf.store tx r0 i; 0))
+  done;
+  ignore (Lf.read_tx tm (fun tx -> Lf.load tx r0));
+  check_int "every update committed" n (Telemetry.get t "tx.commits");
+  check_int "read-only commit counted" 1 (Telemetry.get t "tx.ro_commits");
+  check_int "no aborts sequentially" 0 (Telemetry.get t "tx.aborts");
+  check_int "latency sampled per commit" n
+    (Telemetry.span_summary t "tx.latency").Telemetry.count;
+  let snap = Telemetry.snapshot t in
+  check_bool "pmem.pwb surfaced via pull source" true
+    (List.assoc "pmem.pwb" snap.Telemetry.counters > 0);
+  (* no pfence on the commit path: the commit CAS is the persistence fence
+     (paper §III-D); recovery is the only place that fences *)
+  check_int "pmem.pfence surfaced, zero while running" 0
+    (List.assoc "pmem.pfence" snap.Telemetry.counters);
+  Lf.recover tm;
+  let snap = Telemetry.snapshot t in
+  check_int "null recovery fences once" 1
+    (List.assoc "pmem.pfence" snap.Telemetry.counters);
+  check_int "recovery run counted" 1 (Telemetry.get t "recovery.runs");
+  Lf.detach_telemetry tm;
+  ignore (Lf.update_tx tm (fun tx -> Lf.store tx r0 0; 0));
+  check_int "detached instance stops counting" n (Telemetry.get t "tx.commits")
+
+let test_wf_counters () =
+  let tm = Wf.create ~mode:Region.Volatile ~size:(1 lsl 14) ~ws_cap:64 () in
+  let t = Telemetry.create () in
+  Wf.attach_telemetry tm t;
+  let r0 = Wf.root tm 0 in
+  let n = 10 in
+  for i = 1 to n do
+    ignore (Wf.update_tx tm (fun tx -> Wf.store tx r0 i; 0))
+  done;
+  check_int "wf updates committed" n (Telemetry.get t "tx.commits");
+  check_int "wf updates published" n (Telemetry.get t "wf.published");
+  check_bool "published closures aggregated" true
+    (Telemetry.get t "wf.aggregated" >= n)
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "pull-sources" `Quick test_sources;
+          Alcotest.test_case "sink-no-op-when-detached" `Quick test_sink_no_op;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "empty" `Quick test_span_empty;
+          Alcotest.test_case "single-sample" `Quick test_span_single;
+          Alcotest.test_case "overflow-bucket" `Quick test_span_overflow;
+        ] );
+      ( "concurrency",
+        [
+          Alcotest.test_case "exact-under-scheduler" `Quick
+            test_concurrent_increments;
+        ] );
+      ( "onefile",
+        [
+          Alcotest.test_case "lf-counters" `Quick test_onefile_counters;
+          Alcotest.test_case "wf-counters" `Quick test_wf_counters;
+        ] );
+    ]

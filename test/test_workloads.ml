@@ -92,6 +92,181 @@ let test_crash_campaigns_clean () =
   assert_clean "romlr" (Workloads.Crash_campaign.romulus_sps ~lr:true ~trials:10 ());
   assert_clean "pmdk" (Workloads.Crash_campaign.pmdk_sps ~trials:10 ())
 
+(* Crash matrix: crash points (swept inside each campaign) x eviction
+   policies x both PTM progress modes x two workloads, with a telemetry
+   registry threaded through every trial.  Ground truth: each trial runs
+   recovery exactly once, so "recovery.runs" must equal report.trials. *)
+let test_crash_matrix_with_telemetry () =
+  let trials = 6 in
+  List.iter
+    (fun evict ->
+      List.iter
+        (fun wf ->
+          List.iter
+            (fun (wl_name, campaign) ->
+              let tele = Telemetry.create () in
+              let r : Workloads.Crash_campaign.report =
+                campaign ~wf ~trials ~evict ~telemetry:tele ()
+              in
+              let label =
+                Printf.sprintf "%s wf=%b evict=%.1f" wl_name wf evict
+              in
+              check int (label ^ " trials") trials r.trials;
+              check int (label ^ " torn") 0 r.torn;
+              check int (label ^ " regressed") 0 r.regressed;
+              check int (label ^ " leaked") 0 r.leaked;
+              check int
+                (label ^ " recovery.runs matches ground truth")
+                trials
+                (Telemetry.get tele "recovery.runs");
+              check bool (label ^ " work happened") true
+                (Telemetry.get tele "tx.commits" > 0))
+            [
+              ( "sps",
+                fun ~wf ~trials ~evict ~telemetry () ->
+                  Workloads.Crash_campaign.onefile_sps ~wf ~trials ~evict
+                    ~telemetry () );
+              ( "queues",
+                fun ~wf ~trials ~evict ~telemetry () ->
+                  Workloads.Crash_campaign.onefile_queues ~wf ~trials ~evict
+                    ~telemetry () );
+            ])
+        [ false; true ])
+    [ 0.0; 0.5 ]
+
+(* --- bench_json --------------------------------------------------- *)
+
+module J = Workloads.Bench_json
+
+let sample_run () =
+  {
+    J.figure = "figX";
+    bench_mode = "quick";
+    cores = 8;
+    rounds = 20_000;
+    threads = [ 1; 2; 4 ];
+    seed = 0;
+    params = [ ("keys", 128) ];
+    tables =
+      [
+        {
+          J.title = "throughput";
+          columns = [ "OF-LF"; "OF-WF" ];
+          better = J.Higher_better;
+          rows =
+            [
+              { J.label = "1"; values = [ 10.25; 8.5 ] };
+              { J.label = "2"; values = [ 19.5; 17.0 ] };
+            ];
+        };
+        {
+          J.title = "latency";
+          columns = [ "p50"; "p99" ];
+          better = J.Lower_better;
+          rows = [ { J.label = "OF-LF"; values = [ 12.0; 96.0 ] } ];
+        };
+      ];
+    telemetry = [ ("tx.aborts", 42.0); ("tx.commits", 1234.5) ];
+  }
+
+let test_json_roundtrip_identity () =
+  let r = sample_run () in
+  let s1 = J.to_string (J.run_to_json r) in
+  let s2 = J.to_string (J.run_to_json (J.run_of_json (J.parse s1))) in
+  check Alcotest.string "emit -> parse -> re-emit is the identity" s1 s2;
+  (* floats that need full precision must survive too *)
+  let v =
+    J.Obj [ ("pi", J.Float 3.14159265358979312); ("tiny", J.Float 1.0e-7) ]
+  in
+  let s1 = J.to_string v in
+  check Alcotest.string "float precision round-trips" s1
+    (J.to_string (J.parse s1))
+
+let test_json_parse_errors () =
+  List.iter
+    (fun s ->
+      check bool ("rejects " ^ s) true
+        (match J.parse s with
+        | exception J.Parse_error _ -> true
+        | _ -> false))
+    [ ""; "{"; "[1,]"; "{\"a\" 1}"; "nul"; "\"unterminated"; "{} trailing" ]
+
+let test_diff_identical_passes () =
+  let r = sample_run () in
+  check int "self-diff has no regressions" 0
+    (List.length (J.diff ~baseline:r ~current:r ()))
+
+let perturb_throughput factor r =
+  {
+    r with
+    J.tables =
+      List.map
+        (fun (t : J.table) ->
+          if t.better <> J.Higher_better then t
+          else
+            {
+              t with
+              J.rows =
+                List.map
+                  (fun (row : J.row) ->
+                    { row with J.values = List.map (fun v -> v *. factor) row.values })
+                  t.rows;
+            })
+        r.J.tables;
+  }
+
+let test_diff_flags_regression () =
+  let base = sample_run () in
+  (* 20% throughput drop against a 10% tolerance: every Higher_better value
+     must be flagged, the Lower_better table untouched *)
+  let regs = J.diff ~tolerance:0.10 ~baseline:base ~current:(perturb_throughput 0.8 base) () in
+  check int "all four throughput points flagged" 4 (List.length regs);
+  check bool "regressions name the table" true
+    (List.for_all
+       (fun (g : J.regression) ->
+         String.length g.where_ >= 10
+         && String.sub g.where_ 0 10 = "throughput")
+       regs);
+  (* a 20% improvement is not a regression *)
+  check int "improvement passes" 0
+    (List.length
+       (J.diff ~tolerance:0.10 ~baseline:base
+          ~current:(perturb_throughput 1.2 base) ()));
+  (* within tolerance passes *)
+  check int "5% drop within 10% tolerance" 0
+    (List.length
+       (J.diff ~tolerance:0.10 ~baseline:base
+          ~current:(perturb_throughput 0.95 base) ()))
+
+let test_diff_lower_better_and_structural () =
+  let base = sample_run () in
+  let worse_latency =
+    {
+      base with
+      J.tables =
+        List.map
+          (fun (t : J.table) ->
+            if t.J.better <> J.Lower_better then t
+            else
+              {
+                t with
+                J.rows = [ { J.label = "OF-LF"; values = [ 20.0; 150.0 ] } ];
+              })
+          base.J.tables;
+    }
+  in
+  check int "latency rise flagged per column" 2
+    (List.length (J.diff ~baseline:base ~current:worse_latency ()));
+  let missing_table = { base with J.tables = [ List.hd base.J.tables ] } in
+  check int "vanished table is a structural regression" 1
+    (List.length (J.diff ~baseline:base ~current:missing_table ()));
+  (* guarded telemetry: abort-count spike is flagged *)
+  let aborts_spike =
+    { base with J.telemetry = [ ("tx.aborts", 60.0); ("tx.commits", 1234.5) ] }
+  in
+  check int "tx.aborts spike flagged" 1
+    (List.length (J.diff ~baseline:base ~current:aborts_spike ()))
+
 let test_cost_table_matches_paper_formulas () =
   let rows = Workloads.Table_costs.measure_all ~nw:8 in
   let find label =
@@ -128,7 +303,21 @@ let () =
           Alcotest.test_case "kills stay clean" `Quick test_kill_test_with_kills_clean;
         ] );
       ( "crash-campaigns",
-        [ Alcotest.test_case "all clean" `Slow test_crash_campaigns_clean ] );
+        [
+          Alcotest.test_case "all clean" `Slow test_crash_campaigns_clean;
+          Alcotest.test_case "matrix with telemetry" `Slow
+            test_crash_matrix_with_telemetry;
+        ] );
+      ( "bench-json",
+        [
+          Alcotest.test_case "round-trip identity" `Quick
+            test_json_roundtrip_identity;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "self-diff passes" `Quick test_diff_identical_passes;
+          Alcotest.test_case "20% drop flagged" `Quick test_diff_flags_regression;
+          Alcotest.test_case "lower-better and structural" `Quick
+            test_diff_lower_better_and_structural;
+        ] );
       ( "cost-table",
         [
           Alcotest.test_case "matches paper formulas" `Quick
