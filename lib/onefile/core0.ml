@@ -55,6 +55,19 @@ type tx = {
 
 type desc = { opid : int; fn : tx -> int; mutable freed : bool }
 
+(* Test-only fault injection: each flag re-opens a specific, once-real bug
+   so the explorer's planted-bug self-checks can prove the harness would
+   catch it.  All flags default to false and must never be set outside
+   tests. *)
+type faults = {
+  mutable drop_publish_pwb : bool;
+      (* skip the request-cell flush at the top of [publish_log] — the PR 1
+         durability hole (volatile close vs. log recycling) *)
+  mutable stale_commit_snapshot : bool;
+      (* refresh curTx right before the commit CAS, ignoring everything
+         committed since the snapshot: a classic lost update *)
+}
+
 type t = {
   region : Region.t;
   max_threads : int;
@@ -77,6 +90,7 @@ type t = {
   scratch_vals : int array array;
   checker : Tmcheck.t option ref;
   tele : Telemetry.sink; (* no-op counters until a registry is attached *)
+  faults : faults;
 }
 
 let req_cell inst tid = inst.ws_base + (tid * inst.ws_stride)
@@ -135,6 +149,7 @@ let create ?(mode = Region.Persistent) ?(size = 1 lsl 18) ?(max_threads = 64)
       scratch_vals = Array.init max_threads (fun _ -> Array.make ws_cap 0);
       checker;
       tele = Telemetry.sink ();
+      faults = { drop_publish_pwb = false; stale_commit_snapshot = false };
     }
   in
   (* initial state: seq 1 committed by nobody; requests closed *)
@@ -201,6 +216,7 @@ let detach_telemetry inst =
   Hazard_eras.set_telemetry inst.he None
 
 let telemetry inst = !(inst.tele)
+let faults inst = inst.faults
 
 let read_curtx inst = Region.load inst.region curtx_cell
 
@@ -285,7 +301,7 @@ let help inst ~me (ct : Word.t) =
 let publish_log inst ~me (ws : Writeset.t) ~seq =
   let region = inst.region in
   let base = req_cell inst me in
-  Region.pwb region base;
+  if not inst.faults.drop_publish_pwb then Region.pwb region base;
   let n = Writeset.size ws in
   for i = 0 to n - 1 do
     Region.store region (base + 2 + i)
@@ -406,6 +422,9 @@ let lf_update_tx inst f =
             result
           end
           else begin
+            let ct =
+              if inst.faults.stale_commit_snapshot then read_curtx inst else ct
+            in
             let seq = ct.Word.v + 1 in
             publish_log inst ~me tx.ws ~seq;
             if Region.cas1 inst.region curtx_cell ct (Word.make seq me) then begin
@@ -514,6 +533,9 @@ let wf_update_tx inst f =
               loop ()
             end
             else begin
+              let ct =
+                if inst.faults.stale_commit_snapshot then read_curtx inst else ct
+              in
               let seq = ct.Word.v + 1 in
               publish_log inst ~me tx.ws ~seq;
               if Region.cas1 region_ curtx_cell ct (Word.make seq me) then begin

@@ -75,10 +75,25 @@ val attach_telemetry : t -> Runtime.Telemetry.t -> unit
 
 val detach_telemetry : t -> unit
 (** Detach counters (the region pull source stays registered in the
-    registry it was added to — registries are cheap; use a fresh one to
-    start over). *)
+    registry it was added to — use a fresh registry to start over, or
+    {!Runtime.Telemetry.clear_sources} to reuse one across instances). *)
 
 val telemetry : t -> Runtime.Telemetry.t option
+
+(** {1 Fault injection} — test-only.  Each flag re-opens a specific,
+    once-real bug so the explorer's planted-bug self-checks can prove the
+    harness catches it.  Never set these outside tests. *)
+
+type faults = {
+  mutable drop_publish_pwb : bool;
+      (** skip the request-cell flush at the top of {!publish_log}: the
+          PR 1 durability hole (volatile request close vs. log recycling) *)
+  mutable stale_commit_snapshot : bool;
+      (** refresh curTx right before the commit CAS, ignoring every
+          transaction committed since the snapshot: a classic lost update *)
+}
+
+val faults : t -> faults
 
 (** {1 Protocol internals} — exposed for the crash-point and
     seeded-violation tests, which exercise the commit protocol one step at

@@ -121,10 +121,23 @@ let pfence t =
 let dirty_lines t =
   Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 t.dirty
 
-let crash t ?(evict_fraction = 0.0) ?rng () =
+let dirty_line_indices t =
+  let acc = ref [] in
+  for line = Array.length t.dirty - 1 downto 0 do
+    if t.dirty.(line) then acc := line :: !acc
+  done;
+  !acc
+
+let crash t ?(evict_fraction = 0.0) ?(evict_lines = []) ?rng () =
   (match t.mode with
   | Volatile -> invalid_arg "Region.crash: volatile region"
   | Persistent -> ());
+  List.iter
+    (fun line ->
+      if line < 0 || line >= Array.length t.dirty then
+        invalid_arg "Region.crash: evict_lines out of range";
+      if t.dirty.(line) then flush_line t line)
+    evict_lines;
   let rng = match rng with Some r -> r | None -> Rng.create 1 in
   Array.iteri
     (fun line d ->

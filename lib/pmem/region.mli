@@ -63,15 +63,25 @@ val pfence_cost : int ref
     defaults (pwb = 1, pfence = 8) encode that ratio, and the §V-B-table
     benchmark reports raw counts regardless of these prices. *)
 
-val crash : t -> ?evict_fraction:float -> ?rng:Runtime.Rng.t -> unit -> unit
+val crash :
+  t -> ?evict_fraction:float -> ?evict_lines:int list -> ?rng:Runtime.Rng.t ->
+  unit -> unit
 (** Simulate a full-system crash followed by restart: every dirty line is
-    lost, except that each has probability [evict_fraction] (default 0) of
-    having been evicted (hence persisted) before the crash.  The volatile
-    side is then reloaded from the durable side.  Raises [Invalid_argument]
-    on a [Volatile] region. *)
+    lost, except that the lines in [evict_lines] (default none) are evicted
+    (hence persisted) deterministically, and each remaining dirty line has
+    probability [evict_fraction] (default 0) of having been evicted before
+    the crash.  [evict_lines] is how the crash-point explorer enumerates
+    exact adversarial evictions; [evict_fraction] is the randomized
+    campaign knob.  The volatile side is then reloaded from the durable
+    side.  Raises [Invalid_argument] on a [Volatile] region or an
+    out-of-range line index. *)
 
 val dirty_lines : t -> int
 (** Number of lines with unpersisted modifications (testing aid). *)
+
+val dirty_line_indices : t -> int list
+(** The dirty lines themselves, ascending — the candidate [evict_lines]
+    for a systematic crash (step-free; checkers and explorers only). *)
 
 val peek : t -> int -> Word.t
 (** Read the volatile side without a scheduling step (checkers only). *)

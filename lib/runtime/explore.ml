@@ -1,0 +1,211 @@
+(* Schedule exploration over Sched.run_controlled: trace record/replay,
+   CHESS-style iterative preemption bounding, PCT priority schedules.
+   Workload-agnostic; the TM-specific driver is Workloads.Explorer. *)
+(* mutable-ok: all state here (trace buffers, DFS work queues, PCT
+   priorities) belongs to the exploring driver, which runs strictly
+   between executions or on the scheduler side of the effect handler —
+   never inside a simulated fiber. *)
+
+type step = { enabled : int array; chosen : int }
+
+type status =
+  | Completed
+  | Stopped
+  | Step_limit
+  | Raised of exn
+
+type recorded = { steps : step array; status : status }
+
+let choices r = Array.map (fun s -> s.chosen) r.steps
+
+(* A preemption is a voluntary switch: the previous thread could have
+   continued but another was chosen.  Forced switches are free, as in
+   CHESS — the bound counts only scheduler malice. *)
+let preemptions ch steps =
+  let n = Array.length ch in
+  let p = ref 0 in
+  for i = 1 to n - 1 do
+    if ch.(i) <> ch.(i - 1) && Array.exists (fun t -> t = ch.(i - 1)) steps.(i).enabled
+    then incr p
+  done;
+  !p
+
+exception Divergence of { step : int; expected : int }
+
+(* ------------------------------------------------------------------ *)
+(* Running one recorded execution                                      *)
+
+let run ?(max_steps = 100_000) ?stop_when ~pick fns =
+  let buf = ref [] in
+  let nsteps = ref 0 in
+  let stopped = ref false in
+  let recording_pick ~step ~enabled ~last =
+    let chosen = pick ~step ~enabled ~last in
+    buf := { enabled; chosen } :: !buf;
+    incr nsteps;
+    chosen
+  in
+  let on_step t =
+    match stop_when with
+    | Some f when f ~step:(Sched.total_steps t) ->
+        stopped := true;
+        Sched.stop t
+    | _ -> ()
+  in
+  let status =
+    match Sched.run_controlled ~max_steps ~on_step ~pick:recording_pick fns with
+    | t ->
+        if !stopped then Stopped
+        else if Sched.live t = 0 then Completed
+        else Step_limit
+    | exception (Divergence _ as e) -> raise e
+    | exception e -> Raised e
+  in
+  let steps = Array.of_list (List.rev !buf) in
+  { steps; status }
+
+(* ------------------------------------------------------------------ *)
+(* Choosers                                                            *)
+
+let pick_prefix ~prefix ~step ~enabled ~last =
+  if step < Array.length prefix then begin
+    let want = prefix.(step) in
+    if not (Array.exists (fun t -> t = want) enabled) then
+      raise (Divergence { step; expected = want });
+    want
+  end
+  else if last >= 0 && Array.exists (fun t -> t = last) enabled then last
+  else enabled.(0)
+
+let pick_pct ~rng ~threads ~depth ~length () =
+  (* distinct base priorities: a random permutation of 1..threads *)
+  let prio = Array.init threads (fun i -> i + 1) in
+  for i = threads - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let t = prio.(i) in
+    prio.(i) <- prio.(j);
+    prio.(j) <- t
+  done;
+  let changes = Hashtbl.create 8 in
+  for _ = 1 to max 0 (depth - 1) do
+    Hashtbl.replace changes (Rng.int rng (max 1 length)) ()
+  done;
+  let low = ref 0 in
+  fun ~step ~enabled ~last:_ ->
+    let best () =
+      let b = ref enabled.(0) in
+      Array.iter (fun t -> if prio.(t) > prio.(!b) then b := t) enabled;
+      !b
+    in
+    let c = best () in
+    if Hashtbl.mem changes step then begin
+      (* lower the thread about to run below everyone, then re-pick *)
+      decr low;
+      prio.(c) <- !low;
+      best ()
+    end
+    else c
+
+(* ------------------------------------------------------------------ *)
+(* Exhaustive enumeration with iterative preemption bounding           *)
+
+type coverage = {
+  executions : int;
+  pruned : int;
+  exhausted : bool;
+  max_trace : int;
+}
+
+let pp_coverage ppf c =
+  Format.fprintf ppf
+    "%d executions, %d pruned by bound, %s, longest trace %d steps"
+    c.executions c.pruned
+    (if c.exhausted then "space exhausted" else "budget hit")
+    c.max_trace
+
+(* Work item: a schedule prefix, the position it deviated at (+1) — new
+   deviations are only generated from there on, so every maximal schedule
+   is produced exactly once — and its preemption count. *)
+type item = { prefix : int array; branch_from : int; npre : int }
+
+let enumerate ?(preemption_bound = 2) ?(max_executions = max_int) ~execute () =
+  (* buckets by preemption count, drained lowest-first: iterative
+     preemption bounding without re-running lower bounds.  Order within a
+     bucket does not affect completeness, so lists suffice. *)
+  let buckets = Array.make (preemption_bound + 1) [] in
+  buckets.(0) <- [ { prefix = [||]; branch_from = 0; npre = 0 } ];
+  let executions = ref 0 in
+  let pruned = ref 0 in
+  let max_trace = ref 0 in
+  let failure = ref None in
+  let next () =
+    let rec go b =
+      if b > preemption_bound then None
+      else
+        match buckets.(b) with
+        | [] -> go (b + 1)
+        | it :: rest ->
+            buckets.(b) <- rest;
+            Some it
+    in
+    go 0
+  in
+  let exhausted = ref false in
+  (try
+     let rec loop () =
+       match next () with
+       | None -> exhausted := true
+       | Some it ->
+           if !executions >= max_executions then ()
+           else begin
+             incr executions;
+             let recorded, fail = execute ~prefix:it.prefix in
+             if Array.length recorded.steps > !max_trace then
+               max_trace := Array.length recorded.steps;
+             (match fail with
+             | Some _ ->
+                 failure := fail;
+                 raise Exit
+             | None -> ());
+             let ch = choices recorded in
+             let n = Array.length ch in
+             (* scan for deviations; [np] holds preemptions of ch[0..i-1] —
+                a deviation at [i] replaces ch.(i), so the recorded switch
+                at [i] itself is folded in only after branching. *)
+             let prev_enabled i t =
+               i > 0
+               && t <> ch.(i - 1)
+               && Array.exists (fun u -> u = ch.(i - 1)) recorded.steps.(i).enabled
+             in
+             let np = ref 0 in
+             for i = 0 to n - 1 do
+               if i >= it.branch_from then
+                 Array.iter
+                   (fun alt ->
+                     if alt <> ch.(i) then begin
+                       let npre = !np + if prev_enabled i alt then 1 else 0 in
+                       if npre <= preemption_bound then
+                         buckets.(npre) <-
+                           {
+                             prefix = Array.append (Array.sub ch 0 i) [| alt |];
+                             branch_from = i + 1;
+                             npre;
+                           }
+                           :: buckets.(npre)
+                       else incr pruned
+                     end)
+                   recorded.steps.(i).enabled;
+               if prev_enabled i ch.(i) then incr np
+             done;
+             loop ()
+           end
+     in
+     loop ()
+   with Exit -> ());
+  ( {
+      executions = !executions;
+      pruned = !pruned;
+      exhausted = !exhausted && !failure = None;
+      max_trace = !max_trace;
+    },
+    !failure )

@@ -1,0 +1,111 @@
+(** Systematic schedule exploration over the deterministic scheduler.
+
+    Under {!Sched.run_controlled} a concurrent execution is fully determined
+    by the sequence of tids chosen at each shared-memory step.  This module
+    treats that sequence as the search space: it records executions as
+    traces, replays a trace prefix deterministically, and enumerates the
+    schedule space either exhaustively with iterative preemption bounding
+    (CHESS-style) or by randomized priority schedules (PCT) for configs too
+    large to enumerate.
+
+    The layer is workload-agnostic: callers provide an [execute] function
+    that builds a fresh system, runs it under a given schedule prefix and
+    returns a verdict.  The TM-specific driver (program generation, crash
+    injection, oracle diffing) lives in [Workloads.Explorer]. *)
+
+(** {1 Recorded executions} *)
+
+type step = { enabled : int array; chosen : int }
+(** One decision point: the sorted runnable tids and the tid that ran. *)
+
+(** How an execution ended. *)
+type status =
+  | Completed  (** every fiber finished *)
+  | Stopped  (** halted by [stop_when] (e.g. a forced crash point) *)
+  | Step_limit  (** the [max_steps] budget elapsed with fibers still live *)
+  | Raised of exn  (** a fiber — or an observer hook — raised *)
+
+type recorded = { steps : step array; status : status }
+
+val choices : recorded -> int array
+(** The chosen tid per step — the trace's replayable schedule. *)
+
+val preemptions : int array -> step array -> int
+(** [preemptions choices steps]: voluntary context switches in a schedule —
+    positions where the previous thread was still enabled but a different
+    one was chosen.  Forced switches (previous thread finished or blocked)
+    do not count, matching the CHESS preemption-bounding convention. *)
+
+exception Divergence of { step : int; expected : int }
+(** Replay divergence: a recorded choice names a tid that is not enabled at
+    that step.  Executions are deterministic functions of the schedule, so
+    this indicates nondeterminism in the system under test (e.g. untracked
+    randomness) — a bug in the harness setup, not a schedule to explore. *)
+
+(** {1 Running one execution} *)
+
+val run :
+  ?max_steps:int ->
+  ?stop_when:(step:int -> bool) ->
+  pick:(step:int -> enabled:int array -> last:int -> int) ->
+  (unit -> unit) array ->
+  recorded
+(** Run the fibers under {!Sched.run_controlled}, recording every decision
+    point.  [stop_when ~step] is consulted after each executed step (step
+    counts from 1 there); returning [true] halts the world before the next
+    step — fibers are left frozen mid-operation, exactly like a crash.
+    Exceptions escaping a fiber are captured as [Raised] rather than
+    re-raised, so a sanitizer violation is a recordable outcome. *)
+
+val pick_prefix : prefix:int array -> step:int -> enabled:int array -> last:int -> int
+(** Replay [prefix] choice by choice, then continue non-preemptively: keep
+    running the last-stepped thread while it stays enabled, else switch to
+    the lowest enabled tid.  The non-preemptive tail adds no preemptions,
+    so the preemption count of the resulting schedule is that of the
+    prefix.  @raise Divergence if a prefix choice is not enabled. *)
+
+val pick_pct :
+  rng:Rng.t ->
+  threads:int ->
+  depth:int ->
+  length:int ->
+  unit ->
+  step:int -> enabled:int array -> last:int -> int
+(** A fresh PCT (probabilistic concurrency testing) chooser: threads get
+    random distinct base priorities; [depth - 1] priority-change points are
+    drawn uniformly over [\[0, length)]; at each step the highest-priority
+    enabled thread runs, and at a change point the thread about to run
+    first has its priority lowered below every other.  A schedule drawn
+    this way finds any bug of preemption depth [d <= depth] with
+    probability >= 1/(threads * length^(d-1)).  Deterministic in [rng]. *)
+
+(** {1 Exhaustive enumeration} *)
+
+type coverage = {
+  executions : int;  (** executions actually run *)
+  pruned : int;  (** candidate schedules discarded by the preemption bound *)
+  exhausted : bool;
+      (** the schedule space within the bound was fully enumerated (never
+          true when the run stopped on a failure or the execution budget) *)
+  max_trace : int;  (** longest trace seen, in steps *)
+}
+
+val pp_coverage : Format.formatter -> coverage -> unit
+
+val enumerate :
+  ?preemption_bound:int ->
+  ?max_executions:int ->
+  execute:(prefix:int array -> recorded * 'f option) ->
+  unit ->
+  coverage * 'f option
+(** Depth-first enumeration of all schedules with at most
+    [preemption_bound] (default 2) preemptions, processed in order of
+    increasing preemption count (iterative preemption bounding): the free
+    schedule runs first, then every 1-preemption deviation of it, and so
+    on.  [execute ~prefix] must run a {b fresh} instance of the system
+    under {!pick_prefix} and return the recorded trace plus a failure
+    verdict; enumeration stops at the first [Some] failure, at
+    [max_executions] (default unlimited), or when the bounded space is
+    exhausted.  Every maximal schedule within the bound is executed exactly
+    once (deviations are only generated at or after each prefix's own
+    deviation point). *)

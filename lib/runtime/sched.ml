@@ -154,6 +154,61 @@ let choose_random t =
   done;
   Array.to_list (Array.sub arr 0 want)
 
+(* One simulated CPU, one step per decision: the controlled entry point the
+   schedule-exploration layer (Explore) drives.  [pick] is called between
+   steps, on the scheduler side of the effect handler, with the sorted
+   runnable tids; the chosen fiber executes exactly one shared-memory step.
+   [on_step] runs after each step (same side) and may call [stop] — this is
+   how crash-point injection halts the world at an exact event without
+   unwinding any fiber. *)
+let run_controlled ?(max_steps = max_int) ?on_step ~pick fns =
+  if !active <> None then
+    failwith "Sched.run_controlled: nested simulations not supported";
+  let fibers =
+    Array.mapi (fun i f -> { tid = i; logical = i; status = Ready f }) fns
+  in
+  let t =
+    {
+      fibers;
+      nfibers = Array.length fns;
+      nlive = Array.length fns;
+      cores = 1;
+      quantum = 1;
+      policy = Round_robin;
+      rng = Rng.create 0;
+      round_no = 0;
+      steps = 0;
+      cursor = 0;
+      stopping = false;
+      error = None;
+    }
+  in
+  active := Some t;
+  Fun.protect ~finally:(fun () ->
+      active := None;
+      current := None)
+  @@ fun () ->
+  let last = ref (-1) in
+  while (not t.stopping) && t.nlive > 0 && t.steps < max_steps do
+    let enabled = Array.make t.nlive 0 in
+    let j = ref 0 in
+    for i = 0 to t.nfibers - 1 do
+      if runnable t.fibers.(i) then begin
+        enabled.(!j) <- i;
+        incr j
+      end
+    done;
+    let tid = pick ~step:t.steps ~enabled ~last:!last in
+    if tid < 0 || tid >= t.nfibers || not (runnable t.fibers.(tid)) then
+      invalid_arg "Sched.run_controlled: pick chose a non-runnable fiber";
+    exec_step t t.fibers.(tid);
+    last := tid;
+    t.round_no <- t.round_no + 1;
+    (match on_step with Some f -> f t | None -> ())
+  done;
+  (match t.error with Some e -> raise e | None -> ());
+  t
+
 let run ?(cores = max_int) ?(quantum = 1) ?(policy = Round_robin) ?(seed = 42)
     ?(max_rounds = max_int) ?on_round fns =
   if !active <> None then failwith "Sched.run: nested simulations not supported";

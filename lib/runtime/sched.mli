@@ -36,6 +36,24 @@ val run :
     Defaults: [cores] = all fibers, [quantum = 1], [policy = Round_robin],
     [seed = 42], [max_rounds] = unlimited. *)
 
+val run_controlled :
+  ?max_steps:int ->
+  ?on_step:(t -> unit) ->
+  pick:(step:int -> enabled:int array -> last:int -> int) ->
+  (unit -> unit) array ->
+  t
+(** Controlled variant of {!run} for systematic schedule exploration (see
+    {!Explore}): one simulated CPU, quantum 1, and an externally chosen
+    fiber per step.  Before every step, [pick ~step ~enabled ~last] receives
+    the step index, the sorted tids of runnable fibers (non-empty) and the
+    previously stepped tid ([-1] on the first step); the fiber it returns
+    executes exactly one shared-memory step.  [on_step] runs after each step
+    on the scheduler side and may call {!stop} (the loop exits before the
+    next step — crash injection uses this to halt the world at an exact
+    memory event) or {!kill}/{!spawn}.  The run ends when all fibers finish,
+    [stop] is called, or [max_steps] elapse; a fiber exception is re-raised.
+    Raises [Invalid_argument] if [pick] returns a non-runnable tid. *)
+
 exception Fiber_killed
 (** Never raised into user code; used internally to discard continuations of
     killed fibers. *)

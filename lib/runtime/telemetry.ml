@@ -135,6 +135,11 @@ let reset (t : t) =
   Hashtbl.reset t.counters;
   Hashtbl.reset t.spans
 
+(* Without this, a registry reused across many short-lived instances (one
+   per explored schedule) accretes a pull source per dead region, and
+   snapshot N+1 still sums counters of executions 1..N. *)
+let clear_sources (t : t) = t.sources <- []
+
 let pp_snapshot ppf snap =
   List.iter (fun (name, v) -> Format.fprintf ppf "%-24s %d@." name v) snap.counters;
   List.iter

@@ -63,6 +63,13 @@ val snapshot : t -> snapshot
 val reset : t -> unit
 (** Drop all counters and spans (sources stay registered). *)
 
+val clear_sources : t -> unit
+(** Drop every registered pull source.  A registry reused across a
+    sequence of short-lived instrumented instances — one TM per explored
+    schedule, say — must call [reset] {e and} [clear_sources] between
+    executions, then re-attach the fresh instance; otherwise the sources
+    of dead instances keep leaking their counters into later snapshots. *)
+
 val pp_snapshot : Format.formatter -> snapshot -> unit
 
 (** {1 Optional-sink plumbing}

@@ -1,0 +1,154 @@
+(** Oracle-checked schedule and crash-point exploration of OneFile.
+
+    The TM-specific driver over {!Runtime.Explore}: a random transaction
+    program ({!Proggen}) is dealt round-robin onto [threads] fibers and run
+    under a controlled schedule on a fresh OneFile instance (lock-free or
+    wait-free, volatile or persistent).  Three strategies search the
+    schedule space:
+
+    - {!explore_exhaustive} — every interleaving within a preemption bound
+      (CHESS-style iterative preemption bounding), for tiny configurations;
+    - {!explore_pct} — randomized PCT priority schedules, for
+      configurations too large to enumerate;
+    - {!explore_crashes} — along one schedule, force a crash plus recovery
+      at every persistence event (or every mutation), with deterministic
+      adversarial cache-eviction variants: nothing evicted, everything
+      evicted, and each single dirty line evicted alone.
+
+    Every execution optionally runs under the {!Check.Tmcheck} sanitizer
+    (protocol invariants); its results and final state are then diffed
+    against the sequential {!Tm.Seqtm} oracle: a completed execution must
+    match {e some} serialization of the program consistent with the
+    per-thread order, and a crashed one must match some serialization of a
+    set of per-thread transaction prefixes that includes every transaction
+    that returned before the crash (returned transactions are durably
+    committed — OneFile persists [curTx] before applying, so commit
+    durability is monotone along the commit order).  The existential check
+    replays candidate orders on fresh Seqtm instances, capped at
+    [oracle_cap] replays and memoized on the observable outcome.
+
+    A failure carries everything needed to reproduce it — program,
+    schedule, crash point, fault flags — serializes to JSON
+    ({!Bench_json}) and replays deterministically; {!shrink} minimizes
+    first the program (greedy delta-debugging) and then the schedule
+    prefix.  [bin/explore.exe] is the CLI. *)
+
+(** Which planted bug, if any, to re-open in the instance under test
+    (see [Onefile.Core0.faults]) — the explorer's self-check that the
+    harness catches once-real bugs. *)
+type fault =
+  | No_fault
+  | Durability_hole  (** drop the request-cell pwb in [publish_log] *)
+  | Lost_update  (** refresh the curTx snapshot right before the commit CAS *)
+
+type config = {
+  wf : bool;  (** wait-free algorithm instead of lock-free *)
+  threads : int;
+  persistent : bool;
+      (** region mode for interleaving exploration; crash exploration is
+          always persistent.  Volatile makes pwb/pfence free, shrinking
+          traces — preferable when crashes are not being explored. *)
+  sanitize : bool;  (** attach {!Check.Tmcheck} to every execution *)
+  fault : fault;
+  max_steps : int;  (** per-execution scheduler step budget *)
+  oracle_cap : int;  (** max sequential replays per oracle verdict *)
+  telemetry : Runtime.Telemetry.t option;
+      (** attach every execution's instance to this registry; sources are
+          cleared between executions ({!Runtime.Telemetry.clear_sources}),
+          counters accumulate *)
+}
+
+val default : config
+(** lock-free, 2 threads, volatile, sanitized, no fault,
+    [max_steps = 50_000], [oracle_cap = 50_000], no telemetry. *)
+
+(** Deterministic eviction choice at a forced crash: which dirty lines
+    survive (are written back) at the crash point. *)
+type evict =
+  | Evict_none
+  | Evict_all
+  | Evict_line of int
+      (** the [k]-th dirty line in ascending order at crash time *)
+
+type crash_spec = { event : int; evict : evict }
+(** Crash after the [event]-th region event (1-based, counted across the
+    whole execution: loads, stores, CASes, pwbs, pfences). *)
+
+type failure = {
+  config : config;
+  program : Proggen.program;
+  schedule : int array;
+      (** replay with {!Runtime.Explore.pick_prefix}; the tail past the
+          recorded prefix continues non-preemptively *)
+  crash : crash_spec option;
+  reason : string;
+}
+
+val pp_failure : Format.formatter -> failure -> unit
+val failure_to_json : failure -> Bench_json.json
+
+val failure_of_json : Bench_json.json -> failure
+(** @raise Bench_json.Parse_error on documents not written by
+    {!failure_to_json} (the [telemetry] field is not serialized and comes
+    back [None]). *)
+
+val replay : failure -> string option
+(** Re-execute the failure's program under its schedule (and crash point):
+    [Some reason] if it still fails, [None] if it passes.  Deterministic. *)
+
+type report = {
+  strategy : string;
+  executions : int;
+  coverage : Runtime.Explore.coverage option;  (** exhaustive only *)
+  crash_sites : int;  (** crash strategy: sites actually enumerated *)
+  inconclusive : int;
+      (** executions whose oracle verdict hit [oracle_cap] (counted as
+          passes — an exhaustiveness claim is only as strong as this is
+          zero) *)
+  failure : failure option;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val explore_exhaustive :
+  ?config:config ->
+  ?preemption_bound:int ->
+  ?max_executions:int ->
+  Proggen.program ->
+  report
+(** All schedules with at most [preemption_bound] (default 2) preemptions,
+    in order of increasing preemption count; stops at the first failure or
+    after [max_executions]. *)
+
+val explore_pct :
+  ?config:config ->
+  ?depth:int ->
+  ?executions:int ->
+  ?seed:int ->
+  Proggen.program ->
+  report
+(** One free-schedule baseline (which also calibrates the PCT trace
+    length), then [executions] (default 200) random PCT schedules of bug
+    depth [depth] (default 3), all derived deterministically from
+    [seed]. *)
+
+val explore_crashes :
+  ?config:config ->
+  ?sites:[ `Persist | `Every ] ->
+  ?max_sites:int ->
+  ?schedule:int array ->
+  Proggen.program ->
+  report
+(** Run the baseline [schedule] (default [[||]], the free schedule) on a
+    persistent region, then re-run it once per crash site — each [pwb] /
+    [pfence] event for [`Persist] (default), additionally every store and
+    successful CAS for [`Every] — times each eviction variant:
+    [Evict_none], [Evict_all], and [Evict_line k] for each line dirty at
+    that point.  [max_sites] subsamples the sites evenly when given.
+    Stops at the first failure. *)
+
+val shrink : find:(Proggen.program -> failure option) -> failure -> failure
+(** Minimize a failure: greedily delete transactions and operations while
+    [find] (typically the bounded strategy call that found the failure)
+    still fails, then truncate the schedule to the shortest prefix whose
+    deterministic replay still fails. *)

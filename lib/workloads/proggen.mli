@@ -1,0 +1,71 @@
+(** Random transaction programs: generation, execution, shrinking.
+
+    The single source of truth for the differential harnesses: the random
+    oracle test ([test/test_oracle.ml]) and the schedule/crash explorer
+    ({!Explorer}) both generate their workloads here, so a program that one
+    of them minimizes replays under the other.
+
+    Programs operate on [value_slots + ptr_slots] root slots: slots
+    [0 .. value_slots-1] hold plain values, the rest hold pointers to
+    transactionally allocated blocks (null = 0).  Raw addresses never flow
+    into results or state comparisons — allocators may place blocks
+    differently across TMs — only the markers stored through them do. *)
+
+val value_slots : int
+(** 4: slots 0..3. *)
+
+val ptr_slots : int
+(** 4: slots 4..7. *)
+
+type op =
+  | Load of int  (** value slot *)
+  | Store of int * int
+  | Add_delta of int * int
+  | Alloc_into of int * int * int  (** ptr slot, n cells, marker *)
+  | Free_slot of int  (** ptr slot *)
+  | Load_through of int  (** ptr slot *)
+
+type txn = { read_only : bool; ops : op list }
+
+type program = txn list
+
+val pp_op : Format.formatter -> op -> unit
+val pp_program : Format.formatter -> program -> unit
+
+(** {1 Generation} *)
+
+val gen_program : ?max_txns:int -> ?max_ops:int -> int -> program
+(** [gen_program seed]: 1 to [max_txns] (default 20) transactions of 1 to
+    [max_ops] (default 6) operations each, every 4th transaction read-only
+    on average.  Freeing a block allocated earlier in the same transaction
+    is degraded to a dereference (legal, but it trips Tmcheck's set-based
+    allocator validation, whose load/store accounting is not temporal);
+    alloc/free interplay across transactions stays fully exercised. *)
+
+val split : threads:int -> program -> program array
+(** Deal the transactions round-robin onto [threads] per-thread programs
+    (transaction [i] goes to thread [i mod threads]), preserving relative
+    order within each thread. *)
+
+(** {1 Execution} *)
+
+module Exec (T : Tm.Tm_intf.S) : sig
+  val exec_txn : T.t -> txn -> int
+  (** Run one transaction (read-only ones under [read_tx]); its result is
+      the sum of per-operation results. *)
+
+  val observe : T.t -> int list * int list
+  (** Address-independent observable state: value slots verbatim; pointer
+      slots as null(-1)/marker-behind-the-pointer. *)
+
+  val run : (unit -> T.t) -> program -> int list * (int list * int list)
+  (** Fresh instance, execute sequentially, return per-transaction results
+      and the final {!observe}. *)
+end
+
+(** {1 Shrinking} *)
+
+val shrink : fails:(program -> bool) -> program -> program
+(** Greedy delta-debugging: repeatedly delete any transaction (then any
+    single operation) whose removal keeps [fails] true.  [fails] must hold
+    for the input program; it is never called on the empty program. *)

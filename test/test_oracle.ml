@@ -1,154 +1,23 @@
-(* Differential property harness: random transaction programs are executed
+(* Differential property harness: random transaction programs (from
+   Workloads.Proggen, shared with the schedule/crash explorer) are executed
    against OneFile-LF, OneFile-WF and the sequential Seqtm oracle; every
    per-transaction result and the final reachable state must agree.
 
-   Programs operate on 8 root slots: slots 0-3 hold plain values, slots 4-7
-   hold pointers to transactionally allocated blocks (null = 0).  Raw
-   addresses never flow into results or state comparisons — allocators may
-   place blocks differently across TMs — only the markers stored through
-   them do.  On a mismatch the program is shrunk (whole-transaction, then
+   On a mismatch the program is shrunk (whole-transaction, then
    per-operation greedy deletion) before reporting, so failures come out
    minimal.  Every 10th seed also runs LF/WF with the Tmcheck sanitizer
    attached, which turns internal opacity/durability violations into
    immediate failures. *)
 
-open Runtime
 module Region = Pmem.Region
 module Lf = Onefile.Onefile_lf
 module Wf = Onefile.Onefile_wf
 module Seq = Tm.Seqtm
+module Proggen = Workloads.Proggen
 
-let value_slots = 4 (* slots 0..3 *)
-let ptr_slots = 4 (* slots 4..7 *)
-
-type op =
-  | Load of int (* value slot *)
-  | Store of int * int
-  | Add_delta of int * int
-  | Alloc_into of int * int * int (* ptr slot, n cells, marker *)
-  | Free_slot of int (* ptr slot *)
-  | Load_through of int (* ptr slot *)
-
-type txn = { read_only : bool; ops : op list }
-
-let pp_op ppf = function
-  | Load k -> Format.fprintf ppf "load r%d" k
-  | Store (k, v) -> Format.fprintf ppf "store r%d %d" k v
-  | Add_delta (k, d) -> Format.fprintf ppf "add r%d %+d" k d
-  | Alloc_into (k, n, m) -> Format.fprintf ppf "alloc r%d (%d cells, mark %d)" k n m
-  | Free_slot k -> Format.fprintf ppf "free r%d" k
-  | Load_through k -> Format.fprintf ppf "deref r%d" k
-
-let pp_program ppf prog =
-  List.iteri
-    (fun i t ->
-      Format.fprintf ppf "  tx%d%s:" i (if t.read_only then " (ro)" else "");
-      List.iter (fun op -> Format.fprintf ppf " [%a]" pp_op op) t.ops;
-      Format.fprintf ppf "@.")
-    prog
-
-(* --- generation --------------------------------------------------- *)
-
-(* [fresh] tracks pointer slots already re-allocated earlier in the same
-   transaction.  Freeing a block that the same transaction allocated is
-   legal but trips Tmcheck's set-based allocator validation (its load/store
-   accounting is not temporal), so the generator degrades such a free into
-   a dereference; alloc/free interplay across transactions stays fully
-   exercised. *)
-let gen_op rng ~read_only ~fresh =
-  if read_only then
-    if Rng.bool rng then Load (Rng.int rng value_slots)
-    else Load_through (value_slots + Rng.int rng ptr_slots)
-  else
-    match Rng.int rng 10 with
-    | 0 | 1 -> Load (Rng.int rng value_slots)
-    | 2 | 3 -> Store (Rng.int rng value_slots, Rng.int rng 1000)
-    | 4 | 5 -> Add_delta (Rng.int rng value_slots, Rng.int rng 21 - 10)
-    | 6 | 7 ->
-        let k = value_slots + Rng.int rng ptr_slots in
-        if List.mem k !fresh then Load_through k
-        else begin
-          fresh := k :: !fresh;
-          Alloc_into (k, 1 + Rng.int rng 3, 1 + Rng.int rng 10_000)
-        end
-    | 8 ->
-        let k = value_slots + Rng.int rng ptr_slots in
-        if List.mem k !fresh then Load_through k else Free_slot k
-    | _ -> Load_through (value_slots + Rng.int rng ptr_slots)
-
-let gen_txn rng =
-  let read_only = Rng.int rng 4 = 0 in
-  let nops = 1 + Rng.int rng 6 in
-  let fresh = ref [] in
-  { read_only; ops = List.init nops (fun _ -> gen_op rng ~read_only ~fresh) }
-
-let gen_program seed =
-  let rng = Rng.create seed in
-  let ntx = 1 + Rng.int rng 20 in
-  List.init ntx (fun _ -> gen_txn rng)
-
-(* --- execution ---------------------------------------------------- *)
-
-module Exec (T : Tm.Tm_intf.S) = struct
-  let interp t tx op =
-    match op with
-    | Load k -> T.load tx (T.root t k)
-    | Store (k, v) ->
-        T.store tx (T.root t k) v;
-        v
-    | Add_delta (k, d) ->
-        let v = T.load tx (T.root t k) + d in
-        T.store tx (T.root t k) v;
-        v
-    | Alloc_into (k, n, mark) ->
-        let slot = T.root t k in
-        let old = T.load tx slot in
-        if old <> 0 then T.free tx old;
-        let p = T.alloc tx n in
-        T.store tx p mark;
-        T.store tx slot p;
-        mark
-    | Free_slot k ->
-        let slot = T.root t k in
-        let old = T.load tx slot in
-        if old = 0 then 0
-        else begin
-          T.free tx old;
-          T.store tx slot 0;
-          1
-        end
-    | Load_through k ->
-        let p = T.load tx (T.root t k) in
-        if p = 0 then -1 else T.load tx p
-
-  let exec_txn t txn =
-    let body tx = List.fold_left (fun acc op -> acc + interp t tx op) 0 txn.ops in
-    if txn.read_only then T.read_tx t body else T.update_tx t body
-
-  (* Address-independent observable state: value slots verbatim; pointer
-     slots as null/marker-behind-the-pointer. *)
-  let observe t =
-    let values =
-      List.init value_slots (fun k -> T.read_tx t (fun tx -> T.load tx (T.root t k)))
-    in
-    let pointers =
-      List.init ptr_slots (fun i ->
-          let k = value_slots + i in
-          T.read_tx t (fun tx ->
-              let p = T.load tx (T.root t k) in
-              if p = 0 then -1 else T.load tx p))
-    in
-    (values, pointers)
-
-  let run mk prog =
-    let t = mk () in
-    let results = List.map (exec_txn t) prog in
-    (results, observe t)
-end
-
-module Run_seq = Exec (Seq)
-module Run_lf = Exec (Lf)
-module Run_wf = Exec (Wf)
+module Run_seq = Proggen.Exec (Seq)
+module Run_lf = Proggen.Exec (Lf)
+module Run_wf = Proggen.Exec (Wf)
 
 let mk_seq () = Seq.create ~size:(1 lsl 15) ()
 
@@ -174,47 +43,6 @@ let agrees ~sanitize prog =
   let o = check ~sanitize prog in
   o.lf_ok && o.wf_ok
 
-(* --- shrinking ---------------------------------------------------- *)
-
-let drop_nth l n = List.filteri (fun i _ -> i <> n) l
-
-(* Greedy delta-debugging: repeatedly delete any transaction (then any
-   single operation) whose removal keeps the program failing. *)
-let shrink ~sanitize prog =
-  let still_fails p = p <> [] && not (agrees ~sanitize p) in
-  let rec drop_txns p =
-    let n = List.length p in
-    let rec try_at i =
-      if i >= n then p
-      else
-        let cand = drop_nth p i in
-        if still_fails cand then drop_txns cand else try_at (i + 1)
-    in
-    try_at 0
-  in
-  let rec drop_ops p =
-    let try_one ti oi =
-      List.mapi
-        (fun i t -> if i = ti then { t with ops = drop_nth t.ops oi } else t)
-        p
-      |> List.filter (fun t -> t.ops <> [])
-    in
-    let rec scan ti =
-      if ti >= List.length p then p
-      else
-        let t = List.nth p ti in
-        let rec ops oi =
-          if oi >= List.length t.ops then scan (ti + 1)
-          else
-            let cand = try_one ti oi in
-            if still_fails cand then drop_ops cand else ops (oi + 1)
-        in
-        ops 0
-    in
-    scan 0
-  in
-  drop_ops (drop_txns prog)
-
 (* --- the test ----------------------------------------------------- *)
 
 let seeds = 210
@@ -222,10 +50,12 @@ let seeds = 210
 let run_all () =
   for seed = 1 to seeds do
     let sanitize = seed mod 10 = 0 in
-    let prog = gen_program seed in
+    let prog = Proggen.gen_program seed in
     let o = check ~sanitize prog in
     if not (o.lf_ok && o.wf_ok) then begin
-      let small = shrink ~sanitize prog in
+      let small =
+        Proggen.shrink ~fails:(fun p -> not (agrees ~sanitize p)) prog
+      in
       let o = check ~sanitize small in
       Alcotest.failf
         "seed %d%s: %s disagree with Seqtm oracle; minimal repro:@.%a" seed
@@ -234,7 +64,7 @@ let run_all () =
         | false, false -> "OF-LF and OF-WF"
         | false, true -> "OF-LF"
         | _ -> "OF-WF")
-        pp_program small
+        Proggen.pp_program small
     end
   done
 
@@ -247,13 +77,13 @@ module Broken = struct
   let store tx a v = Seq.store tx a (v land lnot 1)
 end
 
-module Run_broken = Exec (Broken)
+module Run_broken = Proggen.Exec (Broken)
 
 let harness_detects_bugs () =
   let found = ref false in
   (try
      for seed = 1 to 50 do
-       let prog = gen_program seed in
+       let prog = Proggen.gen_program seed in
        let expected = Run_seq.run mk_seq prog in
        (* a crash inside the corrupted TM (e.g. free of a mangled pointer)
           is also a caught divergence *)

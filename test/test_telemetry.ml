@@ -47,6 +47,26 @@ let test_sources () =
   check_int "sources survive reset" 9
     (List.assoc "src" snap.Telemetry.counters)
 
+let test_clear_sources () =
+  (* regression: a registry reused across short-lived instances (one per
+     explored execution) used to accrete every dead instance's pull
+     source, inflating pmem.* forever; clear_sources drops them while
+     keeping the push counters *)
+  let t = Telemetry.create () in
+  Telemetry.incr t "kept" ~by:5;
+  Telemetry.add_source t (fun () -> [ ("dead", 100) ]);
+  Telemetry.add_source t (fun () -> [ ("dead", 100) ]);
+  let snap = Telemetry.snapshot t in
+  check_int "sources sum while registered" 200
+    (List.assoc "dead" snap.Telemetry.counters);
+  Telemetry.clear_sources t;
+  Telemetry.add_source t (fun () -> [ ("live", 7) ]);
+  let snap = Telemetry.snapshot t in
+  check_bool "dead sources gone" true
+    (not (List.mem_assoc "dead" snap.Telemetry.counters));
+  check_int "fresh source read" 7 (List.assoc "live" snap.Telemetry.counters);
+  check_int "push counters survive" 5 (List.assoc "kept" snap.Telemetry.counters)
+
 let test_sink_no_op () =
   let s = Telemetry.sink () in
   (* all no-ops while detached *)
@@ -176,6 +196,7 @@ let () =
           Alcotest.test_case "counters" `Quick test_counters;
           Alcotest.test_case "pull-sources" `Quick test_sources;
           Alcotest.test_case "sink-no-op-when-detached" `Quick test_sink_no_op;
+          Alcotest.test_case "clear-sources" `Quick test_clear_sources;
         ] );
       ( "spans",
         [

@@ -1,0 +1,115 @@
+(* Property tests for the redo-log write-set (Onefile.Writeset): the
+   add-or-replace contract against an insertion-ordered model, across the
+   paper's linear-scan/hash-set switchover and its ablation override, plus
+   the capacity limit.  Complements the hashtbl equivalence property in
+   test_props.ml, which only checks final lookups. *)
+
+module Ws = Onefile.Writeset
+
+(* Reference model: ordered assoc list, first-insertion position kept on
+   overwrite (the write-set is an array with add-or-replace semantics, so
+   iteration order is first-put order with latest values). *)
+let model_put m addr v =
+  if List.mem_assoc addr m then
+    List.map (fun (a, x) -> if a = addr then (a, v) else (a, x)) m
+  else m @ [ (addr, v) ]
+
+let model_of puts = List.fold_left (fun m (a, v) -> model_put m a v) [] puts
+
+let entries ws =
+  let acc = ref [] in
+  Ws.iter ws (fun a v -> acc := (a, v) :: !acc);
+  List.rev !acc
+
+let puts_gen =
+  (* addresses from a small range so overwrites are frequent; enough puts
+     to cross the default threshold of 40 distinct entries regularly *)
+  QCheck.(list_of_size Gen.(int_range 0 120) (pair (int_range 1 60) (int_range 0 1000)))
+
+let agrees_with_model ~mk puts =
+  let ws = mk () in
+  List.iter (fun (a, v) -> Ws.put ws a v) puts;
+  let m = model_of puts in
+  (* size counts distinct addresses *)
+  Ws.size ws = List.length m
+  && Ws.is_empty ws = (m = [])
+  (* iteration is first-insertion order carrying the latest values *)
+  && entries ws = m
+  (* find returns the latest value per address, and only for present ones *)
+  && List.for_all (fun (a, v) -> Ws.find ws a = Some v) m
+  && List.for_all
+       (fun a -> List.mem_assoc a m || Ws.find ws a = None)
+       (List.init 70 (fun i -> i))
+  (* the positional accessors agree with iteration order *)
+  && List.for_all2
+       (fun i (a, v) -> Ws.addr_at ws i = a && Ws.val_at ws i = v)
+       (List.init (List.length m) (fun i -> i))
+       m
+
+let prop_default =
+  QCheck.Test.make ~count:300 ~name:"insertion-order-model-default-threshold"
+    puts_gen
+    (agrees_with_model ~mk:(fun () -> Ws.create 128))
+
+let prop_tiny_threshold =
+  (* ablation override: hashed lookup from the 4th distinct entry on —
+     exercises the switchover on nearly every case *)
+  QCheck.Test.make ~count:300 ~name:"insertion-order-model-threshold-4"
+    puts_gen
+    (agrees_with_model ~mk:(fun () -> Ws.create ~linear_threshold:4 128))
+
+let prop_overwrite_last_wins =
+  QCheck.Test.make ~count:300 ~name:"lookup-after-overwrite-last-wins"
+    QCheck.(triple (int_range 1 50) (small_list (int_range 0 1000)) (int_range 0 1000))
+    (fun (addr, vs, last) ->
+      let ws = Ws.create 64 in
+      List.iter (fun v -> Ws.put ws addr v) vs;
+      Ws.put ws addr last;
+      Ws.find ws addr = Some last && Ws.size ws = 1)
+
+let prop_clear_resets =
+  QCheck.Test.make ~count:100 ~name:"clear-then-refill" puts_gen (fun puts ->
+      let ws = Ws.create 128 in
+      List.iter (fun (a, v) -> Ws.put ws a v) puts;
+      Ws.clear ws;
+      Ws.is_empty ws
+      && Ws.size ws = 0
+      && agrees_with_model ~mk:(fun () -> ws) puts)
+
+(* --- capacity ------------------------------------------------------ *)
+
+let test_capacity () =
+  let cap = 50 in
+  let ws = Ws.create cap in
+  (* cap distinct entries fit, even across the linear threshold... *)
+  for a = 1 to cap do
+    Ws.put ws a (a * 10)
+  done;
+  Alcotest.(check int) "cap entries held" cap (Ws.size ws);
+  (* ...overwrites at capacity are still fine... *)
+  Ws.put ws 1 999;
+  Alcotest.(check (option int)) "overwrite at capacity" (Some 999) (Ws.find ws 1);
+  (* ...but one more distinct address must fail loudly, not corrupt *)
+  (match Ws.put ws (cap + 1) 0 with
+  | () -> Alcotest.fail "put beyond capacity did not raise"
+  | exception Failure _ -> ());
+  Alcotest.(check int) "size unchanged after refusal" cap (Ws.size ws);
+  Ws.clear ws;
+  for a = 1 to cap do
+    Ws.put ws a a
+  done;
+  Alcotest.(check int) "full capacity again after clear" cap (Ws.size ws)
+
+let () =
+  Alcotest.run "writeset"
+    [
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_default;
+            prop_tiny_threshold;
+            prop_overwrite_last_wins;
+            prop_clear_resets;
+          ] );
+      ("capacity", [ Alcotest.test_case "growth-and-limit" `Quick test_capacity ]);
+    ]
