@@ -796,6 +796,200 @@ let micro () =
     results
 
 (* ------------------------------------------------------------------ *)
+(* Hot-path cost trajectory (extension).
+
+   Simulator-native, wall-clock-free metrics that gate the hot-path
+   overhaul: minor-heap words per TM operation, pwb/pfence per committed
+   update transaction at 1-, 2- and 4-line write-set footprints, helper
+   work under contention, and ops/kround throughput for the same shapes.
+   The gated tables carry a "pre-overhaul" row of constants measured at
+   this PR's base commit with the same harness, so BENCH_hotpath.json
+   records the before/after trajectory in one file and bench_diff guards
+   the after against future regression.  Everything here is exact and
+   reproducible: allocation counts come from the compiled code, pwb
+   counts from Pstats, scheduling from the seeded simulator. *)
+
+(* Per-op minor-heap words, free of measurement-loop bias: run [op] n and
+   then 2n times and take (d2 - d1) / n, cancelling the loop's own
+   allocations (boxed floats from Gc.minor_words, closure setup). *)
+let words_per op n =
+  let d1 =
+    let before = Gc.minor_words () in
+    for _ = 1 to n do
+      op ()
+    done;
+    Gc.minor_words () -. before
+  in
+  let d2 =
+    let before = Gc.minor_words () in
+    for _ = 1 to 2 * n do
+      op ()
+    done;
+    Gc.minor_words () -. before
+  in
+  (d2 -. d1) /. float_of_int n
+
+let fig_hotpath mode =
+  let module Pstats = Pmem.Pstats in
+  (* 1. Minor-heap words per op on the three hot shapes.  Pre-overhaul,
+     each load boxed an option (and every access went through a fresh
+     interposition closure); all three must now be exactly 0. *)
+  let alloc_row (module T : TM_FRESH) =
+    let t = T.fresh () in
+    let r0 = T.root t 0 in
+    ignore (T.update_tx t (fun tx -> T.store tx r0 7; 0));
+    let ro = ref 0.0 and wl = ref 0.0 and ws = ref 0.0 in
+    ignore
+      (T.read_tx t (fun tx ->
+           ignore (T.load tx r0);
+           ro := words_per (fun () -> ignore (T.load tx r0)) 10_000;
+           0));
+    ignore
+      (T.update_tx t (fun tx ->
+           T.store tx r0 1;
+           wl := words_per (fun () -> ignore (T.load tx r0)) 10_000;
+           ws := words_per (fun () -> T.store tx r0 2) 10_000;
+           0));
+    [ !ro; !wl; !ws ]
+  in
+  emit ~label_col:"series" ~title:"Hotpath: minor-heap words per op"
+    ~columns:[ "ro-load"; "ws-hit load"; "ws-hit store" ]
+    ~better:J.Lower_better
+    [
+      ("pre-overhaul OF-LF", [ 8.0; 9.0; 11.0 ]);
+      ("OF-LF", alloc_row (module Of_lf_v));
+      ("OF-WF", alloc_row (module Of_wf_v));
+    ];
+  (* 2./3. pwb and pfence per committed update tx, persistent mode, at
+     write sets spanning 1, 2 and 4 cache lines.  Line-dedup makes the
+     data flushes per-line instead of per-word; the pre-overhaul rows are
+     2 + log_lines + nw (LF) and +3 for the WF request round-trip, with
+     log_lines = nw/4 + 1 (8-word entries measured at the base commit;
+     4- and 16-word entries from the same pre-dedup formula). *)
+  let pwb_counts (type a) (module T : Tm.Tm_intf.S with type t = a) (t : a)
+      ~nw =
+    ignore (T.update_tx t (fun tx -> T.store tx (T.root t 0) 1; 0));
+    let st = Region.stats (T.region t) in
+    let snap = Pstats.copy st in
+    let ntx = 50 in
+    for k = 1 to ntx do
+      ignore
+        (T.update_tx t (fun tx ->
+             for i = 0 to nw - 1 do
+               T.store tx (T.root t i) (k + i)
+             done;
+             0))
+    done;
+    let d = Pstats.diff st snap in
+    ( float_of_int d.Pstats.pwb /. float_of_int ntx,
+      float_of_int d.Pstats.pfence /. float_of_int ntx )
+  in
+  let lf_point ~nw =
+    let t = Lf.create ~size:vol_size ~ws_cap:64 ~num_roots:16 () in
+    Lf.attach_telemetry t !tele;
+    pwb_counts (module Lf) t ~nw
+  in
+  let wf_point ~nw =
+    let t = Wf.create ~size:vol_size ~ws_cap:64 ~num_roots:16 () in
+    Wf.attach_telemetry t !tele;
+    pwb_counts (module Wf) t ~nw
+  in
+  let widths = [ 4; 8; 16 ] in
+  let lf_pts = List.map (fun nw -> lf_point ~nw) widths in
+  let wf_pts = List.map (fun nw -> wf_point ~nw) widths in
+  emit ~label_col:"series" ~title:"Hotpath: pwb per committed update tx"
+    ~columns:[ "4w/1-line"; "8w/2-line"; "16w/4-line" ]
+    ~better:J.Lower_better
+    [
+      ("pre-overhaul OF-LF", [ 8.0; 13.0; 23.0 ]);
+      ("pre-overhaul OF-WF", [ 11.0; 16.0; 26.0 ]);
+      ("OF-LF", List.map fst lf_pts);
+      ("OF-WF", List.map fst wf_pts);
+    ];
+  (* The simulated [pwb] flushes its line eagerly, so the commit path
+     issues no pfence at all (the fence cost is charged at create and
+     recovery only); this row is 0 by design and gates against a per-tx
+     fence sneaking back in. *)
+  emit ~label_col:"series" ~title:"Hotpath: pfence per committed update tx"
+    ~columns:[ "4w/1-line"; "8w/2-line"; "16w/4-line" ]
+    ~better:J.Lower_better
+    [ ("OF-LF", List.map snd lf_pts); ("OF-WF", List.map snd wf_pts) ];
+  (* 4. Helper work under write-write contention: 8 threads hammering
+     overlapping 12-word write sets.  Raw deterministic counts (Info):
+     helps = foreign write-sets applied, early-exits = helper apply loops
+     abandoned at a K-entry request re-check, dcas-fail = DCAS attempts
+     that lost their race. *)
+  let contention (type a) (module T : Tm.Tm_intf.S with type t = a) (t : a)
+      ~seed =
+    let st = Region.stats (T.region t) in
+    let snap = Pstats.copy st in
+    let sp =
+      {
+        Bench_runner.threads = 8;
+        cores;
+        rounds = mode.rounds;
+        seed = mix seed;
+        policy = Sched.Round_robin;
+      }
+    in
+    let ops =
+      Bench_runner.run_ops sp (fun ~tid ~rng ->
+          let base = Rng.int rng 4 in
+          ignore
+            (T.update_tx t (fun tx ->
+                 for i = 0 to 11 do
+                   T.store tx (T.root t ((base + i) mod 16)) (tid + i)
+                 done;
+                 0)))
+    in
+    let d = Pstats.diff st snap in
+    [
+      float_of_int ops;
+      float_of_int d.Pstats.helps;
+      float_of_int d.Pstats.help_exits;
+      float_of_int d.Pstats.dcas_fail;
+    ]
+  in
+  let lf_c = Lf.create ~size:vol_size ~ws_cap:64 ~num_roots:16 () in
+  Lf.attach_telemetry lf_c !tele;
+  let wf_c = Wf.create ~size:vol_size ~ws_cap:64 ~num_roots:16 () in
+  Wf.attach_telemetry wf_c !tele;
+  emit ~label_col:"series" ~title:"Hotpath: helper work under contention"
+    ~columns:[ "commits"; "helps"; "early-exits"; "dcas-fail" ]
+    ~better:J.Info
+    [
+      ("OF-LF", contention (module Lf) lf_c ~seed:4242);
+      ("OF-WF", contention (module Wf) wf_c ~seed:4243);
+    ];
+  (* 5. Throughput on the same shapes (4 threads, simulated rounds). *)
+  let thr (module T : TM_FRESH) =
+    let t = T.fresh () in
+    ignore (T.update_tx t (fun tx -> T.store tx (T.root t 0) 1; 0));
+    let ro =
+      Bench_runner.throughput
+        (spec mode ~threads:4 ~seed:11)
+        (fun ~tid:_ ~rng:_ ->
+          ignore (T.read_tx t (fun tx -> T.load tx (T.root t 0))))
+    in
+    let up =
+      Bench_runner.throughput
+        (spec mode ~threads:4 ~seed:13)
+        (fun ~tid ~rng:_ ->
+          ignore
+            (T.update_tx t (fun tx ->
+                 for i = 0 to 7 do
+                   T.store tx (T.root t i) (tid + i)
+                 done;
+                 0)))
+    in
+    [ ro; up ]
+  in
+  emit ~label_col:"series" ~title:"Hotpath: throughput (ops/kround, 4 threads)"
+    ~columns:[ "ro-load"; "update-8w" ]
+    ~better:J.Higher_better
+    [ ("OF-LF", thr (module Of_lf_v)); ("OF-WF", thr (module Of_wf_v)) ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver *)
 
 let figures =
@@ -815,6 +1009,7 @@ let figures =
     ("crashes", "crash-recovery campaign (extension)");
     ("ablation", "design-choice ablations (extension)");
     ("micro", "bechamel primitive micro-benchmarks");
+    ("hotpath", "hot-path cost trajectory: alloc/op, pwb per tx, helper work (extension)");
   ]
 
 let run_figure mode mode_name name =
@@ -885,6 +1080,7 @@ let run_figure mode mode_name name =
   | "crashes" -> fig_crashes ()
   | "ablation" -> fig_ablation mode
   | "micro" -> micro ()
+  | "hotpath" -> fig_hotpath mode
   | other -> pr "unknown figure %s@." other);
   {
     J.figure = name;

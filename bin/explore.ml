@@ -35,7 +35,7 @@ let usage () =
   --max-sites N    crash: subsample to N sites   (default all)
   --persistent     persistent region for interleaving strategies
   --no-sanitize    do not attach the Tmcheck sanitizer
-  --plant F        plant a fault: durability | lost-update
+  --plant F        plant a fault: durability | lost-update | stale-dedup
   --max-steps N    per-execution step budget (default 50000)
   --no-shrink      print the raw failure without minimizing it
   --out FILE       write the (shrunk) failing trace as JSON
@@ -126,6 +126,7 @@ let () =
         (match v with
         | "durability" -> fault := E.Durability_hole
         | "lost-update" -> fault := E.Lost_update
+        | "stale-dedup" -> fault := E.Stale_dedup
         | _ ->
             prerr_endline ("explore: unknown fault " ^ v);
             exit 2);
@@ -209,7 +210,8 @@ let () =
          (match !fault with
          | E.No_fault -> ""
          | E.Durability_hole -> " (planted: durability-hole)"
-         | E.Lost_update -> " (planted: lost-update)");
+         | E.Lost_update -> " (planted: lost-update)"
+         | E.Stale_dedup -> " (planted: stale-dedup)");
        let report = find prog in
        Format.printf "%a" E.pp_report report;
        match report.E.failure with

@@ -256,6 +256,37 @@ let rule_mutable ~path ~raw ~stripped acc =
         }
         :: acc
 
+(* The TM hot path (lib/onefile) is kept allocation-free by construction:
+   Option-returning lookups box their result on every access and
+   string-keyed telemetry hashes the name on every bump, so both are
+   banned there in favour of Writeset.find_idx / pre-resolved
+   Telemetry handles.  Cold paths that genuinely want the convenience
+   carry an (* alloc-ok: ... *) marker. *)
+let hotpath_tokens = [ "find_opt"; "Telemetry.bump"; "Telemetry.record" ]
+
+let rule_hotpath ~path ~raw ~stripped acc =
+  if (not (under "lib/onefile" path)) || has_marker raw "alloc-ok" then acc
+  else
+    List.fold_left
+      (fun acc tok ->
+        List.fold_left
+          (fun acc off ->
+            {
+              file = path;
+              line = line_of_offset stripped off;
+              rule = "hotpath-alloc";
+              message =
+                tok
+                ^ " in lib/onefile: allocates or string-hashes on the TM hot \
+                   path — use a sentinel-returning lookup (Writeset.find_idx) \
+                   or a pre-resolved Telemetry handle, or mark the file \
+                   (* alloc-ok: ... *) if this is a cold path";
+            }
+            :: acc)
+          acc
+          (find_token stripped tok))
+      acc hotpath_tokens
+
 let lint_source ~path raw =
   if not (scanned path) then []
   else if Filename.check_suffix path ".ml" then begin
@@ -265,6 +296,7 @@ let lint_source ~path raw =
     |> rule_determinism ~path ~stripped
     |> rule_relaxed ~path ~raw ~stripped
     |> rule_mutable ~path ~raw ~stripped
+    |> rule_hotpath ~path ~raw ~stripped
     |> List.sort (fun a b -> compare (a.file, a.line) (b.file, b.line))
   end
   else []

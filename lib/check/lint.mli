@@ -18,6 +18,12 @@
       the cooperative scheduler, set-up code...).  Plain mutable counters
       such as {!Pmem.Pstats} are only sound under the cooperative [Sched].
     - [missing-mli] — every [lib/**/*.ml] must have an [.mli].
+    - [hotpath-alloc] — [find_opt], [Telemetry.bump] and
+      [Telemetry.record] are forbidden in [lib/onefile]: per-access
+      [option] boxes and string-hashed counter bumps are exactly the
+      overhead the hot-path overhaul removed (use [Writeset.find_idx] and
+      pre-resolved {!Runtime.Telemetry} handles).  Cold paths may carry an
+      [(* alloc-ok: ... *)] marker.
 
     Comments, strings and character literals are stripped before token
     search, so prose about [Atomic] does not trip the lint; markers are

@@ -24,12 +24,20 @@
    [Check.Tmcheck] sanitizer (attached with [sanitize]) observes every
    region access plus the transaction-lifecycle hooks below and validates
    seq monotonicity, persistence ordering, apply-before-close, opacity,
-   hazard-era discipline and allocator discipline on every step. *)
+   hazard-era discipline and allocator discipline on every step.
+
+   Hot-path discipline: a steady-state load or store must not touch the
+   minor heap — lookups are sentinel-returning ([Writeset.find_idx]),
+   checker hooks are inlined matches rather than closure-taking helpers,
+   telemetry uses pre-resolved handles, and the interposition ops record
+   is built once per thread slot.  tm_lint's hotpath rule keeps it that
+   way. *)
 (* relaxed-ok: curtx_info/allocated_cells are step-free debug views, usable
    from a scheduler on_round hook without perturbing the schedule. *)
 (* mutable-ok: tx records and the desc freed flag are confined to their
    owning fiber / the reclamation epoch; the checker slot is written from
-   sequential set-up code only. *)
+   sequential set-up code only; the per-thread flush-dedup scratch is
+   confined to its thread slot. *)
 
 module Region = Pmem.Region
 module Word = Pmem.Word
@@ -51,6 +59,7 @@ type tx = {
   mutable read_only : bool;
   ws : Writeset.t;
   txchk : Tmcheck.t option ref; (* shared with the owning instance *)
+  ops : Tm.Tm_intf.alloc_ops; (* interposition record, built once per slot *)
 }
 
 type desc = { opid : int; fn : tx -> int; mutable freed : bool }
@@ -66,6 +75,10 @@ type faults = {
   mutable stale_commit_snapshot : bool;
       (* refresh curTx right before the commit CAS, ignoring everything
          committed since the snapshot: a classic lost update *)
+  mutable stale_dedup_flush : bool;
+      (* never advance the flush-dedup generation: lines flushed for an
+         earlier transaction count as "already flushed" for later ones,
+         so a committed write can silently skip its data pwb *)
 }
 
 type t = {
@@ -78,6 +91,7 @@ type t = {
   roots_base : int;
   num_roots : int;
   heap_base : int;
+  ws_threshold : int; (* Writeset linear/hash switchover, instance config *)
   alloc : Tm.Tm_alloc.t;
   txs : tx array;
   read_tries : int; (* read-only attempts before WF fallback *)
@@ -88,8 +102,27 @@ type t = {
   (* per-thread scratch used when helping to apply a foreign write-set *)
   scratch_addrs : int array array;
   scratch_vals : int array array;
+  (* per-thread cache-line flush dedup: a small direct-mapped seen-set of
+     line numbers, generation-stamped so starting a new flush pass is one
+     integer bump instead of a clear *)
+  seen_lines : int array array;
+  seen_gens : int array array;
+  line_gen : int array;
   checker : Tmcheck.t option ref;
   tele : Telemetry.sink; (* no-op counters until a registry is attached *)
+  (* pre-resolved telemetry handles (no string hash on the hot paths) *)
+  c_commits : Telemetry.handle;
+  c_ro_commits : Telemetry.handle;
+  c_aborts : Telemetry.handle;
+  c_helps : Telemetry.handle;
+  c_help_exits : Telemetry.handle;
+  c_recycles : Telemetry.handle;
+  c_wf_published : Telemetry.handle;
+  c_wf_aggregated : Telemetry.handle;
+  c_wf_fallbacks : Telemetry.handle;
+  c_rec_runs : Telemetry.handle;
+  c_rec_helped : Telemetry.handle;
+  s_latency : Telemetry.span_handle;
   faults : faults;
 }
 
@@ -101,8 +134,31 @@ let res_cell inst tid = inst.wf_base + (3 * tid) + 1
 let ack_cell inst tid = inst.wf_base + (3 * tid) + 2
 let stats inst = Region.stats inst.region
 
+(* ------------------------------------------------------------------ *)
+(* Interposition — defined before [create] so each tx slot can cache its
+   ops record instead of rebuilding two closures per allocator call.     *)
+
+let load_shared tx addr =
+  let w = Region.load tx.txregion addr in
+  if w.Word.s > tx.start_seq then raise Abort;
+  (match !(tx.txchk) with
+  | None -> ()
+  | Some c -> Tmcheck.tx_load c ~addr ~v:w.Word.v ~s:w.Word.s);
+  w.Word.v
+
+let load tx addr =
+  if tx.read_only then load_shared tx addr
+  else
+    let i = Writeset.find_idx tx.ws addr in
+    if i >= 0 then Writeset.val_at tx.ws i else load_shared tx addr
+
+let store tx addr v =
+  if tx.read_only then raise Tm.Tm_intf.Store_in_read_tx;
+  (match !(tx.txchk) with None -> () | Some c -> Tmcheck.tx_store c ~addr);
+  Writeset.put tx.ws addr v
+
 let create ?(mode = Region.Persistent) ?(size = 1 lsl 18) ?(max_threads = 64)
-    ?(ws_cap = 2048) ?(num_roots = 8) ?(read_tries = 4) () =
+    ?(ws_cap = 2048) ?(num_roots = 8) ?(read_tries = 4) ?linear_threshold () =
   let region = Region.create ~mode size in
   let ws_stride = round4 (2 + ws_cap) in
   let ws_base = 8 in
@@ -119,6 +175,26 @@ let create ?(mode = Region.Persistent) ?(size = 1 lsl 18) ?(max_threads = 64)
     | Some c -> Tmcheck.closure_free c ~opid:d.opid
     | None -> ()
   in
+  let tele = Telemetry.sink () in
+  let mk_tx () =
+    let rec tx =
+      {
+        txregion = region;
+        txalloc = alloc;
+        start_seq = 0;
+        read_only = true;
+        ws = Writeset.create ?linear_threshold ws_cap;
+        txchk = checker;
+        ops =
+          {
+            Tm.Tm_intf.aload = (fun a -> load tx a);
+            astore = (fun a v -> store tx a v);
+          };
+      }
+    in
+    tx
+  in
+  let txs = Array.init max_threads (fun _ -> mk_tx ()) in
   let inst =
     {
       region;
@@ -130,26 +206,38 @@ let create ?(mode = Region.Persistent) ?(size = 1 lsl 18) ?(max_threads = 64)
       roots_base;
       num_roots;
       heap_base;
+      ws_threshold = Writeset.threshold txs.(0).ws;
       alloc;
-      txs =
-        Array.init max_threads (fun _ ->
-            {
-              txregion = region;
-              txalloc = alloc;
-              start_seq = 0;
-              read_only = true;
-              ws = Writeset.create ws_cap;
-              txchk = checker;
-            });
+      txs;
       read_tries;
       pending = Array.init max_threads (fun _ -> Satomic.make None);
       he = Hazard_eras.create ~max_threads ~free:free_desc ();
       next_opid = Satomic.make 0;
       scratch_addrs = Array.init max_threads (fun _ -> Array.make ws_cap 0);
       scratch_vals = Array.init max_threads (fun _ -> Array.make ws_cap 0);
+      seen_lines = Array.init max_threads (fun _ -> Array.make 64 (-1));
+      seen_gens = Array.init max_threads (fun _ -> Array.make 64 0);
+      line_gen = Array.make max_threads 0;
       checker;
-      tele = Telemetry.sink ();
-      faults = { drop_publish_pwb = false; stale_commit_snapshot = false };
+      tele;
+      c_commits = Telemetry.counter tele "tx.commits";
+      c_ro_commits = Telemetry.counter tele "tx.ro_commits";
+      c_aborts = Telemetry.counter tele "tx.aborts";
+      c_helps = Telemetry.counter tele "tx.helps";
+      c_help_exits = Telemetry.counter tele "tx.help_exits";
+      c_recycles = Telemetry.counter tele "log.recycles";
+      c_wf_published = Telemetry.counter tele "wf.published";
+      c_wf_aggregated = Telemetry.counter tele "wf.aggregated";
+      c_wf_fallbacks = Telemetry.counter tele "wf.fallbacks";
+      c_rec_runs = Telemetry.counter tele "recovery.runs";
+      c_rec_helped = Telemetry.counter tele "recovery.helped";
+      s_latency = Telemetry.span tele "tx.latency";
+      faults =
+        {
+          drop_publish_pwb = false;
+          stale_commit_snapshot = false;
+          stale_dedup_flush = false;
+        };
     }
   in
   (* initial state: seq 1 committed by nobody; requests closed *)
@@ -168,6 +256,8 @@ let create ?(mode = Region.Persistent) ?(size = 1 lsl 18) ?(max_threads = 64)
   | Region.Volatile -> ());
   Pstats.reset (stats inst);
   inst
+
+let linear_threshold inst = inst.ws_threshold
 
 (* ------------------------------------------------------------------ *)
 (* Sanitizer attachment                                                 *)
@@ -237,26 +327,95 @@ let close_request inst ~tid ~seq =
   let w = Region.load inst.region cell in
   if w.Word.v = seq then
     if Region.cas1 inst.region cell w (Word.make (seq + 1) 0) then
-      Telemetry.bump inst.tele "log.recycles"
+      Telemetry.tick inst.c_recycles
 
-(* Apply a committed write-set given as arrays (committer passes its own
-   volatile write-set; helpers pass the snapshot they copied). *)
-let apply_arrays inst ~seq ~n addrs vals =
-  for i = 0 to n - 1 do
-    put_one inst ~seq addrs.(i) vals.(i)
-  done;
-  for i = 0 to n - 1 do
-    Region.pwb inst.region addrs.(i)
-  done
+(* ------------------------------------------------------------------ *)
+(* Cache-line flush dedup
 
-let apply_own inst ~seq (ws : Writeset.t) =
+   The write-back loops below used to issue one pwb per modified word; k
+   words in one cache line cost k flushes where real hardware needs one
+   (Romulus-style flush batching, PMT §4).  A flush pass stamps each
+   flushed line into a small direct-mapped per-thread seen-set keyed by
+   [Region.line_of]; a second word in a seen line is skipped.  A slot
+   collision merely re-flushes (correctness never depends on the dedup),
+   and [last] short-circuits the common consecutive-same-line case. *)
+
+let dedup_mask = 63 (* seen-set has 64 direct-mapped slots *)
+
+let flush_gen inst ~me =
+  if not inst.faults.stale_dedup_flush then
+    inst.line_gen.(me) <- inst.line_gen.(me) + 1;
+  inst.line_gen.(me)
+
+let pwb_dedup inst ~me ~gen addr =
+  let line = Region.line_of addr in
+  let slot = line land dedup_mask in
+  let lines = inst.seen_lines.(me) in
+  let gens = inst.seen_gens.(me) in
+  if not (lines.(slot) = line && gens.(slot) = gen) then begin
+    lines.(slot) <- line;
+    gens.(slot) <- gen;
+    Region.pwb inst.region addr
+  end
+
+(* Apply our own committed write-set: puts, then one pwb per covered
+   cache line. *)
+let apply_own inst ~me ~seq (ws : Writeset.t) =
   let n = Writeset.size ws in
   for i = 0 to n - 1 do
     put_one inst ~seq (Writeset.addr_at ws i) (Writeset.val_at ws i)
   done;
+  let gen = flush_gen inst ~me in
+  let last = ref (-1) in
   for i = 0 to n - 1 do
-    Region.pwb inst.region (Writeset.addr_at ws i)
+    let addr = Writeset.addr_at ws i in
+    let line = Region.line_of addr in
+    if line <> !last then begin
+      last := line;
+      pwb_dedup inst ~me ~gen addr
+    end
   done
+
+(* Apply a foreign committed write-set from the snapshot arrays a helper
+   copied.  Helpers re-check the owner's request cell every
+   [help_check_interval] entries (paper §III-B: "helpers check that the
+   transaction is still open") and stop replaying once someone — usually
+   the owner — has finished the apply and closed the request; whoever
+   closed it necessarily completed a full put+flush pass first, so an
+   early exit never loses a put or a pwb.  Returns [true] when this
+   helper ran the apply to completion (and may thus close the request). *)
+let help_check_interval = 8
+
+let apply_foreign inst ~me ~tid ~seq ~n addrs vals =
+  let region = inst.region in
+  let req = req_cell inst tid in
+  let closed i =
+    i > 0
+    && i land (help_check_interval - 1) = 0
+    && (Region.load region req).Word.v <> seq
+  in
+  let rec put_from i =
+    if i >= n then true
+    else if closed i then false
+    else begin
+      put_one inst ~seq addrs.(i) vals.(i);
+      put_from (i + 1)
+    end
+  in
+  put_from 0
+  &&
+  let gen = flush_gen inst ~me in
+  let rec flush_from i last =
+    if i >= n then true
+    else if closed i then false
+    else begin
+      let addr = addrs.(i) in
+      let line = Region.line_of addr in
+      if line <> last then pwb_dedup inst ~me ~gen addr;
+      flush_from (i + 1) line
+    end
+  in
+  flush_from 0 (-1)
 
 (* Help the committed-but-possibly-unapplied transaction [ct]:
    copy the owner's log, re-validate the request, apply, close. *)
@@ -279,10 +438,14 @@ let help inst ~me (ct : Word.t) =
       if req'.Word.v = seq then begin
         if tid <> me then begin
           (stats inst).Pstats.helps <- (stats inst).Pstats.helps + 1;
-          Telemetry.bump inst.tele "tx.helps"
+          Telemetry.tick inst.c_helps
         end;
-        apply_arrays inst ~seq ~n addrs vals;
-        close_request inst ~tid ~seq
+        if apply_foreign inst ~me ~tid ~seq ~n addrs vals then
+          close_request inst ~tid ~seq
+        else begin
+          (stats inst).Pstats.help_exits <- (stats inst).Pstats.help_exits + 1;
+          Telemetry.tick inst.c_help_exits
+        end
       end
     end
   end
@@ -312,25 +475,7 @@ let publish_log inst ~me (ws : Writeset.t) ~seq =
   Region.pwb_range region base (2 + n)
 
 (* ------------------------------------------------------------------ *)
-(* Interposition                                                       *)
-
-let load tx addr =
-  let hit = if tx.read_only then None else Writeset.find tx.ws addr in
-  match hit with
-  | Some v -> v
-  | None ->
-      let w = Region.load tx.txregion addr in
-      if w.Word.s > tx.start_seq then raise Abort;
-      with_chk tx.txchk (fun c -> Tmcheck.tx_load c ~addr ~v:w.Word.v ~s:w.Word.s);
-      w.Word.v
-
-let store tx addr v =
-  if tx.read_only then raise Tm.Tm_intf.Store_in_read_tx;
-  with_chk tx.txchk (fun c -> Tmcheck.tx_store c ~addr);
-  Writeset.put tx.ws addr v
-
-let alloc_ops tx =
-  { Tm.Tm_intf.aload = (fun a -> load tx a); astore = (fun a v -> store tx a v) }
+(* Allocator interposition                                              *)
 
 (* The allocator's own free-list traffic is exempt from the sanitizer's
    heap-access rule; bracket it so only user-level accesses are checked. *)
@@ -343,7 +488,7 @@ let in_allocator tx f =
 
 let alloc tx n =
   if tx.read_only then raise Tm.Tm_intf.Store_in_read_tx;
-  let payload = in_allocator tx (fun () -> Tm.Tm_alloc.alloc tx.txalloc (alloc_ops tx) n) in
+  let payload = in_allocator tx (fun () -> Tm.Tm_alloc.alloc tx.txalloc tx.ops n) in
   with_chk tx.txchk (fun c ->
       Tmcheck.note_alloc c ~payload ~cells:(Tm.Tm_alloc.block_cells n - 1));
   payload
@@ -351,7 +496,7 @@ let alloc tx n =
 let free tx a =
   if tx.read_only then raise Tm.Tm_intf.Store_in_read_tx;
   with_chk tx.txchk (fun c -> Tmcheck.note_free c ~payload:a);
-  in_allocator tx (fun () -> Tm.Tm_alloc.free tx.txalloc (alloc_ops tx) a)
+  in_allocator tx (fun () -> Tm.Tm_alloc.free tx.txalloc tx.ops a)
 
 let root inst i =
   if i < 0 || i >= inst.num_roots then invalid_arg "root";
@@ -382,11 +527,11 @@ let lf_read_tx inst f =
       | exception Abort ->
           with_chk inst.checker Tmcheck.tx_abort;
           st.Pstats.aborts <- st.Pstats.aborts + 1;
-          Telemetry.bump inst.tele "tx.aborts";
+          Telemetry.tick inst.c_aborts;
           attempt ()
       | r ->
           with_chk inst.checker (fun c -> Tmcheck.tx_end c ~committed:None);
-          Telemetry.bump inst.tele "tx.ro_commits";
+          Telemetry.tick inst.c_ro_commits;
           r
     end
   in
@@ -413,12 +558,12 @@ let lf_update_tx inst f =
       | exception Abort ->
           with_chk inst.checker Tmcheck.tx_abort;
           st.Pstats.aborts <- st.Pstats.aborts + 1;
-          Telemetry.bump inst.tele "tx.aborts";
+          Telemetry.tick inst.c_aborts;
           attempt ()
       | result ->
           if Writeset.is_empty tx.ws then begin
             with_chk inst.checker (fun c -> Tmcheck.tx_end c ~committed:None);
-            Telemetry.bump inst.tele "tx.ro_commits";
+            Telemetry.tick inst.c_ro_commits;
             result
           end
           else begin
@@ -430,17 +575,17 @@ let lf_update_tx inst f =
             if Region.cas1 inst.region curtx_cell ct (Word.make seq me) then begin
               with_chk inst.checker (fun c -> Tmcheck.tx_end c ~committed:(Some seq));
               Region.pwb inst.region curtx_cell;
-              apply_own inst ~seq tx.ws;
+              apply_own inst ~me ~seq tx.ws;
               close_request inst ~tid:me ~seq;
               st.Pstats.commits <- st.Pstats.commits + 1;
-              Telemetry.bump inst.tele "tx.commits";
-              Telemetry.record inst.tele "tx.latency" (Sched.now () - t0 + 1);
+              Telemetry.tick inst.c_commits;
+              Telemetry.observe inst.s_latency (Sched.now () - t0 + 1);
               result
             end
             else begin
               with_chk inst.checker Tmcheck.tx_abort;
               st.Pstats.aborts <- st.Pstats.aborts + 1;
-              Telemetry.bump inst.tele "tx.aborts";
+              Telemetry.tick inst.c_aborts;
               attempt ()
             end
           end
@@ -476,7 +621,7 @@ let aggregate inst tx =
             | None ->
                 if d.freed then
                   failwith "OneFile-WF: hazard-era violation (freed closure)");
-            Telemetry.bump inst.tele "wf.aggregated";
+            Telemetry.tick inst.c_wf_aggregated;
             let r = d.fn tx in
             store tx (res_cell inst u) r;
             store tx (ack_cell inst u) d.opid
@@ -497,7 +642,7 @@ let wf_update_tx inst f =
   Satomic.set inst.pending.(me) (Some d);
   Region.store region_ (op_cell inst me) (Word.make opid rs);
   Region.pwb region_ (op_cell inst me);
-  Telemetry.bump inst.tele "wf.published";
+  Telemetry.tick inst.c_wf_published;
   let rec loop () =
     let ackw = Region.load region_ (ack_cell inst me) in
     if ackw.Word.v = opid then begin
@@ -505,7 +650,7 @@ let wf_update_tx inst f =
       let resw = Region.load region_ (res_cell inst me) in
       Satomic.set inst.pending.(me) None;
       Hazard_eras.retire_at inst.he ~birth:rs ~del:ackw.Word.s d;
-      Telemetry.record inst.tele "tx.latency" (Sched.now () - t0 + 1);
+      Telemetry.observe inst.s_latency (Sched.now () - t0 + 1);
       resw.Word.v
     end
     else begin
@@ -525,7 +670,7 @@ let wf_update_tx inst f =
         | exception Abort ->
             with_chk inst.checker Tmcheck.tx_abort;
             st.Pstats.aborts <- st.Pstats.aborts + 1;
-            Telemetry.bump inst.tele "tx.aborts";
+            Telemetry.tick inst.c_aborts;
             loop ()
         | () ->
             if Writeset.is_empty tx.ws then begin
@@ -542,15 +687,15 @@ let wf_update_tx inst f =
                 with_chk inst.checker (fun c ->
                     Tmcheck.tx_end c ~committed:(Some seq));
                 Region.pwb region_ curtx_cell;
-                apply_own inst ~seq tx.ws;
+                apply_own inst ~me ~seq tx.ws;
                 close_request inst ~tid:me ~seq;
                 st.Pstats.commits <- st.Pstats.commits + 1;
-                Telemetry.bump inst.tele "tx.commits"
+                Telemetry.tick inst.c_commits
               end
               else begin
                 with_chk inst.checker Tmcheck.tx_abort;
                 st.Pstats.aborts <- st.Pstats.aborts + 1;
-                Telemetry.bump inst.tele "tx.aborts"
+                Telemetry.tick inst.c_aborts
               end;
               loop ()
             end
@@ -568,7 +713,7 @@ let wf_read_tx inst f =
   let rec attempt k =
     if k <= 0 then begin
       (* bounded fallback: publish the read-only function as an operation *)
-      Telemetry.bump inst.tele "wf.fallbacks";
+      Telemetry.tick inst.c_wf_fallbacks;
       wf_update_tx inst f
     end
     else begin
@@ -586,11 +731,11 @@ let wf_read_tx inst f =
         | exception Abort ->
             with_chk inst.checker Tmcheck.tx_abort;
             st.Pstats.aborts <- st.Pstats.aborts + 1;
-            Telemetry.bump inst.tele "tx.aborts";
+            Telemetry.tick inst.c_aborts;
             attempt (k - 1)
         | r ->
             with_chk inst.checker (fun c -> Tmcheck.tx_end c ~committed:None);
-            Telemetry.bump inst.tele "tx.ro_commits";
+            Telemetry.tick inst.c_ro_commits;
             r
       end
     end
@@ -624,10 +769,10 @@ let recover inst =
   (* closures are not executable after a restart: orphaned published
      operations will never run, but committed ones already have their
      results applied by the help below. *)
-  Telemetry.bump inst.tele "recovery.runs";
+  Telemetry.tick inst.c_rec_runs;
   let ct = read_curtx inst in
   if is_open inst ct then begin
-    Telemetry.bump inst.tele "recovery.helped";
+    Telemetry.tick inst.c_rec_helped;
     help inst ~me:0 ct
   end;
   Region.pfence inst.region

@@ -16,8 +16,14 @@ val create :
   ?ws_cap:int ->
   ?num_roots:int ->
   ?read_tries:int ->
+  ?linear_threshold:int ->
   unit ->
   t
+(** [linear_threshold] is the {!Writeset} array-scan/hash-set switchover
+    (paper's 40-entry hybrid), threaded to every per-thread write-set. *)
+
+val linear_threshold : t -> int
+(** The effective switchover this instance was created with. *)
 
 (** {1 Transactions} *)
 
@@ -68,10 +74,12 @@ val set_checker : t -> Check.Tmcheck.t option -> unit
 val attach_telemetry : t -> Runtime.Telemetry.t -> unit
 (** Wire this instance into the registry: transaction counters and the
     commit-latency span ("tx.commits", "tx.ro_commits", "tx.aborts",
-    "tx.helps", "log.recycles", "wf.published", "wf.aggregated",
-    "wf.fallbacks", "recovery.runs", "recovery.helped", span
-    "tx.latency"), the region's Pstats as a pull source ("pmem.*"), and
-    the hazard-era reclaimer ("he.*"). *)
+    "tx.helps", "tx.help_exits", "log.recycles", "wf.published",
+    "wf.aggregated", "wf.fallbacks", "recovery.runs", "recovery.helped",
+    span "tx.latency"), the region's Pstats as a pull source ("pmem.*"),
+    and the hazard-era reclaimer ("he.*").  All instance counters are
+    pre-resolved {!Runtime.Telemetry} handles — no string hashing on the
+    transaction hot paths. *)
 
 val detach_telemetry : t -> unit
 (** Detach counters (the region pull source stays registered in the
@@ -91,6 +99,10 @@ type faults = {
   mutable stale_commit_snapshot : bool;
       (** refresh curTx right before the commit CAS, ignoring every
           transaction committed since the snapshot: a classic lost update *)
+  mutable stale_dedup_flush : bool;
+      (** never advance the cache-line flush-dedup generation, so lines
+          flushed for an earlier transaction count as "already flushed"
+          for later ones and a committed write can skip its data pwb *)
 }
 
 val faults : t -> faults

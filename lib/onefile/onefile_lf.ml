@@ -4,6 +4,7 @@ type t = Core0.t
 type tx = Core0.tx
 
 let create = Core0.create
+let linear_threshold = Core0.linear_threshold
 let read_tx = Core0.lf_read_tx
 let update_tx = Core0.lf_update_tx
 let load = Core0.load

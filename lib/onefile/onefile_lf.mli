@@ -16,10 +16,15 @@ val create :
   ?ws_cap:int ->
   ?num_roots:int ->
   ?read_tries:int ->
+  ?linear_threshold:int ->
   unit ->
   t
 (** Defaults: persistent, [size = 2^18] cells, 64 threads, write-sets of up
-    to 2048 entries, 8 roots. *)
+    to 2048 entries, 8 roots, write-set linear/hash switchover at 40
+    entries ([linear_threshold], the paper's hybrid lookup knob). *)
+
+val linear_threshold : t -> int
+(** The effective write-set switchover this instance was created with. *)
 
 val recover : t -> unit
 (** Null recovery: after {!Pmem.Region.crash}, complete (idempotently) the

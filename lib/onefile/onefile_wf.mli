@@ -18,8 +18,12 @@ val create :
   ?ws_cap:int ->
   ?num_roots:int ->
   ?read_tries:int ->
+  ?linear_threshold:int ->
   unit ->
   t
+
+val linear_threshold : t -> int
+(** The effective write-set linear/hash switchover (default 40). *)
 
 val recover : t -> unit
 (** Null recovery. Published closures are transient and do not survive a

@@ -1,7 +1,6 @@
 (* mutable-ok: a write-set belongs to exactly one transaction, which
    belongs to exactly one fiber. *)
 let linear_threshold_default = 40
-let linear_threshold = linear_threshold_default
 
 type t = {
   addrs : int array;
@@ -25,6 +24,8 @@ let create ?linear_threshold cap =
       (match linear_threshold with Some t -> t | None -> linear_threshold_default);
   }
 
+let threshold t = t.threshold
+
 let clear t =
   t.n <- 0;
   if t.hashed then begin
@@ -35,14 +36,16 @@ let clear t =
 let size t = t.n
 let is_empty t = t.n = 0
 
-let position t addr =
-  if t.hashed then Hashtbl.find_opt t.index addr
-  else begin
-    let rec go i =
-      if i >= t.n then None else if t.addrs.(i) = addr then Some i else go (i + 1)
-    in
-    go 0
-  end
+(* The TM load/store fast path: sentinel result, no [option] box.  The
+   linear arm is a tail recursion over ints and the hashed arm uses the
+   constant [Not_found] exception, so a lookup never allocates. *)
+let rec scan addrs addr n i =
+  if i >= n then -1 else if addrs.(i) = addr then i else scan addrs addr n (i + 1)
+
+let find_idx t addr =
+  if t.hashed then
+    match Hashtbl.find t.index addr with i -> i | exception Not_found -> -1
+  else scan t.addrs addr t.n 0
 
 let build_index t =
   for i = 0 to t.n - 1 do
@@ -51,18 +54,19 @@ let build_index t =
   t.hashed <- true
 
 let put t addr v =
-  match position t addr with
-  | Some i -> t.vals.(i) <- v
-  | None ->
-      if t.n >= t.cap then failwith "Writeset: transaction exceeds capacity";
-      t.addrs.(t.n) <- addr;
-      t.vals.(t.n) <- v;
-      if (not t.hashed) && t.n + 1 > t.threshold then build_index t;
-      if t.hashed then Hashtbl.replace t.index addr t.n;
-      t.n <- t.n + 1
+  let i = find_idx t addr in
+  if i >= 0 then t.vals.(i) <- v
+  else begin
+    if t.n >= t.cap then failwith "Writeset: transaction exceeds capacity";
+    t.addrs.(t.n) <- addr;
+    t.vals.(t.n) <- v;
+    if (not t.hashed) && t.n + 1 > t.threshold then build_index t;
+    if t.hashed then Hashtbl.replace t.index addr t.n;
+    t.n <- t.n + 1
+  end
 
 let find t addr =
-  match position t addr with Some i -> Some t.vals.(i) | None -> None
+  match find_idx t addr with -1 -> None | i -> Some t.vals.(i)
 
 let addr_at t i = t.addrs.(i)
 let val_at t i = t.vals.(i)

@@ -7,13 +7,13 @@
 
 type t
 
-val linear_threshold : int
-(** 40, as in the paper. *)
-
 val create : ?linear_threshold:int -> int -> t
 (** [create cap]: capacity in entries.  [linear_threshold] overrides the
-    array-scan/hash-set switchover (default 40) — used by the ablation
-    benchmark. *)
+    array-scan/hash-set switchover (default 40, as in the paper) — used by
+    the ablation benchmark and threaded through [Core0.create]. *)
+
+val threshold : t -> int
+(** The effective switchover threshold this write-set was created with. *)
 
 val clear : t -> unit
 val size : t -> int
@@ -23,8 +23,14 @@ val put : t -> int -> int -> unit
 (** [put t addr v] adds or replaces the entry for [addr].
     Raises [Failure] when the capacity is exceeded. *)
 
+val find_idx : t -> int -> int
+(** Entry position of [addr], or [-1] when absent.  Sentinel-returning on
+    purpose: this is the per-access TM lookup and must not allocate an
+    [option] box (read the value with {!val_at}). *)
+
 val find : t -> int -> int option
-(** Latest value stored for [addr] in this transaction, if any. *)
+(** Latest value stored for [addr] in this transaction, if any.
+    Convenience wrapper over {!find_idx}; allocates — not for hot paths. *)
 
 val addr_at : t -> int -> int
 val val_at : t -> int -> int

@@ -10,6 +10,8 @@ type t = {
   mutable commits : int;
   mutable aborts : int;
   mutable helps : int;
+  mutable dcas_fail : int;
+  mutable help_exits : int;
 }
 
 let create () =
@@ -23,6 +25,8 @@ let create () =
     commits = 0;
     aborts = 0;
     helps = 0;
+    dcas_fail = 0;
+    help_exits = 0;
   }
 
 let reset t =
@@ -34,7 +38,9 @@ let reset t =
   t.stores <- 0;
   t.commits <- 0;
   t.aborts <- 0;
-  t.helps <- 0
+  t.helps <- 0;
+  t.dcas_fail <- 0;
+  t.help_exits <- 0
 
 let copy t =
   {
@@ -47,6 +53,8 @@ let copy t =
     commits = t.commits;
     aborts = t.aborts;
     helps = t.helps;
+    dcas_fail = t.dcas_fail;
+    help_exits = t.help_exits;
   }
 
 let diff a b =
@@ -60,9 +68,13 @@ let diff a b =
     commits = a.commits - b.commits;
     aborts = a.aborts - b.aborts;
     helps = a.helps - b.helps;
+    dcas_fail = a.dcas_fail - b.dcas_fail;
+    help_exits = a.help_exits - b.help_exits;
   }
 
 let pp ppf t =
   Format.fprintf ppf
-    "pwb=%d pfence=%d cas=%d dcas=%d loads=%d stores=%d commits=%d aborts=%d helps=%d"
+    "pwb=%d pfence=%d cas=%d dcas=%d loads=%d stores=%d commits=%d aborts=%d \
+     helps=%d dcas_fail=%d help_exits=%d"
     t.pwb t.pfence t.cas t.dcas t.loads t.stores t.commits t.aborts t.helps
+    t.dcas_fail t.help_exits

@@ -24,6 +24,9 @@ type t = {
   mutable commits : int;
   mutable aborts : int;
   mutable helps : int;  (** write-sets applied on behalf of another thread *)
+  mutable dcas_fail : int;  (** DCAS attempts that lost the race (subset of [dcas]) *)
+  mutable help_exits : int;
+      (** helper replays cut short because the request closed mid-apply *)
 }
 
 val create : unit -> t

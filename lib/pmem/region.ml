@@ -48,34 +48,44 @@ let line_of i = i / line_cells
 let mark_dirty t i =
   match t.mode with Volatile -> () | Persistent -> t.dirty.(line_of i) <- true
 
+(* Hot paths construct their event records lazily, under the observer
+   match: with no observer attached (the common case) a load/store/pwb
+   must not touch the minor heap. *)
 let load t i =
   t.stats.loads <- t.stats.loads + 1;
   let w = Satomic.get t.cells.(i) in
-  notify t (Ev_load { addr = i; w });
+  (match t.observer with None -> () | Some f -> f (Ev_load { addr = i; w }));
   w
 
 let cas t i old nw =
   t.stats.dcas <- t.stats.dcas + 1;
   let ok = Satomic.compare_and_set t.cells.(i) old nw in
-  if ok then mark_dirty t i;
-  notify t (Ev_cas { addr = i; old; desired = nw; ok; dcas = true });
+  if ok then mark_dirty t i else t.stats.dcas_fail <- t.stats.dcas_fail + 1;
+  (match t.observer with
+  | None -> ()
+  | Some f -> f (Ev_cas { addr = i; old; desired = nw; ok; dcas = true }));
   ok
 
 let cas1 t i old nw =
   t.stats.cas <- t.stats.cas + 1;
   let ok = Satomic.compare_and_set t.cells.(i) old nw in
   if ok then mark_dirty t i;
-  notify t (Ev_cas { addr = i; old; desired = nw; ok; dcas = false });
+  (match t.observer with
+  | None -> ()
+  | Some f -> f (Ev_cas { addr = i; old; desired = nw; ok; dcas = false }));
   ok
 
 let store t i w =
   t.stats.stores <- t.stats.stores + 1;
-  let was =
-    match t.observer with None -> Word.zero | Some _ -> Satomic.get_relaxed t.cells.(i)
-  in
-  Satomic.set t.cells.(i) w;
-  mark_dirty t i;
-  notify t (Ev_store { addr = i; was; now = w })
+  match t.observer with
+  | None ->
+      Satomic.set t.cells.(i) w;
+      mark_dirty t i
+  | Some f ->
+      let was = Satomic.get_relaxed t.cells.(i) in
+      Satomic.set t.cells.(i) w;
+      mark_dirty t i;
+      f (Ev_store { addr = i; was; now = w })
 
 let flush_line t line =
   let lo = line * line_cells in
@@ -100,7 +110,7 @@ let pwb t i =
       t.stats.pwb <- t.stats.pwb + 1;
       burn !pwb_cost;
       flush_line t (line_of i);
-      notify t (Ev_pwb { line = line_of i })
+      (match t.observer with None -> () | Some f -> f (Ev_pwb { line = line_of i }))
 
 let pwb_range t off len =
   if len > 0 then begin
@@ -116,7 +126,7 @@ let pfence t =
   | Persistent ->
       t.stats.pfence <- t.stats.pfence + 1;
       burn !pfence_cost;
-      notify t Ev_pfence
+      (match t.observer with None -> () | Some f -> f Ev_pfence)
 
 let dirty_lines t =
   Array.fold_left (fun acc d -> if d then acc + 1 else acc) 0 t.dirty
@@ -138,12 +148,18 @@ let crash t ?(evict_fraction = 0.0) ?(evict_lines = []) ?rng () =
         invalid_arg "Region.crash: evict_lines out of range";
       if t.dirty.(line) then flush_line t line)
     evict_lines;
-  let rng = match rng with Some r -> r | None -> Rng.create 1 in
-  Array.iteri
-    (fun line d ->
-      if d && evict_fraction > 0.0 && Rng.float rng < evict_fraction then
-        flush_line t line)
-    t.dirty;
+  (if evict_fraction > 0.0 then
+     match rng with
+     | None ->
+         invalid_arg
+           "Region.crash: evict_fraction > 0 requires ~rng (derive it from \
+            the campaign seed; a shared default would correlate eviction \
+            choices across campaigns)"
+     | Some rng ->
+         Array.iteri
+           (fun line d ->
+             if d && Rng.float rng < evict_fraction then flush_line t line)
+           t.dirty);
   Array.iteri
     (fun i cell -> Satomic.set cell t.durable.(i))
     t.cells;
@@ -161,6 +177,7 @@ let attach_telemetry t tele =
         ("pmem.pfence", s.Pstats.pfence);
         ("pmem.cas", s.Pstats.cas);
         ("pmem.dcas", s.Pstats.dcas);
+        ("pmem.dcas_fail", s.Pstats.dcas_fail);
         ("pmem.loads", s.Pstats.loads);
         ("pmem.stores", s.Pstats.stores);
       ])

@@ -30,6 +30,10 @@ val stats : t -> Pstats.t
 val line_cells : int
 (** Cells per simulated cache line (4 cells of 16 bytes = 64-byte lines). *)
 
+val line_of : int -> int
+(** Cache line containing a cell index — the granularity at which {!pwb}
+    flushes and at which callers may deduplicate flushes. *)
+
 (** {1 Cell access} *)
 
 val load : t -> int -> Word.t
@@ -73,8 +77,11 @@ val crash :
     the crash.  [evict_lines] is how the crash-point explorer enumerates
     exact adversarial evictions; [evict_fraction] is the randomized
     campaign knob.  The volatile side is then reloaded from the durable
-    side.  Raises [Invalid_argument] on a [Volatile] region or an
-    out-of-range line index. *)
+    side.  Raises [Invalid_argument] on a [Volatile] region, an
+    out-of-range line index, or [evict_fraction > 0] without [~rng]: the
+    caller must supply an RNG derived from its own campaign seed, since a
+    module-level default would silently correlate eviction choices across
+    campaigns. *)
 
 val dirty_lines : t -> int
 (** Number of lines with unpersisted modifications (testing aid). *)

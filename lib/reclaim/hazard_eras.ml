@@ -12,9 +12,13 @@ type 'a t = {
   scan_threshold : int;
   max_threads : int;
   tele : Telemetry.sink;
+  c_scans : Telemetry.handle;
+  c_freed : Telemetry.handle;
+  c_retired : Telemetry.handle;
 }
 
 let create ?(scan_threshold = 8) ~max_threads ~free () =
+  let tele = Telemetry.sink () in
   {
     clock = Satomic.make 1;
     eras = Array.init max_threads (fun _ -> Satomic.make 0);
@@ -22,7 +26,10 @@ let create ?(scan_threshold = 8) ~max_threads ~free () =
     free;
     scan_threshold;
     max_threads;
-    tele = Telemetry.sink ();
+    tele;
+    c_scans = Telemetry.counter tele "he.scans";
+    c_freed = Telemetry.counter tele "he.freed";
+    c_retired = Telemetry.counter tele "he.retired";
   }
 
 let set_telemetry t s =
@@ -59,13 +66,13 @@ let conflicts t r =
 let scan t me =
   let keep, drop = List.partition (conflicts t) t.limbo.(me) in
   t.limbo.(me) <- keep;
-  Telemetry.bump t.tele "he.scans";
-  Telemetry.bump t.tele "he.freed" ~by:(List.length drop);
+  Telemetry.tick t.c_scans;
+  Telemetry.tick t.c_freed ~by:(List.length drop);
   List.iter (fun r -> t.free r.obj) drop
 
 let retire_at t ~birth ~del obj =
   let me = Sched.self () in
-  Telemetry.bump t.tele "he.retired";
+  Telemetry.tick t.c_retired;
   t.limbo.(me) <- { obj; birth; del } :: t.limbo.(me);
   if List.length t.limbo.(me) >= t.scan_threshold then scan t me
 

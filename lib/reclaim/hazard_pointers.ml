@@ -10,9 +10,13 @@ type 'a t = {
   max_threads : int;
   slots_per_thread : int;
   tele : Telemetry.sink;
+  c_scans : Telemetry.handle;
+  c_freed : Telemetry.handle;
+  c_retired : Telemetry.handle;
 }
 
 let create ?(slots_per_thread = 3) ?(scan_threshold = 8) ~max_threads ~free () =
+  let tele = Telemetry.sink () in
   {
     slots =
       Array.init max_threads (fun _ ->
@@ -22,7 +26,10 @@ let create ?(slots_per_thread = 3) ?(scan_threshold = 8) ~max_threads ~free () =
     scan_threshold;
     max_threads;
     slots_per_thread;
-    tele = Telemetry.sink ();
+    tele;
+    c_scans = Telemetry.counter tele "hp.scans";
+    c_freed = Telemetry.counter tele "hp.freed";
+    c_retired = Telemetry.counter tele "hp.retired";
   }
 
 let set_telemetry t s =
@@ -76,13 +83,13 @@ let hazardous t obj =
 let scan t me =
   let keep, drop = List.partition (hazardous t) t.limbo.(me) in
   t.limbo.(me) <- keep;
-  Telemetry.bump t.tele "hp.scans";
-  Telemetry.bump t.tele "hp.freed" ~by:(List.length drop);
+  Telemetry.tick t.c_scans;
+  Telemetry.tick t.c_freed ~by:(List.length drop);
   List.iter t.free drop
 
 let retire t obj =
   let me = Sched.self () in
-  Telemetry.bump t.tele "hp.retired";
+  Telemetry.tick t.c_retired;
   t.limbo.(me) <- obj :: t.limbo.(me);
   if List.length t.limbo.(me) >= t.scan_threshold then scan t me
 

@@ -24,6 +24,7 @@ type t = {
   spans : (string, span) Hashtbl.t;
   mutable sources : (unit -> (string * int) list) list;
   span_cap : int;
+  mutable gen : int; (* bumped by [reset]; invalidates resolved handles *)
 }
 
 let create ?(span_cap = 1 lsl 16) () =
@@ -32,9 +33,10 @@ let create ?(span_cap = 1 lsl 16) () =
     spans = Hashtbl.create 8;
     sources = [];
     span_cap;
+    gen = 0;
   }
 
-let counter t name =
+let counter_cell t name =
   match Hashtbl.find_opt t.counters name with
   | Some r -> r
   | None ->
@@ -43,12 +45,12 @@ let counter t name =
       r
 
 let incr ?(by = 1) t name =
-  let r = counter t name in
+  let r = counter_cell t name in
   r := !r + by
 
 let get t name = match Hashtbl.find_opt t.counters name with Some r -> !r | None -> 0
 
-let span t name =
+let span_cell t name =
   match Hashtbl.find_opt t.spans name with
   | Some s -> s
   | None ->
@@ -67,14 +69,15 @@ let span t name =
 (* Beyond [cap] exact samples the span degrades gracefully: extra samples
    land in an overflow tally that keeps count/mean/max exact while the
    percentiles stay those of the first [cap] samples. *)
-let sample t name v =
-  let s = span t name in
+let sample_span s v =
   if Histogram.count s.hist < s.cap then Histogram.add s.hist v
   else begin
     s.overflow <- s.overflow + 1;
     s.over_sum <- s.over_sum + v;
     if v > s.over_max then s.over_max <- v
   end
+
+let sample t name v = sample_span (span_cell t name) v
 
 let add_source t f = t.sources <- f :: t.sources
 
@@ -133,7 +136,8 @@ let snapshot (t : t) =
 
 let reset (t : t) =
   Hashtbl.reset t.counters;
-  Hashtbl.reset t.spans
+  Hashtbl.reset t.spans;
+  t.gen <- t.gen + 1
 
 (* Without this, a registry reused across many short-lived instances (one
    per explored schedule) accretes a pull source per dead region, and
@@ -158,3 +162,61 @@ let attach s t = s := Some t
 let detach s = s := None
 let bump ?by s name = match !s with None -> () | Some t -> incr ?by t name
 let record s name v = match !s with None -> () | Some t -> sample t name v
+
+(* ------------------------------------------------------------------ *)
+(* Pre-resolved handles                                                *)
+
+(* A handle caches the resolved counter/span cell of the registry that was
+   attached the last time it fired.  The fast path re-validates the cache
+   with a physical-equality check on the attached registry plus its reset
+   generation — no string hashing, no allocation; resolution only reruns
+   after attach/detach/reset, which are cold set-up operations. *)
+
+type handle = {
+  hsink : sink;
+  hname : string;
+  mutable hreg : t option;
+  mutable hgen : int;
+  mutable hcell : int ref;
+}
+
+let unresolved_cell = ref 0
+
+let counter hsink hname =
+  { hsink; hname; hreg = None; hgen = -1; hcell = unresolved_cell }
+
+let tick ?(by = 1) h =
+  match !(h.hsink) with
+  | None -> ()
+  | Some t -> (
+      match h.hreg with
+      | Some r when r == t && h.hgen = t.gen -> h.hcell := !(h.hcell) + by
+      | _ ->
+          let c = counter_cell t h.hname in
+          h.hreg <- Some t;
+          h.hgen <- t.gen;
+          h.hcell <- c;
+          c := !c + by)
+
+type span_handle = {
+  ssink : sink;
+  sname : string;
+  mutable sreg : t option;
+  mutable sgen : int;
+  mutable scell : span option;
+}
+
+let span ssink sname = { ssink; sname; sreg = None; sgen = -1; scell = None }
+
+let observe h v =
+  match !(h.ssink) with
+  | None -> ()
+  | Some t -> (
+      match (h.sreg, h.scell) with
+      | Some r, Some s when r == t && h.sgen = t.gen -> sample_span s v
+      | _ ->
+          let s = span_cell t h.sname in
+          h.sreg <- Some t;
+          h.sgen <- t.gen;
+          h.scell <- Some s;
+          sample_span s v)

@@ -86,5 +86,37 @@ val sink : unit -> sink
 
 val attach : sink -> t -> unit
 val detach : sink -> unit
+
 val bump : ?by:int -> sink -> string -> unit
+(** String-keyed bump: hashes [name] on every call when a registry is
+    attached.  Fine for cold paths; hot paths should pre-resolve a
+    {!handle} with {!counter} and use {!tick}. *)
+
 val record : sink -> string -> int -> unit
+
+(** {1 Pre-resolved handles}
+
+    A handle binds a sink and a counter/span name once, at component
+    creation, and caches the resolved registry cell.  Firing a handle is
+    one sink load, one physical-equality check on the attached registry
+    (plus its reset generation) and one in-place increment — no string
+    hashing or allocation on the hot path.  Handles stay correct across
+    {!attach}/{!detach}/{!reset}: any of those invalidates the cache and
+    the next fire re-resolves. *)
+
+type handle
+(** A pre-resolved counter. *)
+
+val counter : sink -> string -> handle
+(** [counter s name] is a handle for counter [name] of whatever registry
+    is attached to [s] at fire time.  Creation performs no resolution. *)
+
+val tick : ?by:int -> handle -> unit
+(** Bump the counter ([by] defaults to 1); no-op while detached. *)
+
+type span_handle
+(** A pre-resolved latency span. *)
+
+val span : sink -> string -> span_handle
+val observe : span_handle -> int -> unit
+(** Record one sample under the span; no-op while detached. *)

@@ -16,7 +16,7 @@ module Run_seq = Proggen.Exec (Seqtm)
 module Run_lf = Proggen.Exec (Lf)
 module Run_wf = Proggen.Exec (Wf)
 
-type fault = No_fault | Durability_hole | Lost_update
+type fault = No_fault | Durability_hole | Lost_update | Stale_dedup
 
 type config = {
   wf : bool;
@@ -164,7 +164,8 @@ let execute_one cfg ~memo prog ~pick ~crash =
   (match cfg.fault with
   | No_fault -> ()
   | Durability_hole -> (Onefile.Core0.faults tm).drop_publish_pwb <- true
-  | Lost_update -> (Onefile.Core0.faults tm).stale_commit_snapshot <- true);
+  | Lost_update -> (Onefile.Core0.faults tm).stale_commit_snapshot <- true
+  | Stale_dedup -> (Onefile.Core0.faults tm).stale_dedup_flush <- true);
   (match cfg.telemetry with
   | Some te ->
       (* one registry across many short-lived instances: drop the previous
@@ -481,7 +482,8 @@ let pp_failure ppf f =
     (match c.fault with
     | No_fault -> ""
     | Durability_hole -> ", planted fault: durability-hole"
-    | Lost_update -> ", planted fault: lost-update");
+    | Lost_update -> ", planted fault: lost-update"
+    | Stale_dedup -> ", planted fault: stale-dedup");
   Format.fprintf ppf "  program:@.%a" Proggen.pp_program f.program;
   Format.fprintf ppf "  schedule [%d choices]: %a@." (Array.length f.schedule)
     pp_schedule f.schedule;
@@ -554,11 +556,13 @@ let fault_name = function
   | No_fault -> "none"
   | Durability_hole -> "durability-hole"
   | Lost_update -> "lost-update"
+  | Stale_dedup -> "stale-dedup"
 
 let fault_of_name = function
   | "none" -> No_fault
   | "durability-hole" -> Durability_hole
   | "lost-update" -> Lost_update
+  | "stale-dedup" -> Stale_dedup
   | s -> bad ("unknown fault " ^ s)
 
 let config_to_json c =

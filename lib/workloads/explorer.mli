@@ -40,6 +40,9 @@ type fault =
   | No_fault
   | Durability_hole  (** drop the request-cell pwb in [publish_log] *)
   | Lost_update  (** refresh the curTx snapshot right before the commit CAS *)
+  | Stale_dedup
+      (** never advance the flush-dedup generation: a committed write can
+          skip its data pwb because an earlier transaction flushed the line *)
 
 type config = {
   wf : bool;  (** wait-free algorithm instead of lock-free *)

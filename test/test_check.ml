@@ -326,6 +326,21 @@ let test_lint_markers () =
   check int "immutable identifier is fine" 0
     (nfindings ~path:"lib/foo/bar.ml" "let immutable_n = 1\n")
 
+let test_lint_hotpath () =
+  check Alcotest.string "find_opt in lib/onefile flagged" "hotpath-alloc"
+    (rule_at ~path:"lib/onefile/foo.ml" "let x = Hashtbl.find_opt h k\n");
+  check Alcotest.string "string-keyed bump flagged" "hotpath-alloc"
+    (rule_at ~path:"lib/onefile/foo.ml" "let () = Telemetry.bump s \"x\"\n");
+  check Alcotest.string "string-keyed record flagged" "hotpath-alloc"
+    (rule_at ~path:"lib/onefile/foo.ml" "let () = Telemetry.record s \"x\" 1\n");
+  check int "alloc-ok marker allows it" 0
+    (nfindings ~path:"lib/onefile/foo.ml"
+       "(* alloc-ok: cold path *)\nlet x = Hashtbl.find_opt h k\n");
+  check int "outside lib/onefile is fine" 0
+    (nfindings ~path:"lib/workloads/foo.ml" "let x = Hashtbl.find_opt h k\n");
+  check int "handle tick is fine" 0
+    (nfindings ~path:"lib/onefile/foo.ml" "let () = Telemetry.tick h\n")
+
 let test_lint_missing_mli () =
   let r = Lint.missing_mli ~files:[ "lib/a/b.ml"; "lib/a/c.ml"; "lib/a/c.mli" ] in
   check int "one missing" 1 (List.length r);
@@ -365,6 +380,7 @@ let () =
           Alcotest.test_case "raw atomic" `Quick test_lint_raw_atomic;
           Alcotest.test_case "determinism" `Quick test_lint_determinism;
           Alcotest.test_case "markers" `Quick test_lint_markers;
+          Alcotest.test_case "hotpath alloc" `Quick test_lint_hotpath;
           Alcotest.test_case "missing mli" `Quick test_lint_missing_mli;
         ] );
     ]

@@ -235,6 +235,65 @@ let test_no_false_positives () =
       | None -> ())
     [ 3; 5 ]
 
+(* --- planted stale-dedup flush (hot-path overhaul self-check) ------ *)
+
+(* The line-dedup fault: [stale_dedup_flush] freezes the per-thread
+   "already flushed this line" generation, so a line flushed for an
+   earlier transaction is considered still clean and a later committed
+   write silently skips its data pwb.  Crash-point enumeration with
+   adversarial eviction must surface a durable state that is missing a
+   committed write — a hole no serialization of the program explains. *)
+let test_planted_stale_dedup () =
+  let config = { E.default with E.sanitize = false; fault = E.Stale_dedup } in
+  let find prog = (E.explore_crashes ~config ~sites:`Every prog).E.failure in
+  match find_with ~seeds:[ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] find with
+  | None -> Alcotest.fail "planted stale-dedup flush not found within budget"
+  | Some (f, find) ->
+      check_bool "found at a crash point" true (f.E.crash <> None);
+      let small = E.shrink ~find f in
+      check_bool "shrunk program still crashes" true (small.E.crash <> None);
+      assert_deterministic_replay small
+
+(* --- helper early-exit under controlled interleaving --------------- *)
+
+(* Overlapping multi-word write sets under the seeded round-robin
+   scheduler force helping; a helper that is mid-apply when the owner
+   closes the request must abandon the remaining entries at its next
+   K-entry re-check instead of burning DCAS attempts on a dead sequence
+   number.  The cooperative scheduler makes the counts exact, so this
+   asserts the early exit actually fires (and never exceeds the number
+   of helping episodes). *)
+let test_helper_early_exit () =
+  let module Br = Workloads.Bench_runner in
+  let module Lf = Onefile.Onefile_lf in
+  let module Pstats = Pmem.Pstats in
+  let t = Lf.create ~mode:Pmem.Region.Volatile ~ws_cap:64 ~num_roots:16 () in
+  let sp =
+    {
+      Br.threads = 8;
+      cores = 4;
+      rounds = 4_000;
+      seed = 7;
+      policy = Sched.Round_robin;
+    }
+  in
+  let ops =
+    Br.run_ops sp (fun ~tid ~rng ->
+        let base = Rng.int rng 4 in
+        ignore
+          (Lf.update_tx t (fun tx ->
+               for i = 0 to 11 do
+                 Lf.store tx (Lf.root t ((base + i) mod 16)) (tid + i)
+               done;
+               0)))
+  in
+  let st = Pmem.Region.stats (Lf.region t) in
+  check_bool "made progress" true (ops > 0);
+  check_bool "helping happened" true (st.Pstats.helps > 0);
+  check_bool "helper early-exit fired" true (st.Pstats.help_exits > 0);
+  check_bool "exits bounded by helping episodes" true
+    (st.Pstats.help_exits <= st.Pstats.helps)
+
 (* --- telemetry isolation across explored executions ---------------- *)
 
 let test_telemetry_isolation () =
@@ -284,7 +343,13 @@ let () =
             test_planted_durability_hole;
           Alcotest.test_case "durability-hole-via-sanitizer" `Quick
             test_planted_durability_sanitizer;
+          Alcotest.test_case "stale-dedup-via-oracle" `Quick
+            test_planted_stale_dedup;
           Alcotest.test_case "no-false-positives" `Quick test_no_false_positives;
+        ] );
+      ( "hotpath",
+        [
+          Alcotest.test_case "helper-early-exit" `Quick test_helper_early_exit;
         ] );
       ( "telemetry",
         [

@@ -559,9 +559,11 @@ let test_lf_cost_counts () =
   (* pwb: 1 (request flush before the log is recycled — a deliberate +1
      over the paper, so a crash can never pair a stale-open durable
      request with a torn rewritten log) + ceil((2+Nw)/4) (log lines)
-     + 1 (curTx) + Nw (data) *)
+     + 1 (curTx) + data cache lines (flushes are line-deduped: the 8
+     contiguous roots start line-aligned, so 8 words = 2 lines) *)
   let log_lines = (2 + nw + 3) / 4 in
-  check int "pwb count" (2 + log_lines + nw) d.Pstats.pwb;
+  let data_lines = (nw + 3) / 4 in
+  check int "pwb count" (2 + log_lines + data_lines) d.Pstats.pwb;
   check int "pfence count" 0 d.Pstats.pfence;
   (* CAS: commit + close-request; DCAS: one per word *)
   check int "cas count" 2 d.Pstats.cas;
@@ -584,10 +586,13 @@ let test_wf_cost_counts () =
   let d = Pstats.diff st snap in
   (* the WF row of the table: one extra pwb (operation publication) on
      top of the LF count (which includes the request flush); the result
-     and opid-acknowledgment words add two to Nw *)
+     and opid-acknowledgment words add two to Nw.  Data flushes are
+     line-deduped: 8 root words = 2 lines, and the result/ack pair of
+     thread 0 shares one more line *)
   let nw' = nw + 2 in
   let log_lines = (2 + nw' + 3) / 4 in
-  check int "pwb count" (3 + log_lines + nw') d.Pstats.pwb;
+  let data_lines = ((nw + 3) / 4) + 1 in
+  check int "pwb count" (3 + log_lines + data_lines) d.Pstats.pwb;
   check int "pfence count" 0 d.Pstats.pfence;
   check int "dcas count" nw' d.Pstats.dcas;
   check int "one commit" 1 d.Pstats.commits

@@ -90,6 +90,21 @@ let test_adversarial_eviction () =
   Region.crash r ~evict_fraction:1.0 ~rng:(Rng.create 5) ();
   check int "evicted line persisted" 7 (wv (Region.load r 10))
 
+let test_eviction_requires_rng () =
+  (* Randomized eviction without a caller-supplied rng must be refused:
+     a silent Rng.create 1 default made every campaign evict the same
+     lines regardless of the campaign seed, hiding seed-dependent
+     crash states. *)
+  let r = Region.create 64 in
+  Region.store r 10 (w 7 1);
+  check bool "eviction without rng rejected" true
+    (match Region.crash r ~evict_fraction:0.5 () with
+    | exception Invalid_argument _ -> true
+    | () -> false);
+  (* fraction 0 needs no randomness, so no rng is fine *)
+  Region.crash r ~evict_fraction:0.0 ();
+  check int "unflushed store dropped" 0 (wv (Region.load r 10))
+
 let test_volatile_mode () =
   let r = Region.create ~mode:Region.Volatile 64 in
   let st = Region.stats r in
@@ -157,6 +172,7 @@ let () =
           Alcotest.test_case "pwb_range counts lines" `Quick test_pwb_range_counts_lines;
           Alcotest.test_case "dirty lines" `Quick test_dirty_lines_tracking;
           Alcotest.test_case "adversarial eviction" `Quick test_adversarial_eviction;
+          Alcotest.test_case "eviction requires rng" `Quick test_eviction_requires_rng;
           Alcotest.test_case "volatile mode" `Quick test_volatile_mode;
           Alcotest.test_case "crash mid-simulation" `Quick test_crash_in_simulation;
           Alcotest.test_case "peek durable" `Quick test_peek_durable;

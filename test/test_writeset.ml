@@ -100,6 +100,70 @@ let test_capacity () =
   done;
   Alcotest.(check int) "full capacity again after clear" cap (Ws.size ws)
 
+(* --- find_idx ------------------------------------------------------ *)
+
+let test_find_idx () =
+  (* the sentinel-returning hot-path lookup agrees with find across the
+     linear/hashed switchover *)
+  List.iter
+    (fun threshold ->
+      let ws = Ws.create ~linear_threshold:threshold 64 in
+      for a = 1 to 10 do
+        Ws.put ws a (a * 100)
+      done;
+      for a = 1 to 10 do
+        let i = Ws.find_idx ws a in
+        Alcotest.(check bool)
+          (Printf.sprintf "hit idx valid (t=%d a=%d)" threshold a)
+          true
+          (i >= 0 && Ws.addr_at ws i = a && Ws.val_at ws i = a * 100)
+      done;
+      Alcotest.(check int)
+        (Printf.sprintf "miss is -1 (t=%d)" threshold)
+        (-1) (Ws.find_idx ws 99))
+    [ 4; 40 ]
+
+(* --- instance-level threshold config ------------------------------- *)
+
+(* The old dead top-level [Writeset.linear_threshold] is gone; the
+   switchover is per-instance and threads from [Core0.create
+   ?linear_threshold] (surfaced by both algorithm front-ends) down to
+   every per-thread write-set. *)
+let test_threshold_threads_through () =
+  let module Lf = Onefile.Onefile_lf in
+  let module Wf = Onefile.Onefile_wf in
+  Alcotest.(check int)
+    "writeset default threshold" 40
+    (Ws.threshold (Ws.create 8));
+  Alcotest.(check int)
+    "writeset explicit threshold" 7
+    (Ws.threshold (Ws.create ~linear_threshold:7 8));
+  let lf = Lf.create ~mode:Pmem.Region.Volatile () in
+  Alcotest.(check int) "lf default" 40 (Lf.linear_threshold lf);
+  let lf4 = Lf.create ~mode:Pmem.Region.Volatile ~linear_threshold:4 () in
+  Alcotest.(check int) "lf override" 4 (Lf.linear_threshold lf4);
+  let wf =
+    Wf.create ~mode:Pmem.Region.Volatile ~max_threads:3 ~linear_threshold:4 ()
+  in
+  Alcotest.(check int) "wf override" 4 (Wf.linear_threshold wf);
+  (* the overridden instance still commits correctly across the early
+     switchover: 10 distinct writes > threshold 4 *)
+  ignore
+    (Lf.update_tx lf4 (fun tx ->
+         for i = 0 to Stdlib.min 7 (Lf.num_roots lf4 - 1) do
+           Lf.store tx (Lf.root lf4 i) (i + 1)
+         done;
+         0));
+  ignore
+    (Lf.read_tx lf4 (fun tx ->
+         for i = 0 to Stdlib.min 7 (Lf.num_roots lf4 - 1) do
+           Alcotest.(check int)
+             (Printf.sprintf "root %d committed" i)
+             (i + 1)
+             (Lf.load tx (Lf.root lf4 i))
+         done;
+         0))
+
 let () =
   Alcotest.run "writeset"
     [
@@ -112,4 +176,11 @@ let () =
             prop_clear_resets;
           ] );
       ("capacity", [ Alcotest.test_case "growth-and-limit" `Quick test_capacity ]);
+      ( "find-idx",
+        [ Alcotest.test_case "agrees with find" `Quick test_find_idx ] );
+      ( "threshold-config",
+        [
+          Alcotest.test_case "threads from create to writeset" `Quick
+            test_threshold_threads_through;
+        ] );
     ]
