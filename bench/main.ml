@@ -990,6 +990,77 @@ let fig_hotpath mode =
     [ ("OF-LF", thr (module Of_lf_v)); ("OF-WF", thr (module Of_wf_v)) ]
 
 (* ------------------------------------------------------------------ *)
+(* Figure "shards" (extension): the Tm_shard cross-shard router.
+   Throughput and pwb per committed transaction at 1/2/4/8 shards under
+   0/10/50% cross-shard transfer mixes, for LF and WF shard instances.
+   Each cell is one Shard_bench run (8 threads, persistent device); the
+   workload's account-total invariant is asserted on every cell, so a
+   router consistency bug fails the figure instead of skewing it. *)
+
+let fig_shards mode =
+  let shard_counts = [ 1; 2; 4; 8 ] in
+  let mixes = [ 0; 10; 50 ] in
+  let columns = List.map (fun m -> Printf.sprintf "%d%% cross" m) mixes in
+  let rounds = mode.rounds / 4 in
+  let grid ~wf =
+    List.map
+      (fun n ->
+        ( n,
+          List.map
+            (fun pct ->
+              let r =
+                Shard_bench.run ~wf ~telemetry:!tele ~shards:n ~cross_pct:pct
+                  ~threads:8 ~rounds
+                  ~seed:(mix (31 + (97 * n) + pct + (if wf then 1 else 0)))
+                  ()
+              in
+              if not r.Shard_bench.conserved then
+                failwith
+                  (Printf.sprintf
+                     "shards figure: account total not conserved (%s, %d \
+                      shards, %d%% cross)"
+                     (if wf then "WF" else "LF")
+                     n pct);
+              r)
+            mixes ))
+      shard_counts
+  in
+  let label n = Printf.sprintf "%d shard%s" n (if n = 1 then "" else "s") in
+  let thr_rows g =
+    List.map
+      (fun (n, cells) ->
+        ( label n,
+          List.map
+            (fun r ->
+              float_of_int r.Shard_bench.ops *. 1000.0 /. float_of_int rounds)
+            cells ))
+      g
+  in
+  let pwb_rows g =
+    List.map
+      (fun (n, cells) ->
+        ( label n,
+          List.map
+            (fun r ->
+              float_of_int r.Shard_bench.pwb
+              /. float_of_int (max 1 r.Shard_bench.ops))
+            cells ))
+      g
+  in
+  let glf = grid ~wf:false in
+  let gwf = grid ~wf:true in
+  emit ~label_col:"shards"
+    ~title:"Sharded OF-LF: throughput (ops/kround, 8 threads)" ~columns
+    ~better:J.Higher_better (thr_rows glf);
+  emit ~label_col:"shards" ~title:"Sharded OF-LF: pwb per committed tx"
+    ~columns ~better:J.Lower_better (pwb_rows glf);
+  emit ~label_col:"shards"
+    ~title:"Sharded OF-WF: throughput (ops/kround, 8 threads)" ~columns
+    ~better:J.Higher_better (thr_rows gwf);
+  emit ~label_col:"shards" ~title:"Sharded OF-WF: pwb per committed tx"
+    ~columns ~better:J.Lower_better (pwb_rows gwf)
+
+(* ------------------------------------------------------------------ *)
 (* Driver *)
 
 let figures =
@@ -1010,6 +1081,7 @@ let figures =
     ("ablation", "design-choice ablations (extension)");
     ("micro", "bechamel primitive micro-benchmarks");
     ("hotpath", "hot-path cost trajectory: alloc/op, pwb per tx, helper work (extension)");
+    ("shards", "sharded router: throughput and pwb vs cross-shard mix (extension)");
   ]
 
 let run_figure mode mode_name name =
@@ -1081,6 +1153,7 @@ let run_figure mode mode_name name =
   | "ablation" -> fig_ablation mode
   | "micro" -> micro ()
   | "hotpath" -> fig_hotpath mode
+  | "shards" -> fig_shards mode
   | other -> pr "unknown figure %s@." other);
   {
     J.figure = name;

@@ -23,6 +23,8 @@ let usage () =
   --strategy S     exhaustive | pct | crash      (default exhaustive)
   --wf             explore OneFile-WF            (default OneFile-LF)
   --threads N      fibers the program is dealt onto (default 2)
+  --shards N       shard count; >1 routes through Tm_shard and generates
+                   cross-shard transfer ops (default 1)
   --seed N         first program seed (default 1)
   --seeds N        number of program seeds to sweep (default 1)
   --txns N         max transactions per program (default 6)
@@ -36,6 +38,7 @@ let usage () =
   --persistent     persistent region for interleaving strategies
   --no-sanitize    do not attach the Tmcheck sanitizer
   --plant F        plant a fault: durability | lost-update | stale-dedup
+                   | torn-commit-record (needs --shards >= 2)
   --max-steps N    per-execution step budget (default 50000)
   --no-shrink      print the raw failure without minimizing it
   --out FILE       write the (shrunk) failing trace as JSON
@@ -53,6 +56,7 @@ let () =
   let strategy = ref "exhaustive" in
   let wf = ref false in
   let threads = ref 2 in
+  let shards = ref 1 in
   let seed = ref 1 in
   let seeds = ref 1 in
   let txns = ref 6 in
@@ -83,6 +87,9 @@ let () =
         parse rest
     | "--threads" :: v :: rest ->
         threads := max 1 (int_arg "--threads" v);
+        parse rest
+    | "--shards" :: v :: rest ->
+        shards := max 1 (int_arg "--shards" v);
         parse rest
     | "--seed" :: v :: rest ->
         seed := int_arg "--seed" v;
@@ -127,6 +134,7 @@ let () =
         | "durability" -> fault := E.Durability_hole
         | "lost-update" -> fault := E.Lost_update
         | "stale-dedup" -> fault := E.Stale_dedup
+        | "torn-commit-record" -> fault := E.Torn_commit_record
         | _ ->
             prerr_endline ("explore: unknown fault " ^ v);
             exit 2);
@@ -149,6 +157,10 @@ let () =
         usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
+  if !fault = E.Torn_commit_record && !shards < 2 then begin
+    prerr_endline "explore: --plant torn-commit-record needs --shards >= 2";
+    exit 2
+  end;
 
   (* --- replay mode ------------------------------------------------- *)
   (match !replay_file with
@@ -179,6 +191,7 @@ let () =
       E.default with
       E.wf = !wf;
       threads = !threads;
+      shards = !shards;
       persistent = !persistent;
       sanitize = !sanitize;
       fault = !fault;
@@ -203,15 +216,20 @@ let () =
   let s = !seed in
   (try
      for seed = s to s + !seeds - 1 do
-       let prog = Proggen.gen_program ~max_txns:!txns ~max_ops:!ops seed in
-       Format.printf "seed %d: %d transactions on %d threads, %s%s...@." seed
+       let prog =
+         Proggen.gen_program ~max_txns:!txns ~max_ops:!ops
+           ~transfers:(!shards > 1) seed
+       in
+       Format.printf "seed %d: %d transactions on %d threads, %s%s%s...@." seed
          (List.length prog) !threads
          (if !wf then "OneFile-WF" else "OneFile-LF")
+         (if !shards > 1 then Printf.sprintf " over %d shards" !shards else "")
          (match !fault with
          | E.No_fault -> ""
          | E.Durability_hole -> " (planted: durability-hole)"
          | E.Lost_update -> " (planted: lost-update)"
-         | E.Stale_dedup -> " (planted: stale-dedup)");
+         | E.Stale_dedup -> " (planted: stale-dedup)"
+         | E.Torn_commit_record -> " (planted: torn-commit-record)");
        let report = find prog in
        Format.printf "%a" E.pp_report report;
        match report.E.failure with

@@ -90,6 +90,61 @@ let stats_cmd =
     (Cmd.info "stats" ~doc:"Run persistent SPS and dump the instruction counters")
     Term.(const run $ threads $ swaps)
 
+let shards_cmd =
+  let shards =
+    Arg.(
+      value & opt int 4
+      & info [ "shards" ] ~doc:"Shard count (must divide 16: 1, 2, 4 or 8).")
+  in
+  let cross =
+    Arg.(
+      value & opt int 10
+      & info [ "cross-shard" ]
+          ~doc:"Percentage of transactions that transfer across two shards.")
+  in
+  let threads = Arg.(value & opt int 8 & info [ "threads" ] ~doc:"Workers.") in
+  let rounds =
+    Arg.(value & opt int 5_000 & info [ "rounds" ] ~doc:"Simulated rounds.")
+  in
+  let wf = Arg.(value & flag & info [ "wf" ] ~doc:"Use the wait-free PTM.") in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scheduler seed.") in
+  let run shards cross threads rounds wf seed =
+    if cross < 0 || cross > 100 then (
+      Format.eprintf "onefile_cli shards: --cross-shard must be 0..100@.";
+      exit 2);
+    let r =
+      try Workloads.Shard_bench.run ~wf ~shards ~cross_pct:cross ~threads
+            ~rounds ~seed ()
+      with Invalid_argument m ->
+        Format.eprintf "onefile_cli shards: %s@." m;
+        exit 2
+    in
+    let open Workloads.Shard_bench in
+    Format.printf
+      "%s router, %d shard%s, %d%% cross-shard, %d threads, %d rounds:@."
+      (if wf then "OF-WF" else "OF-LF")
+      shards
+      (if shards = 1 then "" else "s")
+      cross threads rounds;
+    Format.printf "  committed txs  %d (%.1f ops/kround), of which cross-shard %d@."
+      r.ops
+      (1000.0 *. float_of_int r.ops /. float_of_int rounds)
+      r.cross;
+    Format.printf "  pwb per tx     %.1f@."
+      (float_of_int r.pwb /. float_of_int (max 1 r.ops));
+    Format.printf "  shard commits  [%s]@."
+      (String.concat "; "
+         (Array.to_list (Array.map string_of_int r.per_shard_commits)));
+    Format.printf "  account total conserved after post-run recovery: %b@."
+      r.conserved;
+    if not r.conserved then exit 1
+  in
+  Cmd.v
+    (Cmd.info "shards"
+       ~doc:
+         "Sharded transfer workload over the cross-shard router (Tm_shard)")
+    Term.(const run $ shards $ cross $ threads $ rounds $ wf $ seed)
+
 let costs_cmd =
   let nw = Arg.(value & opt int 8 & info [ "nw" ] ~doc:"Modified words per tx.") in
   let run nw =
@@ -105,4 +160,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "onefile_cli" ~doc)
-          [ kill_cmd; crash_cmd; stats_cmd; costs_cmd ]))
+          [ kill_cmd; crash_cmd; stats_cmd; shards_cmd; costs_cmd ]))

@@ -1,98 +1,140 @@
-(* A crash-proof key-value store on OneFile-LF PTM.
+(* A crash-proof key-value store on the abstract PTM signature.
 
-   Keys and values are ints; the store is a persistent hash set of nodes
-   extended with a value cell.  The demo writes a batch of entries, crashes
-   the machine mid-run at an arbitrary instant, runs null recovery, and
-   shows that every committed write survived untorn.
+   Keys and values are ints; the store is a fixed-size bucket array of
+   [key; value; next] chains, stored under root 0.  The KV code is
+   written ONCE against [Tm.Tm_intf.S] and run twice, unchanged:
+
+   - on a plain OneFile-LF instance, and
+   - on four OneFile-WF shards behind the cross-shard router
+     ([Tm_shard.Make (Onefile_wf)] satisfies the same signature; chain
+     nodes land on round-robin shards, so puts routinely commit through
+     the cross-shard two-phase path).
+
+   Each run writes a batch of entries, crashes the machine mid-run at an
+   arbitrary instant, runs (null or router) recovery, and audits that
+   every surviving value is untorn.
 
      dune exec examples/persistent_kv.exe *)
 
-module Lf = Onefile.Onefile_lf
 module Region = Pmem.Region
 module Sched = Runtime.Sched
+module Lf = Onefile.Onefile_lf
+module Wf = Onefile.Onefile_wf
+module Sh_wf = Tm.Tm_shard.Make (Wf)
 
-(* KV on top of the TM: a fixed-size bucket array of [key; value; next]
-   chains, stored under root 0. *)
-let buckets = 64
+module Kv (T : Tm.Tm_intf.S) = struct
+  let buckets = 64
 
-let kv_create tm =
-  ignore
-    (Lf.update_tx tm (fun tx ->
-         let arr = Lf.alloc tx buckets in
-         for i = 0 to buckets - 1 do
-           Lf.store tx (arr + i) 0
-         done;
-         Lf.store tx (Lf.root tm 0) arr;
-         0))
+  let create tm =
+    ignore
+      (T.update_tx tm (fun tx ->
+           let arr = T.alloc tx buckets in
+           for i = 0 to buckets - 1 do
+             T.store tx (arr + i) 0
+           done;
+           T.store tx (T.root tm 0) arr;
+           0))
 
-let bucket tx tm k =
-  let arr = Lf.load tx (Lf.root tm 0) in
-  arr + (k land (buckets - 1))
+  let bucket tx tm k =
+    let arr = T.load tx (T.root tm 0) in
+    arr + (k land (buckets - 1))
 
-let kv_put tm k v =
-  ignore
-    (Lf.update_tx tm (fun tx ->
-         let cell = bucket tx tm k in
-         let rec find n =
-           if n = 0 then 0
-           else if Lf.load tx n = k then n
-           else find (Lf.load tx (n + 2))
-         in
-         (match find (Lf.load tx cell) with
-         | 0 ->
-             let node = Lf.alloc tx 3 in
-             Lf.store tx node k;
-             Lf.store tx (node + 1) v;
-             Lf.store tx (node + 2) (Lf.load tx cell);
-             Lf.store tx cell node
-         | n -> Lf.store tx (n + 1) v);
-         0))
+  let put tm k v =
+    ignore
+      (T.update_tx tm (fun tx ->
+           let cell = bucket tx tm k in
+           let rec find n =
+             if n = 0 then 0
+             else if T.load tx n = k then n
+             else find (T.load tx (n + 2))
+           in
+           (match find (T.load tx cell) with
+           | 0 ->
+               let node = T.alloc tx 3 in
+               T.store tx node k;
+               T.store tx (node + 1) v;
+               T.store tx (node + 2) (T.load tx cell);
+               T.store tx cell node
+           | n -> T.store tx (n + 1) v);
+           0))
 
-let kv_get tm k =
-  let missing = min_int in
-  let r =
-    Lf.read_tx tm (fun tx ->
-        let rec find n =
-          if n = 0 then missing
-          else if Lf.load tx n = k then Lf.load tx (n + 1)
-          else find (Lf.load tx (n + 2))
-        in
-        find (Lf.load tx (bucket tx tm k)))
+  let get tm k =
+    let missing = min_int in
+    let r =
+      T.read_tx tm (fun tx ->
+          let rec find n =
+            if n = 0 then missing
+            else if T.load tx n = k then T.load tx (n + 1)
+            else find (T.load tx (n + 2))
+          in
+          find (T.load tx (bucket tx tm k)))
+    in
+    if r = missing then None else Some r
+
+  (* write a batch from two threads, pull the plug mid-run, recover,
+     audit: every key must hold a value some committed put wrote (the
+     very last pre-crash put may legitimately be absent — it never
+     returned) *)
+  let demo ~name tm ~dirty ~crash ~recover =
+    create tm;
+    let writer i () =
+      for step = 0 to 199 do
+        let k = ((step * 7) + i) mod 32 in
+        let v = (step * 1000) + i in
+        put tm k v
+      done
+    in
+    ignore (Sched.run ~seed:7 ~max_rounds:3000 [| writer 0; writer 1 |]);
+    Printf.printf "[%s] power failure! dirty lines lost: %d\n%!" name
+      (dirty ());
+    crash ();
+    recover ();
+    let present = ref 0 and bogus = ref 0 in
+    for k = 0 to 31 do
+      match get tm k with
+      | None -> ()
+      | Some v ->
+          incr present;
+          if v mod 1000 > 1 || v / 1000 > 199 then incr bogus
+    done;
+    Printf.printf "[%s] recovered store: %d keys present, %d bogus values\n"
+      name !present !bogus;
+    !bogus = 0
+end
+
+module Kv_lf = Kv (Lf)
+module Kv_sh = Kv (Sh_wf)
+
+let run_lf () =
+  let tm =
+    Lf.create ~mode:Region.Persistent ~size:(1 lsl 16) ~max_threads:4 ()
   in
-  if r = missing then None else Some r
+  Kv_lf.demo ~name:"OF-LF" tm
+    ~dirty:(fun () -> Region.dirty_lines (Lf.region tm))
+    ~crash:(fun () -> Region.crash (Lf.region tm) ())
+    ~recover:(fun () -> Lf.recover tm)
+
+let run_sharded () =
+  let n = 4 in
+  let span = 1 lsl 14 in
+  let device = Region.create ~mode:Region.Persistent (n * span) in
+  let views = Region.partition device (List.init n (fun _ -> span)) in
+  let shards =
+    Array.of_list
+      (List.map
+         (fun v ->
+           Wf.create ~region:v ~instance:(Region.id v) ~max_threads:4
+             ~ws_cap:256 ~num_roots:8 ())
+         views)
+  in
+  let tm = Sh_wf.make ~max_threads:4 shards in
+  Kv_sh.demo ~name:"Shard(OF-WF) x4" tm
+    ~dirty:(fun () -> Region.dirty_lines device)
+    ~crash:(fun () -> Region.crash device ())
+    ~recover:(fun () -> Sh_wf.recover ~shard_recover:Wf.recover tm)
 
 let () =
-  let tm = Lf.create ~mode:Region.Persistent ~size:(1 lsl 16) ~max_threads:4 () in
-  kv_create tm;
-
-  (* writers update keys with values that encode the write order; the
-     committed count per key is tracked outside for the audit *)
-  let committed = Array.make 32 (-1) in
-  let writer i () =
-    for step = 0 to 199 do
-      let k = (step * 7 + i) mod 32 in
-      let v = (step * 1000) + i in
-      kv_put tm k v;
-      committed.(k) <- v
-    done
-  in
-  (* run for an arbitrary prefix, then pull the plug *)
-  ignore (Sched.run ~seed:7 ~max_rounds:3000 [| writer 0; writer 1 |]);
-  Printf.printf "power failure! dirty lines lost: %d\n%!"
-    (Region.dirty_lines (Lf.region tm));
-  Region.crash (Lf.region tm) ();
-  Lf.recover tm;
-
-  (* audit: every key must hold a value some committed put wrote (the very
-     last pre-crash put may legitimately be absent — it never returned) *)
-  let present = ref 0 and bogus = ref 0 in
-  for k = 0 to 31 do
-    match kv_get tm k with
-    | None -> ()
-    | Some v ->
-        incr present;
-        if v mod 1000 > 1 || v / 1000 > 199 then incr bogus
-  done;
-  Printf.printf "recovered store: %d keys present, %d bogus values\n" !present !bogus;
-  if !bogus > 0 then exit 1;
-  print_endline "persistent_kv: OK (null recovery, no torn state)"
+  let ok_lf = run_lf () in
+  let ok_sh = run_sharded () in
+  if not (ok_lf && ok_sh) then exit 1;
+  print_endline "persistent_kv: OK (null recovery, no torn state, both TMs)"

@@ -287,6 +287,32 @@ let rule_hotpath ~path ~raw ~stripped acc =
           (find_token stripped tok))
       acc hotpath_tokens
 
+(* Core0 is the engine room shared by the OneFile front-ends and the
+   cross-shard router; everything else must go through the Tm_intf.S
+   surface (Onefile_lf/Onefile_wf expose the extras — faults, recover,
+   sanitize — precisely so harnesses need no Core0 access).  Direct
+   references above that line couple callers to single-instance
+   internals and bypass the per-instance telemetry/fault plumbing. *)
+let rule_layering ~path ~raw ~stripped acc =
+  if under "lib/tm" path || under "lib/onefile" path || has_marker raw "layering-ok"
+  then acc
+  else
+    List.fold_left
+      (fun acc off ->
+        {
+          file = path;
+          line = line_of_offset stripped off;
+          rule = "layering";
+          message =
+            "direct Onefile.Core0 reference outside lib/tm and lib/onefile: \
+             go through the Tm_intf.S surface (the Onefile_lf/Onefile_wf \
+             front-ends re-export faults/recover/sanitize), or mark the \
+             file (* layering-ok: ... *) with a reason";
+        }
+        :: acc)
+      acc
+      (find_token stripped "Core0.")
+
 let lint_source ~path raw =
   if not (scanned path) then []
   else if Filename.check_suffix path ".ml" then begin
@@ -297,6 +323,7 @@ let lint_source ~path raw =
     |> rule_relaxed ~path ~raw ~stripped
     |> rule_mutable ~path ~raw ~stripped
     |> rule_hotpath ~path ~raw ~stripped
+    |> rule_layering ~path ~raw ~stripped
     |> List.sort (fun a b -> compare (a.file, a.line) (b.file, b.line))
   end
   else []

@@ -24,6 +24,11 @@
       overhead the hot-path overhaul removed (use [Writeset.find_idx] and
       pre-resolved {!Runtime.Telemetry} handles).  Cold paths may carry an
       [(* alloc-ok: ... *)] marker.
+    - [layering] — [Core0.] references are forbidden outside [lib/tm] and
+      [lib/onefile]: everything else goes through the {!Tm.Tm_intf.S}
+      surface (the front-ends re-export [faults]/[recover]/[sanitize]),
+      so instances stay composable behind the signature.  Escape with a
+      [(* layering-ok: ... *)] marker stating why.
 
     Comments, strings and character literals are stripped before token
     search, so prose about [Atomic] does not trip the lint; markers are

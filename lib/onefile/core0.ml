@@ -83,6 +83,7 @@ type faults = {
 
 type t = {
   region : Region.t;
+  instance : string; (* telemetry key prefix; "" = sole instance *)
   max_threads : int;
   ws_cap : int;
   ws_stride : int;
@@ -157,9 +158,30 @@ let store tx addr v =
   (match !(tx.txchk) with None -> () | Some c -> Tmcheck.tx_store c ~addr);
   Writeset.put tx.ws addr v
 
-let create ?(mode = Region.Persistent) ?(size = 1 lsl 18) ?(max_threads = 64)
+let create ?mode ?size ?region:backing ?(instance = "") ?(max_threads = 64)
     ?(ws_cap = 2048) ?(num_roots = 8) ?(read_tries = 4) ?linear_threshold () =
-  let region = Region.create ~mode size in
+  let region =
+    match backing with
+    | Some r ->
+        (match mode with
+        | Some m when m <> Region.mode r ->
+            invalid_arg "Core0.create: ~mode contradicts ~region"
+        | _ -> ());
+        (match size with
+        | Some s when s <> Region.size r ->
+            invalid_arg "Core0.create: ~size contradicts ~region"
+        | _ -> ());
+        r
+    | None ->
+        Region.create
+          ~mode:(Option.value mode ~default:Region.Persistent)
+          ~id:instance
+          (Option.value size ~default:(1 lsl 18))
+  in
+  let mode = Region.mode region and size = Region.size region in
+  (* pre-resolved handle names carry the instance id so two instances
+     attached to one registry stay separable ("shard3.tx.commits") *)
+  let key n = if instance = "" then n else instance ^ "." ^ n in
   let ws_stride = round4 (2 + ws_cap) in
   let ws_base = 8 in
   let wf_base = ws_base + (max_threads * ws_stride) in
@@ -198,6 +220,7 @@ let create ?(mode = Region.Persistent) ?(size = 1 lsl 18) ?(max_threads = 64)
   let inst =
     {
       region;
+      instance;
       max_threads;
       ws_cap;
       ws_stride;
@@ -220,18 +243,18 @@ let create ?(mode = Region.Persistent) ?(size = 1 lsl 18) ?(max_threads = 64)
       line_gen = Array.make max_threads 0;
       checker;
       tele;
-      c_commits = Telemetry.counter tele "tx.commits";
-      c_ro_commits = Telemetry.counter tele "tx.ro_commits";
-      c_aborts = Telemetry.counter tele "tx.aborts";
-      c_helps = Telemetry.counter tele "tx.helps";
-      c_help_exits = Telemetry.counter tele "tx.help_exits";
-      c_recycles = Telemetry.counter tele "log.recycles";
-      c_wf_published = Telemetry.counter tele "wf.published";
-      c_wf_aggregated = Telemetry.counter tele "wf.aggregated";
-      c_wf_fallbacks = Telemetry.counter tele "wf.fallbacks";
-      c_rec_runs = Telemetry.counter tele "recovery.runs";
-      c_rec_helped = Telemetry.counter tele "recovery.helped";
-      s_latency = Telemetry.span tele "tx.latency";
+      c_commits = Telemetry.counter tele (key "tx.commits");
+      c_ro_commits = Telemetry.counter tele (key "tx.ro_commits");
+      c_aborts = Telemetry.counter tele (key "tx.aborts");
+      c_helps = Telemetry.counter tele (key "tx.helps");
+      c_help_exits = Telemetry.counter tele (key "tx.help_exits");
+      c_recycles = Telemetry.counter tele (key "log.recycles");
+      c_wf_published = Telemetry.counter tele (key "wf.published");
+      c_wf_aggregated = Telemetry.counter tele (key "wf.aggregated");
+      c_wf_fallbacks = Telemetry.counter tele (key "wf.fallbacks");
+      c_rec_runs = Telemetry.counter tele (key "recovery.runs");
+      c_rec_helped = Telemetry.counter tele (key "recovery.helped");
+      s_latency = Telemetry.span tele (key "tx.latency");
       faults =
         {
           drop_publish_pwb = false;
@@ -258,6 +281,7 @@ let create ?(mode = Region.Persistent) ?(size = 1 lsl 18) ?(max_threads = 64)
   inst
 
 let linear_threshold inst = inst.ws_threshold
+let instance inst = inst.instance
 
 (* ------------------------------------------------------------------ *)
 (* Sanitizer attachment                                                 *)

@@ -12,6 +12,8 @@ type t
 val create :
   ?mode:Pmem.Region.mode ->
   ?size:int ->
+  ?region:Pmem.Region.t ->
+  ?instance:string ->
   ?max_threads:int ->
   ?ws_cap:int ->
   ?num_roots:int ->
@@ -20,10 +22,20 @@ val create :
   unit ->
   t
 (** [linear_threshold] is the {!Writeset} array-scan/hash-set switchover
-    (paper's 40-entry hybrid), threaded to every per-thread write-set. *)
+    (paper's 40-entry hybrid), threaded to every per-thread write-set.
+    [region] adopts an existing region — typically a shard view from
+    {!Pmem.Region.partition} — instead of allocating one; its mode and
+    size take over (passing a contradicting [~mode]/[~size] raises).
+    [instance] (default [""]) prefixes every telemetry key this instance
+    registers (["shard3.tx.commits"]) and, when the region is allocated
+    here, becomes its {!Pmem.Region.id}; the empty id keeps the
+    historical unprefixed names, so a sole instance is unaffected. *)
 
 val linear_threshold : t -> int
 (** The effective switchover this instance was created with. *)
+
+val instance : t -> string
+(** The instance id this instance was created with ([""] by default). *)
 
 (** {1 Transactions} *)
 

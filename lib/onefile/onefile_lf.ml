@@ -5,6 +5,8 @@ type tx = Core0.tx
 
 let create = Core0.create
 let linear_threshold = Core0.linear_threshold
+let instance = Core0.instance
+let faults = Core0.faults
 let read_tx = Core0.lf_read_tx
 let update_tx = Core0.lf_update_tx
 let load = Core0.load

@@ -12,6 +12,8 @@ include Tm.Tm_intf.S with type t = Core0.t and type tx = Core0.tx
 val create :
   ?mode:Pmem.Region.mode ->
   ?size:int ->
+  ?region:Pmem.Region.t ->
+  ?instance:string ->
   ?max_threads:int ->
   ?ws_cap:int ->
   ?num_roots:int ->
@@ -21,10 +23,22 @@ val create :
   t
 (** Defaults: persistent, [size = 2^18] cells, 64 threads, write-sets of up
     to 2048 entries, 8 roots, write-set linear/hash switchover at 40
-    entries ([linear_threshold], the paper's hybrid lookup knob). *)
+    entries ([linear_threshold], the paper's hybrid lookup knob).
+    [region] adopts an existing region (e.g. a shard view from
+    {!Pmem.Region.partition}) instead of allocating one; [instance]
+    prefixes this instance's telemetry keys so several instances share a
+    registry without colliding (see {!Core0.create}). *)
 
 val linear_threshold : t -> int
 (** The effective write-set switchover this instance was created with. *)
+
+val instance : t -> string
+(** The telemetry-prefix instance id ([""] by default). *)
+
+val faults : t -> Core0.faults
+(** Test-only fault-injection flags (see {!Core0.faults}); exposed here so
+    harnesses outside [lib/onefile] can plant bugs without referencing
+    [Core0] directly (the tm_lint layering rule). *)
 
 val recover : t -> unit
 (** Null recovery: after {!Pmem.Region.crash}, complete (idempotently) the

@@ -14,6 +14,8 @@ include Tm.Tm_intf.S with type t = Core0.t and type tx = Core0.tx
 val create :
   ?mode:Pmem.Region.mode ->
   ?size:int ->
+  ?region:Pmem.Region.t ->
+  ?instance:string ->
   ?max_threads:int ->
   ?ws_cap:int ->
   ?num_roots:int ->
@@ -21,9 +23,20 @@ val create :
   ?linear_threshold:int ->
   unit ->
   t
+(** Same knobs as {!Onefile_lf.create}: [region] adopts an existing region
+    (e.g. a shard view), [instance] prefixes this instance's telemetry
+    keys. *)
 
 val linear_threshold : t -> int
 (** The effective write-set linear/hash switchover (default 40). *)
+
+val instance : t -> string
+(** The telemetry-prefix instance id ([""] by default). *)
+
+val faults : t -> Core0.faults
+(** Test-only fault-injection flags (see {!Core0.faults}); exposed here so
+    harnesses outside [lib/onefile] can plant bugs without referencing
+    [Core0] directly (the tm_lint layering rule). *)
 
 val recover : t -> unit
 (** Null recovery. Published closures are transient and do not survive a

@@ -20,13 +20,36 @@ type mode = Volatile | Persistent
 
 type t
 
-val create : ?mode:mode -> int -> t
+val create : ?mode:mode -> ?id:string -> int -> t
 (** [create n] allocates a region of [n] cells, all {!Word.zero}.
-    Default mode: [Persistent]. *)
+    Default mode: [Persistent].  [id] (default [""]) prefixes the keys
+    registered by {!attach_telemetry} ([<id>.pmem.*]) so several live
+    regions can share one registry; the empty id keeps the historical
+    unprefixed [pmem.*] names. *)
+
+val partition : ?id_prefix:string -> t -> int list -> t list
+(** [partition t sizes] carves the device into consecutive views of the
+    given sizes (each a positive multiple of {!line_cells}; their sum must
+    fit in [t]).  Views share the device's cells, durable shadow and dirty
+    bits, but carry their own {!Pstats}, observer and telemetry id
+    ([id_prefix ^ string_of_int i], default prefix ["s"]), so one
+    simulated NVM device can host N independent TM instances — the shard
+    heaps — while {!crash} (root-only) remains the shared crash/eviction
+    driver.  Cell indices in a view are view-local; the root handle keeps
+    addressing the whole device, its observer sees every access in
+    device-global coordinates, and its [Pstats] aggregates all views.
+    Partitioning an existing view raises [Invalid_argument]. *)
 
 val mode : t -> mode
 val size : t -> int
+(** Cells addressable through this handle — the view length for a view. *)
+
 val stats : t -> Pstats.t
+val id : t -> string
+
+val parent : t -> t option
+(** [Some root] for a view produced by {!partition}, [None] for a root. *)
+
 val line_cells : int
 (** Cells per simulated cache line (4 cells of 16 bytes = 64-byte lines). *)
 
@@ -81,14 +104,18 @@ val crash :
     out-of-range line index, or [evict_fraction > 0] without [~rng]: the
     caller must supply an RNG derived from its own campaign seed, since a
     module-level default would silently correlate eviction choices across
-    campaigns. *)
+    campaigns.  On a partitioned device, crash the root (views raise
+    [Invalid_argument]); every view's observer also receives [Ev_crash],
+    so per-shard checkers reset their durable models. *)
 
 val dirty_lines : t -> int
 (** Number of lines with unpersisted modifications (testing aid). *)
 
 val dirty_line_indices : t -> int list
 (** The dirty lines themselves, ascending — the candidate [evict_lines]
-    for a systematic crash (step-free; checkers and explorers only). *)
+    for a systematic crash (step-free; checkers and explorers only).  On a
+    view, restricted to the view's range and in view-local line numbers;
+    pass root indices to {!crash}. *)
 
 val peek : t -> int -> Word.t
 (** Read the volatile side without a scheduling step (checkers only). *)
@@ -122,6 +149,7 @@ val set_observer : t -> (event -> unit) option -> unit
 
 val attach_telemetry : t -> Runtime.Telemetry.t -> unit
 (** Register this region's {!Pstats} as a pull source of the given
-    telemetry registry, under the ["pmem.*"] names (pwb, pfence, cas,
-    dcas, loads, stores).  The source reads the live counters at snapshot
-    time; attaching many regions to one registry sums them. *)
+    telemetry registry, under the ["<id>.pmem.*"] names (pwb, pfence,
+    cas, dcas, loads, stores) — unprefixed ["pmem.*"] when the id is
+    empty.  The source reads the live counters at snapshot time; distinct
+    ids keep several attached regions separable in one snapshot. *)

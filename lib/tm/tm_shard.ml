@@ -1,0 +1,551 @@
+(* Cross-shard router (see DESIGN.md §10).
+
+   [Make (T)] runs N independent instances of any [Tm_intf.S] — the
+   shards — behind the single-instance signature.  Global addresses are
+   [shard * span + local] with [span] the (equal) shard region size, so
+   when the shards live on consecutive views of one partitioned
+   [Pmem.Region] a global address IS the device address.
+
+   Single-shard transactions run entirely on their home shard as one
+   ordinary [T] transaction (wait-free when T is, parallel across
+   shards).  The home shard is found by a probe execution that stops at
+   the first interposed operation; if the transaction later touches a
+   second shard, the execution "escapes": it commits only a per-owner
+   escape token and the router re-runs it on the cross-shard path.  All
+   routed effects are buffered per execution (stores, frees) or
+   compensated (allocs), so an escaping execution commits nothing else —
+   this matters under OneFile-WF, where helpers may run the closure and
+   only the committed execution's verdict counts.
+
+   Cross-shard transactions serialize on one router mutex and use strict
+   two-phase locking over per-shard persistent lock cells: lock shards on
+   first touch, buffer writes/frees, log allocations write-ahead into a
+   per-shard persistent pending list, then commit via (1) one atomic
+   durable commit record on shard 0 — participant set, writes, frees —
+   (2) one atomic apply transaction per shard (writes + frees + clear
+   pending + applied-id + unlock), (3) a DONE finalize.  Recovery (after
+   the per-shard null recoveries) replays a COMMITTED record into every
+   participant that missed its apply, then rolls back pending
+   allocations and stale locks of a transaction that never committed —
+   the whole cross-shard transaction is replayed or discarded.
+
+   Progress: single-shard transactions keep T's guarantee; cross-shard
+   ones are blocking (Kuznetsov & Ravi's partial wait-freedom). *)
+(* mutable-ok: the per-execution and per-call buffers (exec, cross) are
+   confined to the fiber running the transaction — helpers get their own
+   exec record per execution; the faults flag is test-only sequential
+   set-up.  Shared counters (mutex, tokens, ids) go through Satomic. *)
+
+open Runtime
+
+exception Abort = Tm_intf.Abort
+exception Store_in_read_tx = Tm_intf.Store_in_read_tx
+
+module Make (T : Tm_intf.S) = struct
+  let name = "Shard(" ^ T.name ^ ")"
+
+  exception Home_found of int
+  exception Cross_escape
+
+  type faults = { mutable torn_commit_record : bool }
+
+  type t = {
+    shards : T.t array;
+    span : int; (* cells per shard: global g = shard * span + local *)
+    usable_roots : int; (* per shard; the last T root slot is reserved *)
+    ctl : int array; (* per-shard control block, shard-local address *)
+    rec_base : int; (* cross-shard commit record, local to shard 0 *)
+    max_pending : int;
+    max_writes : int;
+    max_frees : int;
+    max_threads : int;
+    mutex : int Satomic.t; (* serializes cross-shard transactions *)
+    next_token : int Satomic.t;
+    next_txid : int Satomic.t;
+    next_home : int Satomic.t; (* round-robin home for alloc-first txs *)
+    faults : faults;
+  }
+
+  (* control block: lock | applied_id | pending count | pending slots
+     (max_pending) | escape tokens (max_threads) | blocked tokens
+     (max_threads); shard 0 appends the commit record:
+     status (0 none / 1 committed / 2 done) | id | participants bitmap |
+     nwrites | nfrees | (gaddr,value) pairs (max_writes) | free gaddrs
+     (max_frees). *)
+  let lock_cell t s = t.ctl.(s)
+  let applied_cell t s = t.ctl.(s) + 1
+  let pcount_cell t s = t.ctl.(s) + 2
+  let pslot_cell t s i = t.ctl.(s) + 3 + i
+  let esc_cell t s tid = t.ctl.(s) + 3 + t.max_pending + tid
+  let blk_cell t s tid = t.ctl.(s) + 3 + t.max_pending + t.max_threads + tid
+
+  let shard_of t g = g / t.span
+  let local_of t g = g mod t.span
+  let global t s l = (s * t.span) + l
+
+  let make ?(max_pending = 32) ?(max_cross_writes = 64) ?(max_cross_frees = 32)
+      ?(max_threads = 64) shards =
+    let n = Array.length shards in
+    if n < 1 then invalid_arg "Tm_shard.make: need at least one shard";
+    if n > 62 then
+      invalid_arg "Tm_shard.make: at most 62 shards (participant bitmap)";
+    let span = Pmem.Region.size (T.region shards.(0)) in
+    let nroots = T.num_roots shards.(0) in
+    Array.iter
+      (fun sh ->
+        if Pmem.Region.size (T.region sh) <> span then
+          invalid_arg "Tm_shard.make: shards must have equal region sizes";
+        if T.num_roots sh <> nroots then
+          invalid_arg "Tm_shard.make: shards must have equal num_roots")
+      shards;
+    if nroots < 2 then
+      invalid_arg "Tm_shard.make: shards need >= 2 roots (one is reserved)";
+    let ctl_cells = 3 + max_pending + (2 * max_threads) in
+    let rec_cells = 5 + (2 * max_cross_writes) + max_cross_frees in
+    let ctl =
+      Array.init n (fun s ->
+          let sh = shards.(s) in
+          let slot = T.root sh (nroots - 1) in
+          let existing = T.read_tx sh (fun itx -> T.load itx slot) in
+          if existing <> 0 then existing
+          else
+            let cells = ctl_cells + if s = 0 then rec_cells else 0 in
+            T.update_tx sh (fun itx ->
+                let a = T.alloc itx cells in
+                T.store itx slot a;
+                a))
+    in
+    let t =
+      {
+        shards;
+        span;
+        usable_roots = nroots - 1;
+        ctl;
+        rec_base = ctl.(0) + ctl_cells;
+        max_pending;
+        max_writes = max_cross_writes;
+        max_frees = max_cross_frees;
+        max_threads;
+        mutex = Satomic.make 0;
+        next_token = Satomic.make 0;
+        next_txid = Satomic.make 0;
+        next_home = Satomic.make 0;
+        faults = { torn_commit_record = false };
+      }
+    in
+    (* fresh cross-tx ids must stay above any persisted applied id (an
+       adopted device may carry state from an earlier incarnation) *)
+    let hi = ref (T.read_tx shards.(0) (fun itx -> T.load itx (t.rec_base + 1))) in
+    for s = 0 to n - 1 do
+      hi := max !hi (T.read_tx shards.(s) (fun itx -> T.load itx (applied_cell t s)))
+    done;
+    Satomic.set t.next_txid !hi;
+    t
+
+  let shards t = t.shards
+  let num_shards t = Array.length t.shards
+  let span t = t.span
+  let faults t = t.faults
+
+  let root t i =
+    let n = Array.length t.shards in
+    if i < 0 || i >= n * t.usable_roots then invalid_arg "root";
+    let s = i mod n and slot = i / n in
+    global t s (T.root t.shards.(s) slot)
+
+  let num_roots t = Array.length t.shards * t.usable_roots
+
+  let region t =
+    let r0 = T.region t.shards.(0) in
+    match Pmem.Region.parent r0 with Some device -> device | None -> r0
+
+  (* ---------------------------------------------------------------- *)
+  (* Transaction contexts                                              *)
+
+  type exec = {
+    (* one single-shard execution's buffered effects (shard-local addrs) *)
+    stores : (int, int) Hashtbl.t; (* addr -> last value *)
+    mutable sorder : int list; (* reversed first-store order *)
+    mutable sfrees : int list;
+    mutable sallocs : int list;
+  }
+
+  type cross = {
+    locked : bool array;
+    writes : (int, int) Hashtbl.t; (* global addr -> last value *)
+    mutable worder : int list; (* reversed first-store order *)
+    mutable cfrees : int list; (* global addrs *)
+    mutable callocs : (int * int) list; (* (shard, local payload) *)
+    cread_only : bool;
+  }
+
+  type kind =
+    | Probe
+    | Single of { home : int; itx : T.tx; ex : exec }
+    | Read_single of { home : int; itx : T.tx }
+    | Cross of cross
+
+  type tx = { rt : t; kind : kind }
+
+  let ensure_locked t (c : cross) s =
+    if not c.locked.(s) then begin
+      ignore (T.update_tx t.shards.(s) (fun itx -> T.store itx (lock_cell t s) 1; 0));
+      c.locked.(s) <- true
+    end
+
+  let fresh_home t =
+    Satomic.fetch_and_add t.next_home 1 mod Array.length t.shards
+
+  let load tx g =
+    let t = tx.rt in
+    match tx.kind with
+    | Probe -> raise (Home_found (shard_of t g))
+    | Single { home; itx; ex } ->
+        let s = if g = 0 then home else shard_of t g in
+        if s <> home then raise Cross_escape;
+        let l = local_of t g in
+        (match Hashtbl.find_opt ex.stores l with
+        | Some v -> v
+        | None -> T.load itx l)
+    | Read_single { home; itx } ->
+        let s = if g = 0 then home else shard_of t g in
+        if s <> home then raise Cross_escape;
+        T.load itx (local_of t g)
+    | Cross c -> (
+        if g = 0 then 0
+        else
+          match Hashtbl.find_opt c.writes g with
+          | Some v -> v
+          | None ->
+              let s = shard_of t g in
+              ensure_locked t c s;
+              (* the shard is frozen (locked) for the whole cross
+                 transaction, so per-access read transactions observe one
+                 consistent cross-shard snapshot *)
+              T.read_tx t.shards.(s) (fun itx -> T.load itx (local_of t g)))
+
+  let store tx g v =
+    let t = tx.rt in
+    match tx.kind with
+    | Probe -> raise (Home_found (shard_of t g))
+    | Read_single _ -> raise Store_in_read_tx
+    | Single { home; ex; _ } ->
+        let s = if g = 0 then home else shard_of t g in
+        if s <> home then raise Cross_escape;
+        let l = local_of t g in
+        if not (Hashtbl.mem ex.stores l) then ex.sorder <- l :: ex.sorder;
+        Hashtbl.replace ex.stores l v
+    | Cross c ->
+        if c.cread_only then raise Store_in_read_tx;
+        let s = shard_of t g in
+        ensure_locked t c s;
+        if not (Hashtbl.mem c.writes g) then c.worder <- g :: c.worder;
+        Hashtbl.replace c.writes g v
+
+  let alloc tx nw =
+    let t = tx.rt in
+    match tx.kind with
+    | Probe -> raise (Home_found (fresh_home t))
+    | Read_single _ -> raise Store_in_read_tx
+    | Single { home; itx; ex } ->
+        let a = T.alloc itx nw in
+        ex.sallocs <- a :: ex.sallocs;
+        global t home a
+    | Cross c ->
+        if c.cread_only then raise Store_in_read_tx;
+        let s = fresh_home t in
+        ensure_locked t c s;
+        (* write-ahead: the allocation and its pending-list entry commit
+           in one T transaction, so a crash either never allocated or
+           left a pending entry for recovery to roll back *)
+        let a =
+          T.update_tx t.shards.(s) (fun itx ->
+              let a = T.alloc itx nw in
+              let pc = T.load itx (pcount_cell t s) in
+              if pc >= t.max_pending then
+                failwith "Tm_shard: cross-shard pending-alloc overflow";
+              T.store itx (pslot_cell t s pc) a;
+              T.store itx (pcount_cell t s) (pc + 1);
+              a)
+        in
+        c.callocs <- (s, a) :: c.callocs;
+        global t s a
+
+  let free tx g =
+    let t = tx.rt in
+    match tx.kind with
+    | Probe -> raise (Home_found (shard_of t g))
+    | Read_single _ -> raise Store_in_read_tx
+    | Single { home; ex; _ } ->
+        let s = if g = 0 then home else shard_of t g in
+        if s <> home then raise Cross_escape;
+        ex.sfrees <- local_of t g :: ex.sfrees
+    | Cross c ->
+        if c.cread_only then raise Store_in_read_tx;
+        ensure_locked t c (shard_of t g);
+        c.cfrees <- g :: c.cfrees
+
+  (* ---------------------------------------------------------------- *)
+  (* Drivers                                                           *)
+
+  let flush_exec (ex : exec) itx =
+    List.iter
+      (fun l -> T.store itx l (Hashtbl.find ex.stores l))
+      (List.rev ex.sorder);
+    List.iter (fun l -> T.free itx l) (List.rev ex.sfrees)
+
+  (* release every locked shard; [free_pending] rolls the write-ahead
+     allocations back (abort path), commit clears the list keeping them *)
+  let release_shards t (c : cross) ~free_pending =
+    Array.iteri
+      (fun s locked ->
+        if locked then
+          ignore
+            (T.update_tx t.shards.(s) (fun itx ->
+                 (if free_pending then
+                    let pc = T.load itx (pcount_cell t s) in
+                    for i = 0 to pc - 1 do
+                      T.free itx (T.load itx (pslot_cell t s i))
+                    done);
+                 T.store itx (pcount_cell t s) 0;
+                 T.store itx (lock_cell t s) 0;
+                 0)))
+      c.locked
+
+  let commit_cross t (c : cross) =
+    let ws = List.rev c.worder in
+    let fs = List.rev c.cfrees in
+    if List.length ws > t.max_writes then
+      failwith "Tm_shard: cross-shard write-set overflow";
+    if List.length fs > t.max_frees then
+      failwith "Tm_shard: cross-shard free-set overflow";
+    let parts = ref 0 in
+    Array.iteri
+      (fun s locked -> if locked then parts := !parts lor (1 lsl s))
+      c.locked;
+    let first =
+      let rec go s = if c.locked.(s) then s else go (s + 1) in
+      go 0
+    in
+    let id = Satomic.fetch_and_add t.next_txid 1 + 1 in
+    (* planted fault: persist a record torn across shards — only the first
+       participant's effects.  Normal applies below use the full volatile
+       buffers, so crash-free runs stay correct; a crash between the
+       record commit and the last per-shard apply makes recovery replay
+       the torn record, which the crash oracle must catch. *)
+    let keep g = (not t.faults.torn_commit_record) || shard_of t g = first in
+    let rws = List.filter keep ws in
+    let rfs = List.filter keep fs in
+    (* 1. one atomic durable commit record on shard 0 *)
+    ignore
+      (T.update_tx t.shards.(0) (fun itx ->
+           let b = t.rec_base in
+           T.store itx (b + 1) id;
+           T.store itx (b + 2) !parts;
+           T.store itx (b + 3) (List.length rws);
+           T.store itx (b + 4) (List.length rfs);
+           List.iteri
+             (fun i g ->
+               T.store itx (b + 5 + (2 * i)) g;
+               T.store itx (b + 5 + (2 * i) + 1) (Hashtbl.find c.writes g))
+             rws;
+           List.iteri
+             (fun i g -> T.store itx (b + 5 + (2 * t.max_writes) + i) g)
+             rfs;
+           T.store itx b 1;
+           0));
+    (* 2. one atomic apply transaction per participating shard *)
+    Array.iteri
+      (fun s locked ->
+        if locked then
+          ignore
+            (T.update_tx t.shards.(s) (fun itx ->
+                 List.iter
+                   (fun g ->
+                     if shard_of t g = s then
+                       T.store itx (local_of t g) (Hashtbl.find c.writes g))
+                   ws;
+                 List.iter
+                   (fun g -> if shard_of t g = s then T.free itx (local_of t g))
+                   fs;
+                 (* the pending allocations are committed now *)
+                 T.store itx (pcount_cell t s) 0;
+                 T.store itx (applied_cell t s) id;
+                 T.store itx (lock_cell t s) 0;
+                 0)))
+      c.locked;
+    (* 3. finalize *)
+    ignore (T.update_tx t.shards.(0) (fun itx -> T.store itx t.rec_base 2; 0))
+
+  let rec cross_tx t ~read_only f =
+    (* cross-shard transactions serialize on the router mutex: per-shard
+       wait-freedom is preserved, cross-shard progress is blocking *)
+    while not (Satomic.compare_and_set t.mutex 0 1) do
+      ()
+    done;
+    let c =
+      {
+        locked = Array.make (Array.length t.shards) false;
+        writes = Hashtbl.create 16;
+        worder = [];
+        cfrees = [];
+        callocs = [];
+        cread_only = read_only;
+      }
+    in
+    let rtx = { rt = t; kind = Cross c } in
+    match f rtx with
+    | r ->
+        if read_only then release_shards t c ~free_pending:false
+        else commit_cross t c;
+        Satomic.set t.mutex 0;
+        r
+    | exception e ->
+        release_shards t c ~free_pending:true;
+        Satomic.set t.mutex 0;
+        (match e with Abort -> cross_tx t ~read_only f | e -> raise e)
+
+  let rec single_update t home f =
+    let tid = Sched.self () in
+    if tid >= t.max_threads then
+      invalid_arg "Tm_shard: thread id >= max_threads";
+    let token = Satomic.fetch_and_add t.next_token 1 + 1 in
+    let sh = t.shards.(home) in
+    let esc = esc_cell t home tid and blk = blk_cell t home tid in
+    let wrapped itx =
+      if T.load itx (lock_cell t home) <> 0 then begin
+        (* shard frozen by a cross-shard commit: report "blocked" through
+           the transaction itself — helpers may run this closure, and only
+           the committed execution's verdict counts *)
+        T.store itx blk token;
+        -token
+      end
+      else begin
+        let ex =
+          { stores = Hashtbl.create 8; sorder = []; sfrees = []; sallocs = [] }
+        in
+        let rtx = { rt = t; kind = Single { home; itx; ex } } in
+        match f rtx with
+        | r ->
+            flush_exec ex itx;
+            r
+        | exception Cross_escape ->
+            (* undo this execution's eager allocations and commit only the
+               escape token; the router then re-runs on the cross path *)
+            List.iter (fun a -> T.free itx a) ex.sallocs;
+            T.store itx esc token;
+            -token
+      end
+    in
+    let r = T.update_tx sh wrapped in
+    if r <> -token then r
+      (* -token can also be a genuine user result: the token cells, written
+         only by a committed escaped/blocked execution, disambiguate *)
+    else if T.read_tx sh (fun itx -> T.load itx esc) = token then
+      cross_tx t ~read_only:false f
+    else if T.read_tx sh (fun itx -> T.load itx blk) = token then begin
+      (* wait for the freeze to lift before retrying: each probe is a
+         read-only transaction (so the spin yields at every step point),
+         and the retry burns one blocked-token commit per freeze instead
+         of one per poll *)
+      while T.read_tx sh (fun itx -> T.load itx (lock_cell t home)) <> 0 do
+        ()
+      done;
+      single_update t home f
+    end
+    else r
+
+  let rec probe t f =
+    match f { rt = t; kind = Probe } with
+    | r -> `Pure r
+    | exception Home_found s -> `Home s
+    | exception Abort ->
+        Sched.step_point ();
+        probe t f
+
+  let update_tx t f =
+    match probe t f with `Pure r -> r | `Home home -> single_update t home f
+
+  let read_tx t f =
+    match probe t f with
+    | `Pure r -> r
+    | `Home home ->
+        let escaped = ref false in
+        let r =
+          T.read_tx t.shards.(home) (fun itx ->
+              let rtx = { rt = t; kind = Read_single { home; itx } } in
+              try f rtx
+              with Cross_escape ->
+                escaped := true;
+                0)
+        in
+        (* a stale flag from an aborted execution merely re-runs the pure
+           read on the (consistent) cross-shard path *)
+        if !escaped then cross_tx t ~read_only:true f else r
+
+  (* ---------------------------------------------------------------- *)
+  (* Recovery                                                          *)
+
+  let recover ~shard_recover t =
+    Array.iter shard_recover t.shards;
+    Satomic.set t.mutex 0;
+    let n = Array.length t.shards in
+    let sh0 = t.shards.(0) in
+    let rd sh l = T.read_tx sh (fun itx -> T.load itx l) in
+    let b = t.rec_base in
+    (if rd sh0 b = 1 then begin
+       (* roll the committed cross-shard transaction forward *)
+       let id = rd sh0 (b + 1) and parts = rd sh0 (b + 2) in
+       let nw = rd sh0 (b + 3) and nf = rd sh0 (b + 4) in
+       let ws =
+         List.init nw (fun i ->
+             (rd sh0 (b + 5 + (2 * i)), rd sh0 (b + 5 + (2 * i) + 1)))
+       in
+       let fs = List.init nf (fun i -> rd sh0 (b + 5 + (2 * t.max_writes) + i)) in
+       for s = 0 to n - 1 do
+         if parts land (1 lsl s) <> 0 then
+           if rd t.shards.(s) (applied_cell t s) <> id then
+             ignore
+               (T.update_tx t.shards.(s) (fun itx ->
+                    List.iter
+                      (fun (g, v) ->
+                        if shard_of t g = s then T.store itx (local_of t g) v)
+                      ws;
+                    List.iter
+                      (fun g ->
+                        if shard_of t g = s then T.free itx (local_of t g))
+                      fs;
+                    (* pending allocations belong to the committed
+                       transaction: clear the list without freeing *)
+                    T.store itx (pcount_cell t s) 0;
+                    T.store itx (applied_cell t s) id;
+                    T.store itx (lock_cell t s) 0;
+                    0))
+       done;
+       ignore (T.update_tx sh0 (fun itx -> T.store itx b 2; 0))
+     end);
+    (* roll back the leftovers of a cross-shard transaction that never
+       committed: free write-ahead allocations, clear stale locks *)
+    for s = 0 to n - 1 do
+      let sh = t.shards.(s) in
+      let leftovers =
+        rd sh (pcount_cell t s) > 0 || rd sh (lock_cell t s) <> 0
+      in
+      if leftovers then
+        ignore
+          (T.update_tx sh (fun itx ->
+               let pc = T.load itx (pcount_cell t s) in
+               for i = 0 to pc - 1 do
+                 T.free itx (T.load itx (pslot_cell t s i))
+               done;
+               T.store itx (pcount_cell t s) 0;
+               T.store itx (lock_cell t s) 0;
+               0))
+    done;
+    (* fresh cross-tx ids must stay above every persisted applied id *)
+    let hi = ref (rd sh0 (b + 1)) in
+    for s = 0 to n - 1 do
+      hi := max !hi (rd t.shards.(s) (applied_cell t s))
+    done;
+    if Satomic.get t.next_txid < !hi then Satomic.set t.next_txid !hi
+end

@@ -1,0 +1,67 @@
+(** Cross-shard router: N instances of any {!Tm_intf.S} behind the
+    single-instance signature.
+
+    OneFile serializes every mutative transaction on one [curTx] word;
+    [Make (T)] recovers multi-instance scalability by routing addresses
+    to shards ([shard * span + local], [span] = the equal shard region
+    size) and running single-shard transactions entirely on their home
+    shard — wait-free when [T] is, parallel across shards.  Cross-shard
+    transactions are strict-2PL over per-shard persistent lock cells,
+    serialized on a router mutex, and commit through one atomic durable
+    commit record plus one atomic apply transaction per shard, so
+    recovery replays or discards the whole transaction (null recovery
+    per shard is preserved).  Single-shard progress keeps [T]'s
+    guarantee; cross-shard progress is blocking — the partial
+    wait-freedom design point (DESIGN.md §10).
+
+    The structure functors and examples run over [Make (Onefile_wf)]
+    unchanged: the router satisfies {!Tm_intf.S} and only adds [make]
+    (from an array of shards), [recover] and introspection. *)
+
+module Make (T : Tm_intf.S) : sig
+  include Tm_intf.S
+
+  val make :
+    ?max_pending:int ->
+    ?max_cross_writes:int ->
+    ?max_cross_frees:int ->
+    ?max_threads:int ->
+    T.t array ->
+    t
+  (** Build a router over 1–62 shards (equal region sizes and root
+      counts; at least 2 roots each — the last root slot of every shard
+      is reserved for the router's control block).  Caps: [max_pending]
+      (default 32) write-ahead allocations, [max_cross_writes] (64) and
+      [max_cross_frees] (32) buffered effects per cross-shard
+      transaction, [max_threads] (64) per-owner token cells.  Adopts an
+      existing control block when the reserved root is non-null (a
+      re-opened device); call {!recover} before use in that case. *)
+
+  val shards : t -> T.t array
+  val num_shards : t -> int
+
+  val span : t -> int
+  (** Cells per shard: global address [g] lives on shard [g / span] at
+      local offset [g mod span].  With shards on consecutive equal views
+      of one partitioned {!Pmem.Region}, global addresses coincide with
+      device addresses and {!region} returns the device (the shared
+      crash/eviction driver). *)
+
+  val shard_of : t -> int -> int
+
+  val recover : shard_recover:(T.t -> unit) -> t -> unit
+  (** After {!Pmem.Region.crash}: run [shard_recover] (e.g.
+      [Onefile_wf.recover]) on every shard, then complete the cross-shard
+      protocol — replay a COMMITTED-but-unfinalized commit record into
+      every participant shard that missed its apply, roll back
+      write-ahead allocations and stale locks of a transaction that never
+      committed, and reset the router's volatile state. *)
+
+  type faults = { mutable torn_commit_record : bool }
+  (** Test-only: persist commit records torn across shards (only the
+      first participant's effects), re-opening the classic distributed
+      torn-write bug for the explorer's planted-fault self-check.  Crash-
+      free runs are unaffected.  Never set outside tests. *)
+
+  val faults : t -> faults
+end

@@ -12,15 +12,25 @@ module Seqtm = Tm.Seqtm
 module Tmcheck = Check.Tmcheck
 module J = Bench_json
 
+module Sh_lf = Tm.Tm_shard.Make (Lf)
+module Sh_wf = Tm.Tm_shard.Make (Wf)
 module Run_seq = Proggen.Exec (Seqtm)
 module Run_lf = Proggen.Exec (Lf)
 module Run_wf = Proggen.Exec (Wf)
+module Run_sh_lf = Proggen.Exec (Sh_lf)
+module Run_sh_wf = Proggen.Exec (Sh_wf)
 
-type fault = No_fault | Durability_hole | Lost_update | Stale_dedup
+type fault =
+  | No_fault
+  | Durability_hole
+  | Lost_update
+  | Stale_dedup
+  | Torn_commit_record
 
 type config = {
   wf : bool;
   threads : int;
+  shards : int;
   persistent : bool;
   sanitize : bool;
   fault : fault;
@@ -33,6 +43,7 @@ let default =
   {
     wf = false;
     threads = 2;
+    shards = 1;
     persistent = false;
     sanitize = true;
     fault = No_fault;
@@ -157,44 +168,135 @@ let execute_one cfg ~memo prog ~pick ~crash =
   let mode =
     if cfg.persistent || crash <> None then Region.Persistent else Region.Volatile
   in
-  let tm =
-    Lf.create ~mode ~size:(1 lsl 12) ~max_threads:(max 1 cfg.threads)
-      ~ws_cap:128 ()
-  in
-  (match cfg.fault with
-  | No_fault -> ()
-  | Durability_hole -> (Onefile.Core0.faults tm).drop_publish_pwb <- true
-  | Lost_update -> (Onefile.Core0.faults tm).stale_commit_snapshot <- true
-  | Stale_dedup -> (Onefile.Core0.faults tm).stale_dedup_flush <- true);
-  (match cfg.telemetry with
-  | Some te ->
-      (* one registry across many short-lived instances: drop the previous
-         instance's pull sources, keep the accumulated counters *)
-      Telemetry.clear_sources te;
-      Lf.attach_telemetry tm te
-  | None -> ());
-  let region = Lf.region tm in
-  let checker = if cfg.sanitize then Some (Lf.sanitize tm) else None in
   let events = ref 0 in
   let kinds = Buffer.create 256 in
   let crash_now = ref false in
   let dirty_at_crash = ref (-1) in
-  (* single observer slot: compose the sanitizer with the event counter *)
-  Region.set_observer region
-    (Some
-       (fun ev ->
-         (match checker with Some c -> Tmcheck.on_event c ev | None -> ());
-         incr events;
-         Buffer.add_char kinds (kind_char ev);
-         match crash with
-         | Some { event = k; _ } when !events = k ->
-             crash_now := true;
-             dirty_at_crash := Region.dirty_lines region
-         | _ -> ()));
+  let count region ev =
+    incr events;
+    Buffer.add_char kinds (kind_char ev);
+    match crash with
+    | Some { event = k; _ } when !events = k ->
+        crash_now := true;
+        dirty_at_crash := Region.dirty_lines region
+    | _ -> ()
+  in
+  (match cfg.telemetry with
+  | Some te ->
+      (* one registry across many short-lived instances: drop the previous
+         instance's pull sources, keep the accumulated counters *)
+      Telemetry.clear_sources te
+  | None -> ());
+  let region, exec_txn, observe, recover =
+    if cfg.shards <= 1 then begin
+      let tm =
+        Lf.create ~mode ~size:(1 lsl 12) ~max_threads:(max 1 cfg.threads)
+          ~ws_cap:128 ()
+      in
+      (match cfg.fault with
+      | No_fault | Torn_commit_record ->
+          (* torn-commit-record lives in the cross-shard router: nothing to
+             plant on an unsharded instance *)
+          ()
+      | Durability_hole -> (Lf.faults tm).drop_publish_pwb <- true
+      | Lost_update -> (Lf.faults tm).stale_commit_snapshot <- true
+      | Stale_dedup -> (Lf.faults tm).stale_dedup_flush <- true);
+      (match cfg.telemetry with
+      | Some te -> Lf.attach_telemetry tm te
+      | None -> ());
+      let region = Lf.region tm in
+      let checker = if cfg.sanitize then Some (Lf.sanitize tm) else None in
+      (* single observer slot: compose the sanitizer with the event counter *)
+      Region.set_observer region
+        (Some
+           (fun ev ->
+             (match checker with Some c -> Tmcheck.on_event c ev | None -> ());
+             count region ev));
+      ( region,
+        (if cfg.wf then Run_wf.exec_txn tm else Run_lf.exec_txn tm),
+        (fun () -> if cfg.wf then Run_wf.observe tm else Run_lf.observe tm),
+        fun () -> if cfg.wf then Wf.recover tm else Lf.recover tm )
+    end
+    else begin
+      (* sharded: per-shard instances over views of one partitioned device
+         behind the Tm_shard router.  Sanitizers attach to each view's
+         observer slot; the event counter and crash trigger sit on the
+         device's (a view notifies both).  Crash sites are counted in
+         device events, which include the router's control-block setup. *)
+      let span = 1 lsl 12 in
+      let device = Region.create ~mode (cfg.shards * span) in
+      let views =
+        Region.partition device (List.init cfg.shards (fun _ -> span))
+      in
+      let mt = max 1 cfg.threads in
+      Region.set_observer device (Some (count device));
+      if cfg.wf then begin
+        let shards =
+          Array.of_list
+            (List.map
+               (fun v ->
+                 Wf.create ~region:v ~instance:(Region.id v) ~max_threads:mt
+                   ~ws_cap:128 ~num_roots:8 ())
+               views)
+        in
+        Array.iter
+          (fun sh ->
+            let f = Wf.faults sh in
+            match cfg.fault with
+            | No_fault | Torn_commit_record -> ()
+            | Durability_hole -> f.drop_publish_pwb <- true
+            | Lost_update -> f.stale_commit_snapshot <- true
+            | Stale_dedup -> f.stale_dedup_flush <- true)
+          shards;
+        (match cfg.telemetry with
+        | Some te -> Array.iter (fun sh -> Wf.attach_telemetry sh te) shards
+        | None -> ());
+        if cfg.sanitize then
+          Array.iter (fun sh -> ignore (Wf.sanitize sh)) shards;
+        let tm = Sh_wf.make ~max_threads:mt shards in
+        if cfg.fault = Torn_commit_record then
+          (Sh_wf.faults tm).torn_commit_record <- true;
+        ( device,
+          Run_sh_wf.exec_txn tm,
+          (fun () -> Run_sh_wf.observe tm),
+          fun () -> Sh_wf.recover ~shard_recover:Wf.recover tm )
+      end
+      else begin
+        let shards =
+          Array.of_list
+            (List.map
+               (fun v ->
+                 Lf.create ~region:v ~instance:(Region.id v) ~max_threads:mt
+                   ~ws_cap:128 ~num_roots:8 ())
+               views)
+        in
+        Array.iter
+          (fun sh ->
+            let f = Lf.faults sh in
+            match cfg.fault with
+            | No_fault | Torn_commit_record -> ()
+            | Durability_hole -> f.drop_publish_pwb <- true
+            | Lost_update -> f.stale_commit_snapshot <- true
+            | Stale_dedup -> f.stale_dedup_flush <- true)
+          shards;
+        (match cfg.telemetry with
+        | Some te -> Array.iter (fun sh -> Lf.attach_telemetry sh te) shards
+        | None -> ());
+        if cfg.sanitize then
+          Array.iter (fun sh -> ignore (Lf.sanitize sh)) shards;
+        let tm = Sh_lf.make ~max_threads:mt shards in
+        if cfg.fault = Torn_commit_record then
+          (Sh_lf.faults tm).torn_commit_record <- true;
+        ( device,
+          Run_sh_lf.exec_txn tm,
+          (fun () -> Run_sh_lf.observe tm),
+          fun () -> Sh_lf.recover ~shard_recover:Lf.recover tm )
+      end
+    end
+  in
   let parts_a = Array.map Array.of_list (Proggen.split ~threads:cfg.threads prog) in
   let results = Array.map (fun p -> Array.make (Array.length p) 0) parts_a in
   let done_ = Array.make cfg.threads 0 in
-  let exec_txn = if cfg.wf then Run_wf.exec_txn tm else Run_lf.exec_txn tm in
   let fibers =
     Array.init cfg.threads (fun u () ->
         Array.iteri
@@ -211,7 +313,7 @@ let execute_one cfg ~memo prog ~pick ~crash =
   let capped = ref false in
   let mk_seq () = Seqtm.create ~size:(1 lsl 12) () in
   let oracle ~complete =
-    let observed = if cfg.wf then Run_wf.observe tm else Run_lf.observe tm in
+    let observed = observe () in
     match
       oracle_explains ~memo ~mk_seq ~complete ~parts_a ~results ~done_
         ~observed ~cap:cfg.oracle_cap
@@ -255,7 +357,7 @@ let execute_one cfg ~memo prog ~pick ~crash =
         in
         try
           Region.crash region ~evict_lines ();
-          if cfg.wf then Wf.recover tm else Lf.recover tm;
+          recover ();
           oracle ~complete:false
         with
         | Tmcheck.Violation v -> Some (sanitizer_says v)
@@ -474,16 +576,18 @@ let pp_schedule ppf s =
 let pp_failure ppf f =
   let c = f.config in
   Format.fprintf ppf "failure: %s@." f.reason;
-  Format.fprintf ppf "  algorithm: OneFile-%s, %d threads, %s region%s%s@."
+  Format.fprintf ppf "  algorithm: OneFile-%s, %d threads%s, %s region%s%s@."
     (if c.wf then "WF" else "LF")
     c.threads
+    (if c.shards > 1 then Printf.sprintf ", %d shards" c.shards else "")
     (if c.persistent || f.crash <> None then "persistent" else "volatile")
     (if c.sanitize then ", sanitized" else "")
     (match c.fault with
     | No_fault -> ""
     | Durability_hole -> ", planted fault: durability-hole"
     | Lost_update -> ", planted fault: lost-update"
-    | Stale_dedup -> ", planted fault: stale-dedup");
+    | Stale_dedup -> ", planted fault: stale-dedup"
+    | Torn_commit_record -> ", planted fault: torn-commit-record");
   Format.fprintf ppf "  program:@.%a" Proggen.pp_program f.program;
   Format.fprintf ppf "  schedule [%d choices]: %a@." (Array.length f.schedule)
     pp_schedule f.schedule;
@@ -523,6 +627,8 @@ let op_to_json : Proggen.op -> J.json = function
       J.List [ J.Str "alloc"; J.Int k; J.Int n; J.Int m ]
   | Proggen.Free_slot k -> J.List [ J.Str "free"; J.Int k ]
   | Proggen.Load_through k -> J.List [ J.Str "deref"; J.Int k ]
+  | Proggen.Transfer (a, b, d) ->
+      J.List [ J.Str "xfer"; J.Int a; J.Int b; J.Int d ]
 
 let op_of_json : J.json -> Proggen.op = function
   | J.List [ J.Str "load"; J.Int k ] -> Proggen.Load k
@@ -532,6 +638,8 @@ let op_of_json : J.json -> Proggen.op = function
       Proggen.Alloc_into (k, n, m)
   | J.List [ J.Str "free"; J.Int k ] -> Proggen.Free_slot k
   | J.List [ J.Str "deref"; J.Int k ] -> Proggen.Load_through k
+  | J.List [ J.Str "xfer"; J.Int a; J.Int b; J.Int d ] ->
+      Proggen.Transfer (a, b, d)
   | _ -> bad "malformed op"
 
 let txn_to_json (t : Proggen.txn) =
@@ -557,12 +665,14 @@ let fault_name = function
   | Durability_hole -> "durability-hole"
   | Lost_update -> "lost-update"
   | Stale_dedup -> "stale-dedup"
+  | Torn_commit_record -> "torn-commit-record"
 
 let fault_of_name = function
   | "none" -> No_fault
   | "durability-hole" -> Durability_hole
   | "lost-update" -> Lost_update
   | "stale-dedup" -> Stale_dedup
+  | "torn-commit-record" -> Torn_commit_record
   | s -> bad ("unknown fault " ^ s)
 
 let config_to_json c =
@@ -570,6 +680,7 @@ let config_to_json c =
     [
       ("wf", J.Bool c.wf);
       ("threads", J.Int c.threads);
+      ("shards", J.Int c.shards);
       ("persistent", J.Bool c.persistent);
       ("sanitize", J.Bool c.sanitize);
       ("fault", J.Str (fault_name c.fault));
@@ -583,6 +694,12 @@ let config_of_json j =
   {
     wf = b "wf";
     threads = i "threads";
+    (* older traces predate sharding: missing member means one shard *)
+    shards =
+      (match J.member "shards" j with
+      | J.Int v -> v
+      | J.Null -> 1
+      | _ -> bad "shards");
     persistent = b "persistent";
     sanitize = b "sanitize";
     fault =

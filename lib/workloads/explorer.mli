@@ -43,10 +43,20 @@ type fault =
   | Stale_dedup
       (** never advance the flush-dedup generation: a committed write can
           skip its data pwb because an earlier transaction flushed the line *)
+  | Torn_commit_record
+      (** persist cross-shard commit records torn across shards (see
+          [Tm.Tm_shard.Make(_).faults]); needs [shards >= 2], a no-op on
+          an unsharded instance *)
 
 type config = {
   wf : bool;  (** wait-free algorithm instead of lock-free *)
   threads : int;
+  shards : int;
+      (** [> 1] runs the program over that many per-shard OneFile
+          instances behind the {!Tm.Tm_shard} router (one partitioned
+          device; crash points count device events, including the
+          router's control-block setup); [1] (the default) keeps the
+          plain single-instance path *)
   persistent : bool;
       (** region mode for interleaving exploration; crash exploration is
           always persistent.  Volatile makes pwb/pfence free, shrinking
@@ -62,7 +72,7 @@ type config = {
 }
 
 val default : config
-(** lock-free, 2 threads, volatile, sanitized, no fault,
+(** lock-free, 2 threads, 1 shard, volatile, sanitized, no fault,
     [max_steps = 50_000], [oracle_cap = 50_000], no telemetry. *)
 
 (** Deterministic eviction choice at a forced crash: which dirty lines

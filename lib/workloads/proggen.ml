@@ -14,6 +14,7 @@ type op =
   | Alloc_into of int * int * int
   | Free_slot of int
   | Load_through of int
+  | Transfer of int * int * int
 
 type txn = { read_only : bool; ops : op list }
 type program = txn list
@@ -25,6 +26,7 @@ let pp_op ppf = function
   | Alloc_into (k, n, m) -> Format.fprintf ppf "alloc r%d (%d cells, mark %d)" k n m
   | Free_slot k -> Format.fprintf ppf "free r%d" k
   | Load_through k -> Format.fprintf ppf "deref r%d" k
+  | Transfer (a, b, d) -> Format.fprintf ppf "xfer r%d->r%d %d" a b d
 
 let pp_program ppf prog =
   List.iteri
@@ -42,12 +44,15 @@ let pp_program ppf prog =
    accounting is not temporal), so the generator degrades such a free into
    a dereference; alloc/free interplay across transactions stays fully
    exercised. *)
-let gen_op rng ~read_only ~fresh =
+let gen_op rng ~read_only ~transfers ~fresh =
   if read_only then
     if Rng.bool rng then Load (Rng.int rng value_slots)
     else Load_through (value_slots + Rng.int rng ptr_slots)
   else
-    match Rng.int rng 10 with
+    (* the extra two transfer cases draw from a wider range so that with
+       [transfers = false] the stream of rng calls — and hence every
+       existing seed's program — is byte-identical to before *)
+    match Rng.int rng (if transfers then 12 else 10) with
     | 0 | 1 -> Load (Rng.int rng value_slots)
     | 2 | 3 -> Store (Rng.int rng value_slots, Rng.int rng 1000)
     | 4 | 5 -> Add_delta (Rng.int rng value_slots, Rng.int rng 21 - 10)
@@ -61,18 +66,24 @@ let gen_op rng ~read_only ~fresh =
     | 8 ->
         let k = value_slots + Rng.int rng ptr_slots in
         if List.mem k !fresh then Load_through k else Free_slot k
-    | _ -> Load_through (value_slots + Rng.int rng ptr_slots)
+    | 9 -> Load_through (value_slots + Rng.int rng ptr_slots)
+    | _ ->
+        let a = Rng.int rng value_slots and b = Rng.int rng value_slots in
+        Transfer (a, b, 1 + Rng.int rng 9)
 
-let gen_txn rng ~max_ops =
+let gen_txn rng ~max_ops ~transfers =
   let read_only = Rng.int rng 4 = 0 in
   let nops = 1 + Rng.int rng max_ops in
   let fresh = ref [] in
-  { read_only; ops = List.init nops (fun _ -> gen_op rng ~read_only ~fresh) }
+  {
+    read_only;
+    ops = List.init nops (fun _ -> gen_op rng ~read_only ~transfers ~fresh);
+  }
 
-let gen_program ?(max_txns = 20) ?(max_ops = 6) seed =
+let gen_program ?(max_txns = 20) ?(max_ops = 6) ?(transfers = false) seed =
   let rng = Rng.create seed in
   let ntx = 1 + Rng.int rng max_txns in
-  List.init ntx (fun _ -> gen_txn rng ~max_ops)
+  List.init ntx (fun _ -> gen_txn rng ~max_ops ~transfers)
 
 let split ~threads prog =
   let parts = Array.make threads [] in
@@ -112,6 +123,13 @@ module Exec (T : Tm.Tm_intf.S) = struct
     | Load_through k ->
         let p = T.load tx (T.root t k) in
         if p = 0 then -1 else T.load tx p
+    | Transfer (a, b, d) ->
+        let ra = T.root t a and rb = T.root t b in
+        let va = T.load tx ra - d in
+        T.store tx ra va;
+        let vb = T.load tx rb + d in
+        T.store tx rb vb;
+        va + vb
 
   let exec_txn t txn =
     let body tx = List.fold_left (fun acc op -> acc + interp t tx op) 0 txn.ops in

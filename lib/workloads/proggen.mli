@@ -24,6 +24,9 @@ type op =
   | Alloc_into of int * int * int  (** ptr slot, n cells, marker *)
   | Free_slot of int  (** ptr slot *)
   | Load_through of int  (** ptr slot *)
+  | Transfer of int * int * int
+      (** value slot, value slot, delta: debit the first, credit the
+          second — under a sharded TM the canonical cross-shard shape *)
 
 type txn = { read_only : bool; ops : op list }
 
@@ -34,13 +37,17 @@ val pp_program : Format.formatter -> program -> unit
 
 (** {1 Generation} *)
 
-val gen_program : ?max_txns:int -> ?max_ops:int -> int -> program
+val gen_program : ?max_txns:int -> ?max_ops:int -> ?transfers:bool -> int -> program
 (** [gen_program seed]: 1 to [max_txns] (default 20) transactions of 1 to
     [max_ops] (default 6) operations each, every 4th transaction read-only
     on average.  Freeing a block allocated earlier in the same transaction
     is degraded to a dereference (legal, but it trips Tmcheck's set-based
     allocator validation, whose load/store accounting is not temporal);
-    alloc/free interplay across transactions stays fully exercised. *)
+    alloc/free interplay across transactions stays fully exercised.
+    [transfers] (default [false]) additionally generates two-slot
+    {!Transfer} operations — the multi-root shape that crosses shard
+    boundaries under {!Tm.Tm_shard}; with it off, every seed generates
+    the exact same program as before the option existed. *)
 
 val split : threads:int -> program -> program array
 (** Deal the transactions round-robin onto [threads] per-thread programs

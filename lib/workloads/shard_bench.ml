@@ -1,0 +1,160 @@
+(* Sharded transfer workload, shared by `bench --figure shards` and
+   `onefile_cli shards`.  Every transaction transfers one unit between
+   two account roots — both on the executing thread's home shard, or on
+   two distinct shards, according to the requested cross-shard
+   percentage — so the account total is invariant (a built-in
+   consistency check) and throughput/pwb are attributable per cell. *)
+
+open Runtime
+module Region = Pmem.Region
+module Pstats = Pmem.Pstats
+module Lf = Onefile.Onefile_lf
+module Wf = Onefile.Onefile_wf
+module Sh_lf = Tm.Tm_shard.Make (Lf)
+module Sh_wf = Tm.Tm_shard.Make (Wf)
+
+let accounts = 16
+let initial = 100
+
+type result = {
+  ops : int;
+  cross : int;
+  pwb : int;
+  conserved : bool;
+  per_shard_commits : int array;
+}
+
+module Run (T : Tm.Tm_intf.S) = struct
+  let transfer tm tx a b =
+    let ra = T.root tm a and rb = T.root tm b in
+    let va = T.load tx ra in
+    let vb = T.load tx rb in
+    T.store tx ra (va - 1);
+    T.store tx rb (vb + 1)
+
+  let go tm ~recover ~device ~shard_regions ~shards:n ~cross_pct ~threads
+      ~rounds ~seed =
+    let per = accounts / n in
+    for i = 0 to accounts - 1 do
+      ignore
+        (T.update_tx tm (fun tx ->
+             T.store tx (T.root tm i) initial;
+             0))
+    done;
+    let st = Region.stats device in
+    let snap = Pstats.copy st in
+    let commits0 =
+      Array.map (fun r -> (Region.stats r).Pstats.commits) shard_regions
+    in
+    let crosses = Array.make threads 0 in
+    let sp =
+      { Bench_runner.threads; cores = 8; rounds; seed; policy = Sched.Round_robin }
+    in
+    let ops =
+      Bench_runner.run_ops sp (fun ~tid ~rng ->
+          let cross = n > 1 && Rng.int rng 100 < cross_pct in
+          let a, b =
+            if cross then begin
+              (* two roots on two distinct shards *)
+              let s1 = Rng.int rng n in
+              let s2 = (s1 + 1 + Rng.int rng (n - 1)) mod n in
+              (s1 + (n * Rng.int rng per), s2 + (n * Rng.int rng per))
+            end
+            else begin
+              (* two distinct roots on the thread's home shard *)
+              let h = tid mod n in
+              let j1 = Rng.int rng per in
+              let j2 = (j1 + 1 + Rng.int rng (per - 1)) mod per in
+              (h + (n * j1), h + (n * j2))
+            end
+          in
+          if cross then crosses.(tid) <- crosses.(tid) + 1;
+          ignore
+            (T.update_tx tm (fun tx ->
+                 transfer tm tx a b;
+                 0)))
+    in
+    let d = Pstats.diff st snap in
+    let commits =
+      Array.mapi
+        (fun i r -> (Region.stats r).Pstats.commits - commits0.(i))
+        shard_regions
+    in
+    (* the round cap cancels fibers mid-transaction — possibly holding
+       the router mutex and shard lock cells.  That is exactly a crash,
+       so run recovery before touching the TM again; the conservation
+       check below then also validates cross-shard crash atomicity. *)
+    recover ();
+    let total =
+      T.read_tx tm (fun tx ->
+          let s = ref 0 in
+          for i = 0 to accounts - 1 do
+            s := !s + T.load tx (T.root tm i)
+          done;
+          !s)
+    in
+    {
+      ops;
+      cross = Array.fold_left ( + ) 0 crosses;
+      pwb = d.Pstats.pwb;
+      conserved = total = accounts * initial;
+      per_shard_commits = commits;
+    }
+end
+
+module R_lf = Run (Sh_lf)
+module R_wf = Run (Sh_wf)
+
+let span = 1 lsl 14
+
+let run ?(wf = false) ?telemetry ~shards:n ~cross_pct ~threads ~rounds ~seed
+    () =
+  if n < 1 || accounts mod n <> 0 || accounts / n < 2 then
+    invalid_arg "Shard_bench.run: shards must divide 16 and leave >= 2 roots";
+  let device = Region.create ~mode:Region.Persistent (n * span) in
+  let views = Region.partition device (List.init n (fun _ -> span)) in
+  let mt = threads + 2 in
+  if wf then begin
+    let shards =
+      Array.of_list
+        (List.map
+           (fun v ->
+             let sh =
+               Wf.create ~region:v ~instance:(Region.id v) ~max_threads:mt
+                 ~ws_cap:256 ~num_roots:24 ()
+             in
+             (match telemetry with
+             | Some te -> Wf.attach_telemetry sh te
+             | None -> ());
+             sh)
+           views)
+    in
+    let tm = Sh_wf.make ~max_threads:mt shards in
+    R_wf.go tm
+      ~recover:(fun () -> Sh_wf.recover ~shard_recover:Wf.recover tm)
+      ~device
+      ~shard_regions:(Array.map Wf.region shards)
+      ~shards:n ~cross_pct ~threads ~rounds ~seed
+  end
+  else begin
+    let shards =
+      Array.of_list
+        (List.map
+           (fun v ->
+             let sh =
+               Lf.create ~region:v ~instance:(Region.id v) ~max_threads:mt
+                 ~ws_cap:256 ~num_roots:24 ()
+             in
+             (match telemetry with
+             | Some te -> Lf.attach_telemetry sh te
+             | None -> ());
+             sh)
+           views)
+    in
+    let tm = Sh_lf.make ~max_threads:mt shards in
+    R_lf.go tm
+      ~recover:(fun () -> Sh_lf.recover ~shard_recover:Lf.recover tm)
+      ~device
+      ~shard_regions:(Array.map Lf.region shards)
+      ~shards:n ~cross_pct ~threads ~rounds ~seed
+  end

@@ -1,0 +1,45 @@
+(** Sharded transfer workload over the {!Tm.Tm_shard} router.
+
+    One persistent device is partitioned into [shards] equal views, each
+    hosting a OneFile instance; [accounts] account roots are dealt
+    round-robin across shards (root [k] on shard [k mod shards]).  Every
+    transaction moves one unit between two accounts: with probability
+    [cross_pct]% between two distinct shards (the strict-2PL cross-shard
+    path), otherwise between two accounts of the executing thread's home
+    shard (the wait-free/parallel single-shard path).  The account total
+    is invariant, so [conserved] doubles as an end-to-end consistency
+    check of every run.
+
+    Shared by [bench/main.exe --figure shards] and
+    [onefile_cli shards]. *)
+
+val accounts : int
+(** 16 — [shards] must divide it and leave at least two accounts per
+    shard, i.e. shards in 1/2/4/8. *)
+
+type result = {
+  ops : int;  (** committed transfer transactions *)
+  cross : int;  (** of which cross-shard *)
+  pwb : int;  (** device-wide pwbs issued during the timed run *)
+  conserved : bool;
+      (** the account total survived unchanged.  The round cap cancels
+          fibers mid-transaction (a crash), so the run ends with router
+          recovery before the total is read — the invariant also
+          exercises cross-shard crash atomicity. *)
+  per_shard_commits : int array;  (** per-shard commit counts *)
+}
+
+val run :
+  ?wf:bool ->
+  ?telemetry:Runtime.Telemetry.t ->
+  shards:int ->
+  cross_pct:int ->
+  threads:int ->
+  rounds:int ->
+  seed:int ->
+  unit ->
+  result
+(** Deterministic: [seed] feeds the round-robin scheduler and every
+    per-thread rng.  [telemetry] is attached to each shard instance
+    (keys prefixed with the shard id).  [wf] selects OneFile-WF shards
+    (default lock-free). *)

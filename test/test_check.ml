@@ -341,6 +341,24 @@ let test_lint_hotpath () =
   check int "handle tick is fine" 0
     (nfindings ~path:"lib/onefile/foo.ml" "let () = Telemetry.tick h\n")
 
+let test_lint_layering () =
+  check Alcotest.string "Core0 in lib/workloads flagged" "layering"
+    (rule_at ~path:"lib/workloads/foo.ml"
+       "let f tm = (Onefile.Core0.faults tm).x <- true\n");
+  check Alcotest.string "Core0 in bin flagged" "layering"
+    (rule_at ~path:"bin/foo.ml" "let t = Onefile.Core0.create ()\n");
+  check int "lib/onefile may use Core0" 0
+    (nfindings ~path:"lib/onefile/onefile_lf.ml" "let create = Core0.create\n");
+  check int "lib/tm may use Core0" 0
+    (nfindings ~path:"lib/tm/foo.ml" "let x = Onefile.Core0.faults\n");
+  check int "layering-ok marker escapes" 0
+    (nfindings ~path:"bin/foo.ml"
+       "(* layering-ok: debug tool *)\nlet t = Onefile.Core0.create ()\n");
+  check int "prose about Core0 is fine" 0
+    (nfindings ~path:"lib/workloads/foo.ml" "(* see Core0.commit *)\nlet x = 1\n");
+  check int "front-end faults accessor is fine" 0
+    (nfindings ~path:"lib/workloads/foo.ml" "let f tm = Lf.faults tm\n")
+
 let test_lint_missing_mli () =
   let r = Lint.missing_mli ~files:[ "lib/a/b.ml"; "lib/a/c.ml"; "lib/a/c.mli" ] in
   check int "one missing" 1 (List.length r);
@@ -381,6 +399,7 @@ let () =
           Alcotest.test_case "determinism" `Quick test_lint_determinism;
           Alcotest.test_case "markers" `Quick test_lint_markers;
           Alcotest.test_case "hotpath alloc" `Quick test_lint_hotpath;
+          Alcotest.test_case "layering" `Quick test_lint_layering;
           Alcotest.test_case "missing mli" `Quick test_lint_missing_mli;
         ] );
     ]

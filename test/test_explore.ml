@@ -254,6 +254,70 @@ let test_planted_stale_dedup () =
       check_bool "shrunk program still crashes" true (small.E.crash <> None);
       assert_deterministic_replay small
 
+(* --- sharded exploration (Tm_shard router) ------------------------- *)
+
+(* the schedule and crash searches run unchanged over the cross-shard
+   router; transfer-bearing programs make transactions actually span
+   shards (root k lives on shard k mod shards) *)
+
+let test_sharded_exhaustive_clean () =
+  List.iter
+    (fun wf ->
+      let config = { E.default with E.wf; shards = 2 } in
+      let prog = Proggen.gen_program ~max_txns:2 ~max_ops:2 ~transfers:true 1 in
+      let r = E.explore_exhaustive ~config ~preemption_bound:1 prog in
+      match r.E.failure with
+      | Some f ->
+          Alcotest.failf "%s: %a" (if wf then "wf" else "lf") E.pp_failure f
+      | None -> ())
+    [ false; true ]
+
+let test_sharded_crash_sweep_clean () =
+  (* every non-planted crash point of the bounded sweep must recover to a
+     crash-consistent prefix, cross-shard commit records included *)
+  let config = { E.default with E.shards = 2 } in
+  List.iter
+    (fun seed ->
+      let prog = Proggen.gen_program ~max_txns:4 ~max_ops:3 ~transfers:true seed in
+      let r = E.explore_crashes ~config ~sites:`Persist ~max_sites:25 prog in
+      match r.E.failure with
+      | Some f -> Alcotest.failf "seed %d: %a" seed E.pp_failure f
+      | None -> ())
+    [ 1; 2; 3 ]
+
+let test_planted_torn_commit_record () =
+  (* the distributed-commit bug: the record persists torn across shards,
+     so roll-forward recovery applies only the first participant's
+     writes.  Crash-point enumeration through the prefix oracle alone
+     (sanitizer off — per-shard protocols are locally clean) must catch
+     it, and the shrunk failure must replay deterministically. *)
+  let config =
+    {
+      E.default with
+      E.shards = 2;
+      sanitize = false;
+      fault = E.Torn_commit_record;
+    }
+  in
+  let find prog =
+    (E.explore_crashes ~config ~sites:`Persist ~max_sites:40 prog).E.failure
+  in
+  let rec hunt = function
+    | [] -> None
+    | seed :: rest -> (
+        let prog =
+          Proggen.gen_program ~max_txns:4 ~max_ops:4 ~transfers:true seed
+        in
+        match find prog with Some f -> Some f | None -> hunt rest)
+  in
+  match hunt [ 1; 2; 3; 4; 5 ] with
+  | None -> Alcotest.fail "planted torn commit record not found within budget"
+  | Some f ->
+      check_bool "found at a crash point" true (f.E.crash <> None);
+      let small = E.shrink ~find f in
+      check_bool "shrunk program still crashes" true (small.E.crash <> None);
+      assert_deterministic_replay small
+
 (* --- helper early-exit under controlled interleaving --------------- *)
 
 (* Overlapping multi-word write sets under the seeded round-robin
@@ -346,6 +410,15 @@ let () =
           Alcotest.test_case "stale-dedup-via-oracle" `Quick
             test_planted_stale_dedup;
           Alcotest.test_case "no-false-positives" `Quick test_no_false_positives;
+        ] );
+      ( "sharded",
+        [
+          Alcotest.test_case "exhaustive-clean" `Quick
+            test_sharded_exhaustive_clean;
+          Alcotest.test_case "crash-sweep-clean" `Quick
+            test_sharded_crash_sweep_clean;
+          Alcotest.test_case "torn-commit-record-via-oracle" `Quick
+            test_planted_torn_commit_record;
         ] );
       ( "hotpath",
         [

@@ -15,9 +15,13 @@ module Wf = Onefile.Onefile_wf
 module Seq = Tm.Seqtm
 module Proggen = Workloads.Proggen
 
+module Sh_lf = Tm.Tm_shard.Make (Lf)
+module Sh_wf = Tm.Tm_shard.Make (Wf)
 module Run_seq = Proggen.Exec (Seq)
 module Run_lf = Proggen.Exec (Lf)
 module Run_wf = Proggen.Exec (Wf)
+module Run_sh_lf = Proggen.Exec (Sh_lf)
+module Run_sh_wf = Proggen.Exec (Sh_wf)
 
 let mk_seq () = Seq.create ~size:(1 lsl 15) ()
 
@@ -30,6 +34,45 @@ let mk_wf ~sanitize () =
   let t = Wf.create ~mode:Region.Volatile ~size:(1 lsl 15) ~ws_cap:256 () in
   if sanitize then ignore (Wf.sanitize t);
   t
+
+(* sharded builders: n per-shard instances on views of one volatile
+   device behind the Tm_shard router (n = 1 exercises the degenerate
+   single-shard routing path; num_roots 16 per shard keeps the router's
+   usable root count >= Proggen's 8 slots at every n) *)
+let sharded_views n =
+  let span = 1 lsl 12 in
+  let device = Region.create ~mode:Region.Volatile (n * span) in
+  Region.partition device (List.init n (fun _ -> span))
+
+let mk_sh_lf ~shards:n ~sanitize () =
+  let shards =
+    Array.of_list
+      (List.map
+         (fun v ->
+           let sh =
+             Lf.create ~region:v ~instance:(Region.id v) ~max_threads:8
+               ~ws_cap:256 ~num_roots:16 ()
+           in
+           if sanitize then ignore (Lf.sanitize sh);
+           sh)
+         (sharded_views n))
+  in
+  Sh_lf.make ~max_threads:8 shards
+
+let mk_sh_wf ~shards:n ~sanitize () =
+  let shards =
+    Array.of_list
+      (List.map
+         (fun v ->
+           let sh =
+             Wf.create ~region:v ~instance:(Region.id v) ~max_threads:8
+               ~ws_cap:256 ~num_roots:16 ()
+           in
+           if sanitize then ignore (Wf.sanitize sh);
+           sh)
+         (sharded_views n))
+  in
+  Sh_wf.make ~max_threads:8 shards
 
 type outcome = { lf_ok : bool; wf_ok : bool }
 
@@ -65,6 +108,42 @@ let run_all () =
         | false, true -> "OF-LF"
         | _ -> "OF-WF")
         Proggen.pp_program small
+    end
+  done
+
+(* the same differential, with both OneFile variants behind the
+   cross-shard router; transfer ops make transactions actually span
+   shards (root k lives on shard k mod n) *)
+let run_sharded n () =
+  for seed = 1 to seeds do
+    let sanitize = seed mod 10 = 0 in
+    let prog = Proggen.gen_program ~transfers:true seed in
+    let sh_check p =
+      let expected = Run_seq.run mk_seq p in
+      let lf = Run_sh_lf.run (mk_sh_lf ~shards:n ~sanitize) p in
+      let wf = Run_sh_wf.run (mk_sh_wf ~shards:n ~sanitize) p in
+      { lf_ok = lf = expected; wf_ok = wf = expected }
+    in
+    let o = sh_check prog in
+    if not (o.lf_ok && o.wf_ok) then begin
+      let small =
+        Proggen.shrink
+          ~fails:(fun p ->
+            let o = sh_check p in
+            not (o.lf_ok && o.wf_ok))
+          prog
+      in
+      let o = sh_check small in
+      Alcotest.failf
+        "seed %d%s: %s over %d shards disagree with Seqtm oracle; minimal \
+         repro:@.%a"
+        seed
+        (if sanitize then " (sanitized)" else "")
+        (match (o.lf_ok, o.wf_ok) with
+        | false, false -> "Shard(OF-LF) and Shard(OF-WF)"
+        | false, true -> "Shard(OF-LF)"
+        | _ -> "Shard(OF-WF)")
+        n Proggen.pp_program small
     end
   done
 
@@ -108,6 +187,15 @@ let () =
           Alcotest.test_case
             (Printf.sprintf "lf/wf-vs-seqtm-%d-seeds" seeds)
             `Quick run_all;
+          Alcotest.test_case
+            (Printf.sprintf "sharded-1-vs-seqtm-%d-seeds" seeds)
+            `Quick (run_sharded 1);
+          Alcotest.test_case
+            (Printf.sprintf "sharded-2-vs-seqtm-%d-seeds" seeds)
+            `Quick (run_sharded 2);
+          Alcotest.test_case
+            (Printf.sprintf "sharded-4-vs-seqtm-%d-seeds" seeds)
+            `Quick (run_sharded 4);
           Alcotest.test_case "harness-detects-planted-bug" `Quick
             harness_detects_bugs;
         ] );

@@ -1,0 +1,222 @@
+(* Cross-shard router tests: structures over Shard.Make unchanged,
+   single-shard parallelism, cross-shard transfer conservation under the
+   scheduler (with a concurrent consistency observer), allocation
+   accounting across shards, and whole-device crash + recovery. *)
+
+open Runtime
+module Region = Pmem.Region
+module Lf = Onefile.Onefile_lf
+module Wf = Onefile.Onefile_wf
+module Sh_wf = Tm.Tm_shard.Make (Wf)
+module Sh_lf = Tm.Tm_shard.Make (Lf)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let mk_sharded ?(mode = Region.Persistent) ?(n = 4) ?(span = 4096) () =
+  let device = Region.create ~mode (n * span) in
+  let views = Region.partition device (List.init n (fun _ -> span)) in
+  let shards =
+    Array.of_list
+      (List.map
+         (fun v ->
+           Wf.create ~region:v ~instance:(Region.id v) ~max_threads:8
+             ~ws_cap:256 ~num_roots:8 ())
+         views)
+  in
+  (device, Sh_wf.make ~max_threads:8 shards)
+
+let accounts = 8
+
+let init_accounts tm v =
+  for i = 0 to accounts - 1 do
+    ignore
+      (Sh_wf.update_tx tm (fun tx ->
+           Sh_wf.store tx (Sh_wf.root tm i) v;
+           0))
+  done
+
+let total tm =
+  Sh_wf.read_tx tm (fun tx ->
+      let s = ref 0 in
+      for i = 0 to accounts - 1 do
+        s := !s + Sh_wf.load tx (Sh_wf.root tm i)
+      done;
+      !s)
+
+let transfer tm a b d =
+  ignore
+    (Sh_wf.update_tx tm (fun tx ->
+         let ra = Sh_wf.root tm a and rb = Sh_wf.root tm b in
+         let va = Sh_wf.load tx ra in
+         let vb = Sh_wf.load tx rb in
+         Sh_wf.store tx ra (va - d);
+         Sh_wf.store tx rb (vb + d);
+         0))
+
+(* ------------------------------------------------------------------ *)
+
+let test_structures_over_router () =
+  let _dev, tm = mk_sharded () in
+  let module L = Structures.Ll_set.Make (Sh_wf) in
+  let s = L.create tm ~root:0 in
+  for i = 0 to 20 do
+    ignore (L.add s i)
+  done;
+  check int "cardinal" 21 (L.cardinal s);
+  check bool "contains" true (L.contains s 13);
+  ignore (L.remove s 13);
+  check bool "removed" false (L.contains s 13);
+  check bool "sorted" true (L.check_sorted s);
+  let module Q = Structures.Tm_queue.Make (Sh_wf) in
+  let q = Q.create tm ~root:1 in
+  for i = 1 to 10 do
+    Q.enqueue q i
+  done;
+  let got = List.init 10 (fun _ -> Q.dequeue q) in
+  check (Alcotest.list (Alcotest.option int)) "fifo"
+    (List.init 10 (fun i -> Some (i + 1)))
+    got
+
+let test_single_shard_parallel () =
+  let _dev, tm = mk_sharded () in
+  init_accounts tm 0;
+  (* worker w increments only account w: accounts 0..3 live on distinct
+     shards, so all four workers commit wait-free in parallel *)
+  let worker w () =
+    for _ = 1 to 25 do
+      ignore
+        (Sh_wf.update_tx tm (fun tx ->
+             let r = Sh_wf.root tm w in
+             Sh_wf.store tx r (Sh_wf.load tx r + 1);
+             0))
+    done
+  in
+  ignore (Sched.run ~seed:11 (Array.init 4 (fun w () -> worker w ())));
+  for w = 0 to 3 do
+    let v =
+      Sh_wf.read_tx tm (fun tx -> Sh_wf.load tx (Sh_wf.root tm w))
+    in
+    check int (Printf.sprintf "account %d" w) 25 v
+  done;
+  (* every shard committed its own transactions *)
+  Array.iter
+    (fun sh ->
+      let st = Region.stats (Wf.region sh) in
+      check bool "shard committed" true (st.Pmem.Pstats.commits > 0))
+    (Sh_wf.shards tm)
+
+let test_cross_transfer_conservation () =
+  let _dev, tm = mk_sharded () in
+  init_accounts tm 100;
+  let worker w () =
+    let rng = Rng.create (100 + w) in
+    for _ = 1 to 20 do
+      let a = Rng.int rng accounts and b = Rng.int rng accounts in
+      if a <> b then transfer tm a b (1 + Rng.int rng 5)
+    done
+  in
+  (* the observer snapshots all accounts mid-run: cross-shard read
+     transactions must always see a conserved total *)
+  let violations = ref 0 in
+  let observer () =
+    for _ = 1 to 8 do
+      if total tm <> accounts * 100 then incr violations
+    done
+  in
+  ignore
+    (Sched.run ~seed:5
+       [| (fun () -> worker 0 ()); (fun () -> worker 1 ()); observer |]);
+  check int "observer saw conservation" 0 !violations;
+  check int "total conserved" (accounts * 100) (total tm)
+
+let test_cross_alloc_free () =
+  let _dev, tm = mk_sharded () in
+  init_accounts tm 100;
+  let base = Array.map Wf.allocated_cells (Sh_wf.shards tm) in
+  (* a cross-shard transaction that allocates: reads two shards, then
+     allocates a 2-cell block and parks it in a root *)
+  let p =
+    Sh_wf.update_tx tm (fun tx ->
+        let a = Sh_wf.load tx (Sh_wf.root tm 0) in
+        let b = Sh_wf.load tx (Sh_wf.root tm 1) in
+        let p = Sh_wf.alloc tx 2 in
+        Sh_wf.store tx p (a + b);
+        Sh_wf.store tx (Sh_wf.root tm 2) p;
+        p)
+  in
+  check bool "allocated non-null" true (p <> 0);
+  let v =
+    Sh_wf.read_tx tm (fun tx -> Sh_wf.load tx (Sh_wf.load tx (Sh_wf.root tm 2)))
+  in
+  check int "cross-allocated payload" 200 v;
+  (* free it from another cross-shard transaction *)
+  ignore
+    (Sh_wf.update_tx tm (fun tx ->
+         let q = Sh_wf.load tx (Sh_wf.root tm 2) in
+         ignore (Sh_wf.load tx (Sh_wf.root tm 1));
+         Sh_wf.free tx q;
+         Sh_wf.store tx (Sh_wf.root tm 2) 0;
+         0));
+  Array.iteri
+    (fun s sh ->
+      check int
+        (Printf.sprintf "shard %d allocation balance" s)
+        base.(s) (Wf.allocated_cells sh))
+    (Sh_wf.shards tm)
+
+let test_crash_recovery () =
+  let dev, tm = mk_sharded ~n:2 () in
+  init_accounts tm 50;
+  for i = 0 to 5 do
+    transfer tm i ((i + 3) mod accounts) 7
+  done;
+  Region.crash dev ();
+  Sh_wf.recover ~shard_recover:Wf.recover tm;
+  check int "total survives crash" (accounts * 50) (total tm);
+  (* the router keeps working after recovery *)
+  transfer tm 0 5 3;
+  check int "total after post-recovery transfer" (accounts * 50) (total tm)
+
+let test_lf_router_volatile () =
+  (* the functor is TM-generic: LF shards over a volatile device *)
+  let device = Region.create ~mode:Region.Volatile (2 * 4096) in
+  let views = Region.partition device [ 4096; 4096 ] in
+  let shards =
+    Array.of_list
+      (List.map
+         (fun v ->
+           Lf.create ~region:v ~instance:(Region.id v) ~max_threads:8
+             ~ws_cap:256 ())
+         views)
+  in
+  let tm = Sh_lf.make ~max_threads:8 shards in
+  ignore
+    (Sh_lf.update_tx tm (fun tx ->
+         Sh_lf.store tx (Sh_lf.root tm 0) 1;
+         Sh_lf.store tx (Sh_lf.root tm 1) 2;
+         0));
+  let v =
+    Sh_lf.read_tx tm (fun tx ->
+        Sh_lf.load tx (Sh_lf.root tm 0) + Sh_lf.load tx (Sh_lf.root tm 1))
+  in
+  check int "volatile lf cross tx" 3 v
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "router",
+        [
+          Alcotest.test_case "structures-unchanged" `Quick
+            test_structures_over_router;
+          Alcotest.test_case "single-shard-parallel" `Quick
+            test_single_shard_parallel;
+          Alcotest.test_case "cross-transfer-conservation" `Quick
+            test_cross_transfer_conservation;
+          Alcotest.test_case "cross-alloc-free" `Quick test_cross_alloc_free;
+          Alcotest.test_case "crash-recovery" `Quick test_crash_recovery;
+          Alcotest.test_case "lf-volatile-router" `Quick
+            test_lf_router_volatile;
+        ] );
+    ]

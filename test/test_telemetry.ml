@@ -188,6 +188,47 @@ let test_wf_counters () =
   check_bool "published closures aggregated" true
     (Telemetry.get t "wf.aggregated" >= n)
 
+let test_two_instances_one_registry () =
+  (* regression: two live instances in one registry used to collide on
+     the unprefixed pmem.* pull sources (and tx.* counters), summing both
+     regions' traffic into one indistinguishable number.  Instance ids
+     now prefix every key, so each shard stays attributable. *)
+  let t = Telemetry.create () in
+  let mk inst =
+    Lf.create ~mode:Region.Persistent ~size:(1 lsl 12) ~instance:inst
+      ~max_threads:8 ~ws_cap:64 ()
+  in
+  let a = mk "s0" and b = mk "s1" in
+  Lf.attach_telemetry a t;
+  Lf.attach_telemetry b t;
+  let bump tm n =
+    for i = 1 to n do
+      ignore (Lf.update_tx tm (fun tx -> Lf.store tx (Lf.root tm 0) i; 0))
+    done
+  in
+  bump a 7;
+  bump b 3;
+  check_int "s0 commits attributed" 7 (Telemetry.get t "s0.tx.commits");
+  check_int "s1 commits attributed" 3 (Telemetry.get t "s1.tx.commits");
+  let snap = Telemetry.snapshot t in
+  let v name = List.assoc name snap.Telemetry.counters in
+  check_bool "s0 region traffic attributed" true (v "s0.pmem.pwb" > 0);
+  check_bool "s1 region traffic attributed" true (v "s1.pmem.pwb" > 0);
+  check_bool "per-instance traffic is not summed" true
+    (v "s0.pmem.stores" > v "s1.pmem.stores");
+  check_bool "no unprefixed pmem key from named instances" true
+    (not (List.mem_assoc "pmem.pwb" snap.Telemetry.counters));
+  (* the anonymous default keeps the historical bare keys *)
+  let c =
+    Lf.create ~mode:Region.Persistent ~size:(1 lsl 12) ~max_threads:8
+      ~ws_cap:64 ()
+  in
+  let t2 = Telemetry.create () in
+  Lf.attach_telemetry c t2;
+  bump c 2;
+  check_int "anonymous instance keeps bare keys" 2
+    (Telemetry.get t2 "tx.commits")
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -213,5 +254,7 @@ let () =
         [
           Alcotest.test_case "lf-counters" `Quick test_onefile_counters;
           Alcotest.test_case "wf-counters" `Quick test_wf_counters;
+          Alcotest.test_case "two-instances-one-registry" `Quick
+            test_two_instances_one_registry;
         ] );
     ]
