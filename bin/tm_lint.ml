@@ -1,11 +1,23 @@
-(* tm_lint — walk the given source directories, run the Check.Lint rules
-   over every .ml, and check lib/ modules for missing .mli files.
+(* tm_lint — walk the given source directories, run the Check.Lint token
+   rules and the Flowlint flow-sensitive checks over every .ml, and check
+   lib/ modules for missing .mli files.
 
-   Usage: tm_lint [DIR...]       (defaults: lib bin bench examples)
+   Usage: tm_lint [--json] [--out FILE] [--baseline FILE] [DIR...]
+     (default dirs: lib bin bench examples)
 
-   Exits 1 if any finding is reported; prints "tm_lint: OK (N files)"
-   otherwise.  Run from the repo root — paths are reported relative to the
-   current directory.  Wired to `dune build @lint` via the root dune file. *)
+   --json           emit the findings document (Report.to_json) to stdout,
+                    or to FILE with --out; round-trip stable.
+   --baseline FILE  gate only on findings exceeding the per-(file, rule)
+                    counts recorded in FILE (a --json document): exit 1
+                    iff new debt appeared.  Without it, any finding fails.
+   --corpus         run the flowlint checks with every scope enabled on
+                    every path (fixture corpora live outside the scoped
+                    lib/ layout).
+
+   Exits 1 on (new) findings, 2 on usage errors; prints
+   "tm_lint: OK (N files)" in text mode otherwise.  Run from the repo
+   root — paths are reported relative to the current directory.  Wired to
+   `dune build @lint` via the root dune file. *)
 
 let rec walk acc path =
   if Sys.is_directory path then
@@ -22,13 +34,39 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
+let usage () =
+  prerr_endline "usage: tm_lint [--json] [--out FILE] [--baseline FILE] [DIR...]";
+  exit 2
+
 let () =
-  let dirs =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as dirs) -> dirs
-    | _ -> [ "lib"; "bin"; "bench"; "examples" ]
+  let json = ref false and out = ref None and baseline = ref None in
+  let corpus = ref false in
+  let dirs = ref [] in
+  let rec parse_args = function
+    | [] -> ()
+    | "--json" :: rest ->
+        json := true;
+        parse_args rest
+    | "--corpus" :: rest ->
+        corpus := true;
+        parse_args rest
+    | "--out" :: f :: rest ->
+        out := Some f;
+        parse_args rest
+    | "--baseline" :: f :: rest ->
+        baseline := Some f;
+        parse_args rest
+    | ("--out" | "--baseline") :: [] -> usage ()
+    | a :: _ when String.length a > 1 && a.[0] = '-' -> usage ()
+    | d :: rest ->
+        dirs := d :: !dirs;
+        parse_args rest
   in
-  let explicit = Array.length Sys.argv > 1 in
+  parse_args (List.tl (Array.to_list Sys.argv));
+  let explicit = !dirs <> [] in
+  let dirs =
+    if explicit then List.rev !dirs else [ "lib"; "bin"; "bench"; "examples" ]
+  in
   let files =
     List.concat_map
       (fun d ->
@@ -47,11 +85,21 @@ let () =
         Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli")
       files
   in
+  let nml =
+    List.length (List.filter (fun f -> Filename.check_suffix f ".ml") sources)
+  in
   let findings =
     List.concat_map
       (fun path ->
-        if Filename.check_suffix path ".ml" then
-          Check.Lint.lint_source ~path (read_file path)
+        if Filename.check_suffix path ".ml" then begin
+          let src = read_file path in
+          let config =
+            if !corpus then Flowlint.Checks.corpus_config
+            else Flowlint.Checks.repo_config
+          in
+          Check.Lint.lint_source ~path src
+          @ Flowlint.Driver.analyze_source ~config ~path src
+        end
         else [])
       sources
     @ Check.Lint.missing_mli ~files:sources
@@ -59,17 +107,35 @@ let () =
   let findings =
     List.sort
       (fun a b ->
-        compare (a.Check.Lint.file, a.line, a.rule) (b.Check.Lint.file, b.line, b.rule))
+        compare
+          (a.Check.Lint.file, a.line, a.rule)
+          (b.Check.Lint.file, b.line, b.rule))
       findings
   in
-  match findings with
-  | [] ->
-      Printf.printf "tm_lint: OK (%d files)\n"
-        (List.length
-           (List.filter (fun f -> Filename.check_suffix f ".ml") sources))
+  let gated =
+    match !baseline with
+    | None -> findings
+    | Some f -> (
+        match Flowlint.Report.of_json (Workloads.Bench_json.read_file f) with
+        | _, base -> Flowlint.Report.fresh ~baseline:base ~current:findings
+        | exception Workloads.Bench_json.Parse_error m ->
+            Printf.eprintf "tm_lint: bad baseline %s: %s\n" f m;
+            exit 2
+        | exception Sys_error m ->
+            Printf.eprintf "tm_lint: %s\n" m;
+            exit 2)
+  in
+  if !json then begin
+    let doc = Flowlint.Report.to_json ~files:nml findings in
+    match !out with
+    | Some f -> Workloads.Bench_json.write_file f doc
+    | None -> print_string (Workloads.Bench_json.to_string doc)
+  end;
+  match gated with
+  | [] -> if not !json then Printf.printf "tm_lint: OK (%d files)\n" nml
   | fs ->
-      List.iter
-        (fun f -> print_endline (Check.Lint.finding_to_string f))
-        fs;
-      Printf.eprintf "tm_lint: %d finding(s)\n" (List.length fs);
+      if not !json then
+        List.iter (fun f -> print_endline (Check.Lint.finding_to_string f)) fs;
+      Printf.eprintf "tm_lint: %d %sfinding(s)\n" (List.length fs)
+        (if !baseline = None then "" else "new ");
       exit 1

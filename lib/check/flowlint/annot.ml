@@ -1,0 +1,62 @@
+(* Parsing of (* flowlint: ... *) annotation comments.  See annot.mli
+   for the language.  The parse is deliberately strict: a comment that
+   mentions "flowlint:" but does not match the grammar is reported, so a
+   typo cannot silently discharge an obligation. *)
+
+type kind = Bounded | Lock_order | Preflush | Ok of string
+type t = { kind : kind; reason : string; aline : int }
+
+let words s =
+  String.split_on_char ' ' (String.map (fun c -> if c = '\t' || c = '\n' then ' ' else c) s)
+  |> List.filter (fun w -> w <> "")
+
+(* Position just past "flowlint:" when it opens the comment (only
+   whitespace before it).  Prose that merely mentions the key mid-comment
+   — documentation, including this analyzer's own — is not an
+   annotation. *)
+let find_key s =
+  let key = "flowlint:" in
+  let n = String.length s and k = String.length key in
+  let i = ref 0 in
+  while !i < n && (s.[!i] = ' ' || s.[!i] = '\t' || s.[!i] = '\n' || s.[!i] = '*') do
+    incr i
+  done;
+  if !i + k <= n && String.sub s !i k = key then Some (!i + k) else None
+
+let parse_one text cline =
+  match find_key text with
+  | None -> None
+  | Some off -> (
+      let rest = String.sub text off (String.length text - off) in
+      match words rest with
+      | "bounded" :: (_ :: _ as reason) ->
+          Some (Result.Ok { kind = Bounded; reason = String.concat " " reason; aline = cline })
+      | "lock-order" :: (_ :: _ as reason) ->
+          Some (Result.Ok { kind = Lock_order; reason = String.concat " " reason; aline = cline })
+      | "preflush" :: (_ :: _ as reason) ->
+          Some (Result.Ok { kind = Preflush; reason = String.concat " " reason; aline = cline })
+      | "ok" :: rule :: (_ :: _ as reason) ->
+          Some (Result.Ok { kind = Ok rule; reason = String.concat " " reason; aline = cline })
+      | w ->
+          let head = match w with [] -> "<empty>" | h :: _ -> h in
+          Some
+            (Result.Error
+               (cline,
+                Printf.sprintf
+                  "malformed flowlint annotation (got %S): expected 'bounded \
+                   <reason>', 'lock-order <reason>', 'preflush <reason>' or \
+                   'ok <rule> <reason>'"
+                  head)))
+
+let collect comments =
+  let oks = ref [] and bad = ref [] in
+  List.iter
+    (fun (c : Check.Srclex.comment) ->
+      match parse_one c.text c.cline with
+      | None -> ()
+      | Some (Result.Ok a) -> oks := a :: !oks
+      | Some (Result.Error e) -> bad := e :: !bad)
+    comments;
+  (List.rev !oks, List.rev !bad)
+
+let covers a ~first ~last = a.aline >= first - 2 && a.aline <= last

@@ -1,0 +1,43 @@
+(** The [(* flowlint: ... *)] annotation language.
+
+    Annotations are ordinary comments; they carry the human justification
+    the analyzer cannot infer:
+
+    - [(* flowlint: bounded <reason> *)] — the loop starting at (or just
+      after, within 2 lines) this comment, and any loop whose source range
+      contains it, terminates for the stated reason.  Discharges the
+      [unbounded-loop] obligation.
+    - [(* flowlint: lock-order <reason> *)] — the function containing (or
+      starting within 2 lines after) this comment acquires shard locks in
+      an order that is safe for the stated reason.  Discharges the
+      [lock-order] obligation.
+    - [(* flowlint: preflush <reason> *)] — the function this comment is
+      attached to must write back ([pwb]) a base before its first
+      persistent store to that base, on every path.  This is a
+      {e requirement}, not a suppression: it encodes the PR 1
+      [publish_log] invariant (the durable request cell is flushed before
+      the log overwrites it) so deleting the flush is a static
+      [missing-preflush] finding.
+    - [(* flowlint: ok <rule> <reason> *)] — suppress findings of [<rule>]
+      on this line and the next two.  The escape hatch of last resort.
+
+    A comment containing [flowlint:] that parses as none of the above is
+    itself a finding ([flowlint-annot]) — a typo'd annotation must not
+    silently discharge nothing. *)
+
+type kind =
+  | Bounded
+  | Lock_order
+  | Preflush
+  | Ok of string  (** rule to suppress *)
+
+type t = { kind : kind; reason : string; aline : int }
+
+val collect : Check.Srclex.comment list -> t list * (int * string) list
+(** All well-formed annotations, plus [(line, message)] for each
+    malformed [flowlint:] comment. *)
+
+val covers : t -> first:int -> last:int -> bool
+(** Does the annotation attach to a construct spanning lines
+    [\[first, last\]]?  True when it lies inside the range or within the
+    2 lines before [first]. *)

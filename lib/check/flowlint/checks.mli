@@ -1,0 +1,54 @@
+(** The four flow-sensitive checks over {!Eventcfg} effect CFGs.
+
+    All four run in one pass per file, functions in definition order, so
+    interprocedural summaries (which bases a callee leaves dirty, which
+    it flushes, which shard locks it takes) are available at call sites.
+
+    - [missing-flush] — a base is still dirty (stored, not written back)
+      when a [pfence] executes: the fence orders nothing for that line.
+      Reported at the store.
+    - [duplicate-flush] — [pwb] of a base whose every path is already
+      flushed-and-unmodified: a wasted write-back on the persistence hot
+      path.  Reported at the second [pwb].
+    - [publish-before-flush] — a base is still dirty when the publishing
+      [cas1] executes, so a crash after the publish can expose unflushed
+      state (the PR 1 [publish_log] hole, generalized).  A function
+      annotated [(* flowlint: preflush ... *)] additionally requires its
+      first store to each base to be preceded by a flush of that base on
+      every path ([missing-preflush]).
+    - [unbounded-loop] — a [while] or self-recursive loop in wait-free
+      scope with neither a [(* flowlint: bounded ... *)] justification
+      nor a recognizable early-exit re-check (a call to [closed]).
+    - [lock-order] — shard-lock acquisitions on some path that cannot be
+      proven ascending: descending or repeated constant pairs, a second
+      acquisition with an unprovable shard, or acquisition inside a retry
+      loop.  An ascending [for] loop over the shard index is recognized;
+      paths below the router mutex are exempt (the mutex serializes
+      cross-shard transactions, so intra-path lock order cannot deadlock
+      against another cross transaction).
+
+    [flowlint-annot] findings for malformed annotations are produced by
+    the caller from {!Annot.collect}. *)
+
+type config = {
+  persist : string -> bool;  (** paths subject to persistence checks *)
+  loops : string -> bool;  (** paths subject to [unbounded-loop] *)
+  locks : string -> bool;  (** paths subject to [lock-order] *)
+}
+
+val repo_config : config
+(** Persistence checks everywhere scanned; loop obligations in
+    [lib/onefile], [lib/reclaim] and [lib/tm/tm_shard.ml]; lock order in
+    [lib/tm/tm_shard.ml]. *)
+
+val corpus_config : config
+(** Every check on every path — for fixture corpora and unit tests. *)
+
+val run :
+  config ->
+  path:string ->
+  Eventcfg.file ->
+  Annot.t list ->
+  Check.Lint.finding list
+(** Findings sorted by line; [(* flowlint: ok <rule> ... *)] suppressions
+    already applied. *)

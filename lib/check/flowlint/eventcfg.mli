@@ -1,0 +1,76 @@
+(** Lowering of OCaml sources to per-function effect CFGs.
+
+    The analyzer does not model OCaml semantics; it models the handful of
+    operations the persistence and wait-freedom arguments are about, and
+    abstracts everything else away:
+
+    - persistent stores ([Region.store]/[Region.cas] — second argument is
+      the written base), write-backs ([Region.pwb], and [Region.pwb_range]
+      which conservatively counts as flushing {e everything}), fences
+      ([Region.pfence]) and the linearizing publish CAS ([Region.cas1],
+      modeled as a publish point only — the slot it writes is volatile);
+    - shard-lock acquisition (a call to [ensure_locked], or a direct store
+      of the literal [1] through a [*lock_cell] address projector) and the
+      router mutex ([compare_and_set] on a [*.mutex] cell);
+    - helping-loop re-checks (a call to a function named [closed]);
+    - loop back-edges ([while], [for], self-recursive functions, and
+      closures passed to iteration combinators);
+    - calls to same-file functions, so checks can apply interprocedural
+      summaries.
+
+    Addresses are abstracted to a textual {e base root}: let-aliases are
+    resolved, arithmetic keeps the first non-constant operand, field and
+    array projections keep the head, and locally-defined pure address
+    projectors ([let cell inst side addr = ...]) are resolved to their
+    carrier argument — so [pwb r (value_of n)] and [store r (next_of n) v]
+    both talk about base [n].
+
+    Branches on [*.faults.*] fields are pruned to the fault-free arm:
+    fault injection hooks model the {e absence} of an operation and must
+    not weaken the static obligation. *)
+
+type shard_expr = Const of int | Var of string | Opaque
+
+type event =
+  | Store of { base : string; line : int }
+  | Flush of { base : string; line : int }
+  | Flush_all of { line : int }
+  | Fence of { line : int }
+  | Publish of { line : int }
+  | Acquire of { shard : shard_expr; line : int }
+  | Mutex_acq of { line : int }
+  | Recheck of { line : int }
+  | Call of {
+      callee : string;
+      args : (string option * string * shard_expr) list;
+          (** label, base root, shard classification *)
+      line : int;
+    }
+
+type loop_kind =
+  | While
+  | For of string option  (** ascending index variable, if provable *)
+  | Rec of string  (** self-recursive function *)
+  | Iter  (** closure passed to an iteration combinator *)
+
+type node =
+  | Nil
+  | Ev of event
+  | Seq of node * node
+  | Branch of node list
+  | Loop of { kind : loop_kind; line : int; endline : int; body : node }
+
+type func = {
+  fname : string;
+  params : (string option * string) list;  (** label, name, in order *)
+  body : node;
+  start_line : int;
+  end_line : int;
+}
+
+type file = { funcs : func list }
+(** Functions in completion order: a nested definition precedes the
+    function it is nested in, so summaries are always available at call
+    sites when processed front to back. *)
+
+val of_structure : Parsetree.structure -> file

@@ -1,0 +1,72 @@
+(* Findings <-> JSON via the Bench_json codec, plus the (file, rule)
+   count-budget baseline diff.  See report.mli. *)
+
+module J = Workloads.Bench_json
+
+let to_json ~files findings =
+  J.Obj
+    [
+      ("tool", J.Str "tm_lint");
+      ("version", J.Int 2);
+      ("files", J.Int files);
+      ( "findings",
+        J.List
+          (List.map
+             (fun (f : Check.Lint.finding) ->
+               J.Obj
+                 [
+                   ("file", J.Str f.file);
+                   ("line", J.Int f.line);
+                   ("rule", J.Str f.rule);
+                   ("message", J.Str f.message);
+                 ])
+             findings) );
+    ]
+
+let fail msg = raise (J.Parse_error msg)
+
+let str = function J.Str s -> s | _ -> fail "tm_lint report: expected string"
+let int = function J.Int i -> i | _ -> fail "tm_lint report: expected int"
+
+let of_json doc =
+  (match J.member "tool" doc with
+  | J.Str "tm_lint" -> ()
+  | _ -> fail "not a tm_lint report (missing tool field)");
+  let files = int (J.member "files" doc) in
+  let findings =
+    match J.member "findings" doc with
+    | J.List l ->
+        List.map
+          (fun f ->
+            {
+              Check.Lint.file = str (J.member "file" f);
+              line = int (J.member "line" f);
+              rule = str (J.member "rule" f);
+              message = str (J.member "message" f);
+            })
+          l
+    | _ -> fail "tm_lint report: findings must be a list"
+  in
+  (files, findings)
+
+let fresh ~baseline ~current =
+  let counts = Hashtbl.create 32 in
+  List.iter
+    (fun (f : Check.Lint.finding) ->
+      let k = (f.file, f.rule) in
+      Hashtbl.replace counts k
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+    baseline;
+  let cur = Hashtbl.create 32 in
+  List.iter
+    (fun (f : Check.Lint.finding) ->
+      let k = (f.file, f.rule) in
+      Hashtbl.replace cur k (1 + Option.value ~default:0 (Hashtbl.find_opt cur k)))
+    current;
+  List.filter
+    (fun (f : Check.Lint.finding) ->
+      let k = (f.file, f.rule) in
+      let budget = Option.value ~default:0 (Hashtbl.find_opt counts k) in
+      let now = Option.value ~default:0 (Hashtbl.find_opt cur k) in
+      now > budget)
+    current

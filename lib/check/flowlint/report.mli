@@ -1,0 +1,26 @@
+(** JSON serialization and baseline diffing for lint findings.
+
+    The document rides on {!Workloads.Bench_json}'s codec, so it is
+    deterministic and round-trip stable:
+
+    {v
+    { "tool": "tm_lint", "version": 2, "files": N,
+      "findings": [ { "file": ..., "line": ..., "rule": ..., "message": ... } ] }
+    v} *)
+
+val to_json : files:int -> Check.Lint.finding list -> Workloads.Bench_json.json
+
+val of_json : Workloads.Bench_json.json -> int * Check.Lint.finding list
+(** [files] count and findings. @raise Workloads.Bench_json.Parse_error on
+    a document that is not a tm_lint report. *)
+
+val fresh :
+  baseline:Check.Lint.finding list ->
+  current:Check.Lint.finding list ->
+  Check.Lint.finding list
+(** Baseline gating by [(file, rule)] budget: for each key where the
+    current count exceeds the baseline count, all current findings of
+    that key are returned (lines shift too easily for per-line identity
+    to be meaningful across revisions).  Keys at or under budget
+    contribute nothing — pre-existing debt does not fail the gate,
+    {e new} debt does. *)

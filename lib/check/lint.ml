@@ -1,12 +1,15 @@
-(* Source-level concurrency lint — pure stdlib line/token scan.
+(* Source-level concurrency lint, over the real token stream.
 
    The rules enforce repo-wide discipline that the deterministic scheduler
-   depends on; see lint.mli for the rationale of each.  The scanner strips
-   comments (nested, with embedded strings), string literals and character
-   literals first, so prose mentioning [Atomic] never trips a rule, then
-   searches for boundary-checked tokens.  Markers ((* relaxed-ok *),
-   (* mutable-ok *)) are looked up in the raw text, where they live as
-   comments. *)
+   depends on; see lint.mli for the rationale of each.  Since the v2
+   rewrite the rules run on the {!Srclex} token scan (compiler-libs
+   [Lexer]), so prose in comments, string literals — including [{|...|}]
+   quoted strings the old character scanner could not strip — and char
+   literals can never trip a rule.  Markers ((* relaxed-ok *),
+   (* mutable-ok *), ...) are looked up in the comment list, where they
+   live.  The legacy [strip] scanner is kept only as an exported helper
+   (tests compare the two passes on the cases that used to
+   false-positive). *)
 
 type finding = { file : string; line : int; rule : string; message : string }
 
@@ -16,7 +19,7 @@ let pp_finding ppf f =
 let finding_to_string f = Format.asprintf "%a" pp_finding f
 
 (* ------------------------------------------------------------------ *)
-(* Comment / literal stripping                                         *)
+(* Legacy comment / literal stripping (exported for tests only)        *)
 
 let strip src =
   let n = String.length src in
@@ -119,48 +122,42 @@ let strip src =
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
-(* Token search                                                        *)
+(* Token patterns                                                      *)
 
-let is_ident_char c =
-  (c >= 'a' && c <= 'z')
-  || (c >= 'A' && c <= 'Z')
-  || (c >= '0' && c <= '9')
-  || c = '_' || c = '\''
+(* [Mod.] applications of a module name, regardless of path prefix:
+   [Atomic.get], [Stdlib.Atomic.get] and [Foo.Atomic.get] all count as a
+   use of [Atomic]; [Satomic.get] is a different token entirely. *)
+let module_dot toks name k =
+  Array.iteri
+    (fun i tk ->
+      match tk.Srclex.t with
+      | Parser.UIDENT u
+        when u = name
+             && i + 1 < Array.length toks
+             && toks.(i + 1).Srclex.t = Parser.DOT ->
+          k tk.Srclex.line
+      | _ -> ())
+    toks
 
-(* Occurrences of [tok] in [s] at an identifier boundary on both sides.
-   A leading '.' does NOT shield a match: [Stdlib.Atomic.] is still a raw
-   [Atomic.]; but [Satomic.] is not an [Atomic.]. *)
-let find_token s tok =
-  let n = String.length s and m = String.length tok in
-  let hits = ref [] in
-  for i = 0 to n - m do
-    if String.sub s i m = tok then begin
-      let pre_ok =
-        (not (is_ident_char tok.[0])) || i = 0 || not (is_ident_char s.[i - 1])
-      in
-      let post_ok =
-        (not (is_ident_char tok.[m - 1]))
-        || i + m >= n
-        || not (is_ident_char s.[i + m])
-      in
-      if pre_ok && post_ok then hits := i :: !hits
-    end
-  done;
-  List.rev !hits
+(* [Mod.meth] with both components fixed. *)
+let module_meth toks name meths k =
+  Array.iteri
+    (fun i tk ->
+      match tk.Srclex.t with
+      | Parser.UIDENT u when u = name && i + 2 < Array.length toks -> (
+          match (toks.(i + 1).Srclex.t, toks.(i + 2).Srclex.t) with
+          | Parser.DOT, Parser.LIDENT m when List.mem m meths -> k tk.Srclex.line
+          | _ -> ())
+      | _ -> ())
+    toks
 
-let line_of_offset s off =
-  let l = ref 1 in
-  for i = 0 to min off (String.length s - 1) - 1 do
-    if s.[i] = '\n' then incr l
-  done;
-  !l
-
-let contains s sub =
-  let n = String.length s and m = String.length sub in
-  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
-  m = 0 || go 0
-
-let has_marker raw marker = contains raw marker
+let lident toks names k =
+  Array.iter
+    (fun tk ->
+      match tk.Srclex.t with
+      | Parser.LIDENT m when List.mem m names -> k tk.Srclex.line
+      | _ -> ())
+    toks
 
 (* ------------------------------------------------------------------ *)
 (* Rules                                                               *)
@@ -173,81 +170,90 @@ let scanned path =
   under "lib" path || under "bin" path || under "bench" path
   || under "examples" path
 
-let rule_raw_atomic ~path ~stripped acc =
+let rule_raw_atomic ~path ~toks acc =
   if path = "lib/runtime/satomic.ml" then acc
-  else
-    List.fold_left
-      (fun acc off ->
-        {
-          file = path;
-          line = line_of_offset stripped off;
-          rule = "raw-atomic";
-          message =
-            "raw Atomic operation: use Runtime.Satomic so the access is a \
-             Sched.step_point (a raw atomic is invisible to the deterministic \
-             scheduler and silently shrinks the interleaving space)";
-        }
-        :: acc)
-      acc
-      (find_token stripped "Atomic.")
+  else begin
+    let acc = ref acc in
+    module_dot toks "Atomic" (fun line ->
+        acc :=
+          {
+            file = path;
+            line;
+            rule = "raw-atomic";
+            message =
+              "raw Atomic operation: use Runtime.Satomic so the access is a \
+               Sched.step_point (a raw atomic is invisible to the deterministic \
+               scheduler and silently shrinks the interleaving space)";
+          }
+          :: !acc);
+    !acc
+  end
 
-let rule_determinism ~path ~stripped acc =
+let rule_determinism ~path ~toks acc =
   if not (under "lib" path) then acc
-  else
-    List.fold_left
-      (fun acc tok ->
-        List.fold_left
-          (fun acc off ->
-            {
-              file = path;
-              line = line_of_offset stripped off;
-              rule = "nondeterminism";
-              message =
-                tok
-                ^ " is forbidden in lib/ (runs must be reproducible from the \
-                   scheduler seed: use Runtime.Rng, or take time as a \
-                   parameter)";
-            }
-            :: acc)
-          acc
-          (find_token stripped tok))
-      acc
-      [ "Random."; "Unix.gettimeofday"; "Sys.time" ]
-
-let relaxed_tokens =
-  [ "get_relaxed"; "fetch_and_add_relaxed"; "peek_durable"; "Region.peek" ]
-
-let rule_relaxed ~path ~raw ~stripped acc =
-  if has_marker raw "relaxed-ok" then acc
-  else
-    List.fold_left
-      (fun acc tok ->
-        List.fold_left
-          (fun acc off ->
-            {
-              file = path;
-              line = line_of_offset stripped off;
-              rule = "relaxed-needs-marker";
-              message =
-                tok
-                ^ " used without a (* relaxed-ok: ... *) marker: non-stepping \
-                   accesses bypass the scheduler and need a stated \
-                   justification";
-            }
-            :: acc)
-          acc
-          (find_token stripped tok))
-      acc relaxed_tokens
-
-let rule_mutable ~path ~raw ~stripped acc =
-  if (not (under "lib" path)) || has_marker raw "mutable-ok" then acc
-  else
-    match find_token stripped "mutable" with
-    | [] -> acc
-    | off :: _ ->
+  else begin
+    let acc = ref acc in
+    let hit tok line =
+      acc :=
         {
           file = path;
-          line = line_of_offset stripped off;
+          line;
+          rule = "nondeterminism";
+          message =
+            tok
+            ^ " is forbidden in lib/ (runs must be reproducible from the \
+               scheduler seed: use Runtime.Rng, or take time as a \
+               parameter)";
+        }
+        :: !acc
+    in
+    module_dot toks "Random" (hit "Random.");
+    module_meth toks "Unix" [ "gettimeofday" ] (hit "Unix.gettimeofday");
+    module_meth toks "Sys" [ "time" ] (hit "Sys.time");
+    !acc
+  end
+
+let rule_relaxed ~path ~toks ~comments acc =
+  if Srclex.has_marker comments "relaxed-ok" then acc
+  else begin
+    let acc = ref acc in
+    let hit tok line =
+      acc :=
+        {
+          file = path;
+          line;
+          rule = "relaxed-needs-marker";
+          message =
+            tok
+            ^ " used without a (* relaxed-ok: ... *) marker: non-stepping \
+               accesses bypass the scheduler and need a stated \
+               justification";
+        }
+        :: !acc
+    in
+    lident toks [ "get_relaxed" ] (hit "get_relaxed");
+    lident toks [ "fetch_and_add_relaxed" ] (hit "fetch_and_add_relaxed");
+    lident toks [ "peek_durable" ] (hit "peek_durable");
+    module_meth toks "Region" [ "peek" ] (hit "Region.peek");
+    !acc
+  end
+
+let rule_mutable ~path ~toks ~comments acc =
+  if (not (under "lib" path)) || Srclex.has_marker comments "mutable-ok" then
+    acc
+  else
+    let first = ref None in
+    Array.iter
+      (fun tk ->
+        if tk.Srclex.t = Parser.MUTABLE && !first = None then
+          first := Some tk.Srclex.line)
+      toks;
+    match !first with
+    | None -> acc
+    | Some line ->
+        {
+          file = path;
+          line;
           rule = "mutable-needs-marker";
           message =
             "mutable state in lib/ without a (* mutable-ok: ... *) marker: \
@@ -262,30 +268,31 @@ let rule_mutable ~path ~raw ~stripped acc =
    banned there in favour of Writeset.find_idx / pre-resolved
    Telemetry handles.  Cold paths that genuinely want the convenience
    carry an (* alloc-ok: ... *) marker. *)
-let hotpath_tokens = [ "find_opt"; "Telemetry.bump"; "Telemetry.record" ]
-
-let rule_hotpath ~path ~raw ~stripped acc =
-  if (not (under "lib/onefile" path)) || has_marker raw "alloc-ok" then acc
-  else
-    List.fold_left
-      (fun acc tok ->
-        List.fold_left
-          (fun acc off ->
-            {
-              file = path;
-              line = line_of_offset stripped off;
-              rule = "hotpath-alloc";
-              message =
-                tok
-                ^ " in lib/onefile: allocates or string-hashes on the TM hot \
-                   path — use a sentinel-returning lookup (Writeset.find_idx) \
-                   or a pre-resolved Telemetry handle, or mark the file \
-                   (* alloc-ok: ... *) if this is a cold path";
-            }
-            :: acc)
-          acc
-          (find_token stripped tok))
-      acc hotpath_tokens
+let rule_hotpath ~path ~toks ~comments acc =
+  if (not (under "lib/onefile" path)) || Srclex.has_marker comments "alloc-ok"
+  then acc
+  else begin
+    let acc = ref acc in
+    let hit tok line =
+      acc :=
+        {
+          file = path;
+          line;
+          rule = "hotpath-alloc";
+          message =
+            tok
+            ^ " in lib/onefile: allocates or string-hashes on the TM hot \
+               path — use a sentinel-returning lookup (Writeset.find_idx) \
+               or a pre-resolved Telemetry handle, or mark the file \
+               (* alloc-ok: ... *) if this is a cold path";
+        }
+        :: !acc
+    in
+    lident toks [ "find_opt" ] (hit "find_opt");
+    module_meth toks "Telemetry" [ "bump" ] (hit "Telemetry.bump");
+    module_meth toks "Telemetry" [ "record" ] (hit "Telemetry.record");
+    !acc
+  end
 
 (* Core0 is the engine room shared by the OneFile front-ends and the
    cross-shard router; everything else must go through the Tm_intf.S
@@ -293,37 +300,40 @@ let rule_hotpath ~path ~raw ~stripped acc =
    sanitize — precisely so harnesses need no Core0 access).  Direct
    references above that line couple callers to single-instance
    internals and bypass the per-instance telemetry/fault plumbing. *)
-let rule_layering ~path ~raw ~stripped acc =
-  if under "lib/tm" path || under "lib/onefile" path || has_marker raw "layering-ok"
+let rule_layering ~path ~toks ~comments acc =
+  if
+    under "lib/tm" path || under "lib/onefile" path
+    || Srclex.has_marker comments "layering-ok"
   then acc
-  else
-    List.fold_left
-      (fun acc off ->
-        {
-          file = path;
-          line = line_of_offset stripped off;
-          rule = "layering";
-          message =
-            "direct Onefile.Core0 reference outside lib/tm and lib/onefile: \
-             go through the Tm_intf.S surface (the Onefile_lf/Onefile_wf \
-             front-ends re-export faults/recover/sanitize), or mark the \
-             file (* layering-ok: ... *) with a reason";
-        }
-        :: acc)
-      acc
-      (find_token stripped "Core0.")
+  else begin
+    let acc = ref acc in
+    module_dot toks "Core0" (fun line ->
+        acc :=
+          {
+            file = path;
+            line;
+            rule = "layering";
+            message =
+              "direct Onefile.Core0 reference outside lib/tm and lib/onefile: \
+               go through the Tm_intf.S surface (the Onefile_lf/Onefile_wf \
+               front-ends re-export faults/recover/sanitize), or mark the \
+               file (* layering-ok: ... *) with a reason";
+          }
+          :: !acc);
+    !acc
+  end
 
 let lint_source ~path raw =
   if not (scanned path) then []
   else if Filename.check_suffix path ".ml" then begin
-    let stripped = strip raw in
+    let toks, comments = Srclex.scan raw in
     []
-    |> rule_raw_atomic ~path ~stripped
-    |> rule_determinism ~path ~stripped
-    |> rule_relaxed ~path ~raw ~stripped
-    |> rule_mutable ~path ~raw ~stripped
-    |> rule_hotpath ~path ~raw ~stripped
-    |> rule_layering ~path ~raw ~stripped
+    |> rule_raw_atomic ~path ~toks
+    |> rule_determinism ~path ~toks
+    |> rule_relaxed ~path ~toks ~comments
+    |> rule_mutable ~path ~toks ~comments
+    |> rule_hotpath ~path ~toks ~comments
+    |> rule_layering ~path ~toks ~comments
     |> List.sort (fun a b -> compare (a.file, a.line) (b.file, b.line))
   end
   else []

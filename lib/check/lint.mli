@@ -30,11 +30,12 @@
       so instances stay composable behind the signature.  Escape with a
       [(* layering-ok: ... *)] marker stating why.
 
-    Comments, strings and character literals are stripped before token
-    search, so prose about [Atomic] does not trip the lint; markers are
-    looked up in the raw text.  Paths are repo-relative with ['/']
-    separators; only [lib/], [bin/], [bench/] and [examples/] are
-    scanned. *)
+    The rules run on the {!Srclex} token scan (the real compiler lexer),
+    so prose about [Atomic] in comments, string literals — including
+    [{|...|}] quoted strings — and char literals can never trip a rule;
+    markers are looked up in the comment list.  Paths are repo-relative
+    with ['/'] separators; only [lib/], [bin/], [bench/] and [examples/]
+    are scanned. *)
 
 type finding = { file : string; line : int; rule : string; message : string }
 
@@ -43,7 +44,10 @@ val finding_to_string : finding -> string
 
 val strip : string -> string
 (** Blank out comments (nested, string-aware), string literals and char
-    literals, preserving newlines (exposed for tests). *)
+    literals, preserving newlines.  Legacy character scanner, no longer
+    used by the rules (it cannot strip [{|...|}] quoted strings — the
+    false-positive class that motivated the {!Srclex} rewrite); exposed
+    for the regression tests that document exactly that. *)
 
 val lint_source : path:string -> string -> finding list
 (** Token rules for one [.ml] file ([path] repo-relative).  Files outside

@@ -1,0 +1,48 @@
+(* Shared lexical pass: compiler-libs Lexer over a source string.  The
+   Lexer module keeps global state (comment accumulator), so [scan] is
+   not reentrant — fine for the sequential lint drivers. *)
+
+type tok = { t : Parser.token; line : int }
+type comment = { text : string; cline : int }
+
+let scan src =
+  let lexbuf = Lexing.from_string src in
+  Lexer.init ();
+  let toks = ref [] in
+  let docs = ref [] in
+  (try
+     let rec go () =
+       let t = Lexer.token lexbuf in
+       let line = (Lexing.lexeme_start_p lexbuf).Lexing.pos_lnum in
+       match t with
+       | Parser.EOF -> ()
+       | Parser.DOCSTRING d ->
+           let loc = Docstrings.docstring_loc d in
+           docs :=
+             {
+               text = Docstrings.docstring_body d;
+               cline = loc.Location.loc_start.Lexing.pos_lnum;
+             }
+             :: !docs;
+           go ()
+       | t ->
+           toks := { t; line } :: !toks;
+           go ()
+     in
+     go ()
+   with Lexer.Error _ -> ());
+  let comments =
+    List.map
+      (fun (text, loc) ->
+        { text; cline = loc.Location.loc_start.Lexing.pos_lnum })
+      (Lexer.comments ())
+  in
+  (Array.of_list (List.rev !toks), List.rev_append !docs comments)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let has_marker comments marker =
+  List.exists (fun c -> contains c.text marker) comments

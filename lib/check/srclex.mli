@@ -1,0 +1,25 @@
+(** Shared lexical pass over OCaml source (compiler-libs [Lexer]).
+
+    One scan yields the real token stream and the comment list, so every
+    source-level check in this library ({!Lint}, [Flowlint]) agrees on
+    what is code and what is prose: tokens never come from comments,
+    string literals (including [{|...|}] quoted strings) or char
+    literals, and comments are available separately for markers and
+    [(* flowlint: ... *)] annotations.
+
+    The scan is best-effort: on a lexical error the tokens collected so
+    far are returned (a file that does not lex does not build either, so
+    the gate still fails loudly — just not here). *)
+
+type tok = { t : Parser.token; line : int }
+(** One token and the 1-based line its first character is on. *)
+
+type comment = { text : string; cline : int }
+(** One comment (or docstring) body and its start line. *)
+
+val scan : string -> tok array * comment list
+(** Tokenize a compilation unit.  [EOF] is not included; docstrings are
+    reported as comments, not tokens. *)
+
+val has_marker : comment list -> string -> bool
+(** Does any comment contain [marker] as a substring? *)

@@ -339,6 +339,7 @@ let is_open inst (ct : Word.t) =
 
 (* Sequence-guarded DCAS of one redo-log entry (Alg. 1 lines 10-15). *)
 let put_one inst ~seq addr v =
+  (* flowlint: bounded a CAS miss means a helper already installed this entry with sequence >= seq, so the seq guard fails on the next round *)
   let rec go () =
     let w = Region.load inst.region addr in
     if w.Word.s < seq then
@@ -485,6 +486,7 @@ let help inst ~me (ct : Word.t) =
    the new entries but not the request cell would make null recovery
    re-apply a torn, mixed log at seq S.  Found by the Tmcheck sanitizer
    (close-before-applied fired during post-crash recovery). *)
+(* flowlint: preflush the durable request cell must be written back before the log overwrite; see the comment above (PR 1 torn-log hole) *)
 let publish_log inst ~me (ws : Writeset.t) ~seq =
   let region = inst.region in
   let base = req_cell inst me in
@@ -536,6 +538,7 @@ let lf_read_tx inst f =
   let me = Sched.self () in
   let tx = inst.txs.(me) in
   let st = stats inst in
+  (* flowlint: bounded lock-free path: a retry happens only when another transaction committed in the meantime (curtx advanced), which is global progress *)
   let rec attempt () =
     let ct = read_curtx inst in
     if is_open inst ct then begin
@@ -566,6 +569,7 @@ let lf_update_tx inst f =
   let tx = inst.txs.(me) in
   let st = stats inst in
   let t0 = Sched.now () in
+  (* flowlint: bounded lock-free path: a retry happens only when another transaction committed in the meantime (curtx advanced), which is global progress *)
   let rec attempt () =
     let ct = read_curtx inst in
     if is_open inst ct then begin
@@ -667,6 +671,7 @@ let wf_update_tx inst f =
   Region.store region_ (op_cell inst me) (Word.make opid rs);
   Region.pwb region_ (op_cell inst me);
   Telemetry.tick inst.c_wf_published;
+  (* flowlint: bounded the op is published in the request ring, so every committing thread helps it; the ack arrives after at most one helping round per active thread *)
   let rec loop () =
     let ackw = Region.load region_ (ack_cell inst me) in
     if ackw.Word.v = opid then begin
@@ -734,6 +739,7 @@ let wf_read_tx inst f =
   let me = Sched.self () in
   let tx = inst.txs.(me) in
   let st = stats inst in
+  (* flowlint: bounded k strictly decreases to the wf_update_tx fallback *)
   let rec attempt k =
     if k <= 0 then begin
       (* bounded fallback: publish the read-only function as an operation *)

@@ -39,6 +39,7 @@ let is_empty t = t.n = 0
 (* The TM load/store fast path: sentinel result, no [option] box.  The
    linear arm is a tail recursion over ints and the hashed arm uses the
    constant [Not_found] exception, so a lookup never allocates. *)
+(* flowlint: bounded structural: i strictly increases towards n *)
 let rec scan addrs addr n i =
   if i >= n then -1 else if addrs.(i) = addr then i else scan addrs addr n (i + 1)
 

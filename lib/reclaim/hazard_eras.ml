@@ -45,6 +45,7 @@ let protect_current t =
   set_era t e;
   e
 
+(* flowlint: bounded a retry happens only when the global era advanced, i.e. another thread made progress; eras advance at most once per commit *)
 let rec get_protected t ~read =
   let mine = t.eras.(Sched.self ()) in
   let v = read () in

@@ -48,6 +48,7 @@ let protect t ~slot ~read =
     | None, None -> true
     | Some _, None | None, Some _ -> false
   in
+  (* flowlint: bounded a retry happens only when the protected pointer changed under us, i.e. another thread completed an update *)
   let rec loop candidate =
     Satomic.set cell candidate;
     let again = read () in

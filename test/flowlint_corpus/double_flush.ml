@@ -1,0 +1,17 @@
+(* Planted violation: the same base is written back twice with no store
+   in between — the second pwb is a wasted write-back on the persistence
+   path.  Expected: duplicate-flush at the second pwb. *)
+
+let persist r cell v =
+  Region.store r cell v;
+  Region.pwb r cell;
+  Region.pwb r cell;
+  Region.pfence r
+
+(* control: a store between the two write-backs makes both meaningful *)
+let persist_ok r cell v =
+  Region.store r cell v;
+  Region.pwb r cell;
+  Region.store r cell (v + 1);
+  Region.pwb r cell;
+  Region.pfence r

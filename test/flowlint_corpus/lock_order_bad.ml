@@ -1,0 +1,20 @@
+(* Planted violation: two shard locks taken in descending constant order
+   — a concurrent cross transaction taking them ascending deadlocks.
+   The acquisitions go through a local helper (a store of 1 through the
+   lock_cell projector), so the finding exercises the interprocedural
+   acquire summary: lock_shard is summarized as acquiring its [s]
+   parameter, and the call sites resolve it to constants.  Expected:
+   lock-order at the second call. *)
+
+let lock_cell t s = t.ctl + s
+
+let lock_shard t itx s = T.store itx (lock_cell t s) 1
+
+let transfer t itx =
+  lock_shard t itx 3;
+  lock_shard t itx 1
+
+(* control: ascending constants are provably ordered *)
+let transfer_ok t itx =
+  lock_shard t itx 1;
+  lock_shard t itx 3

@@ -1,0 +1,21 @@
+(* Clean fixture: shard locks taken by an ascending for over the shard
+   index — the one loop shape the analyzer can prove ordered — plus a
+   mutex-serialized path, which is exempt by construction.  Expected: no
+   findings. *)
+
+let lock_cell t s = t.ctl + s
+
+let ensure_locked t itx s = T.store itx (lock_cell t s) 1
+
+let grab_ascending t itx n =
+  for s = 0 to n - 1 do
+    ensure_locked t itx s
+  done
+
+let under_mutex t itx a b =
+  (* flowlint: bounded fixture: the mutex holder completes and releases *)
+  while not (Satomic.compare_and_set t.mutex 0 1) do
+    ()
+  done;
+  ensure_locked t itx b;
+  ensure_locked t itx a

@@ -1,0 +1,11 @@
+(* Planted violation: a shard lock acquired inside a retry loop with an
+   unresolvable shard index — repeated or re-ordered acquisition.
+   Expected: lock-order at the acquisition. *)
+
+let lock_cell t s = t.ctl + s
+
+let grab_all t itx pick =
+  (* flowlint: bounded fixture: isolates the lock-order finding from the loop check *)
+  while not (done_yet t) do
+    T.store itx (lock_cell t (pick ())) 1
+  done

@@ -1,0 +1,12 @@
+(* Planted violation: a store reaches the fence without a write-back.
+   Expected: missing-flush at the store line. *)
+
+let commit r slot v =
+  Region.store r slot v;
+  Region.pfence r
+
+(* control: the same shape with the pwb present is clean *)
+let commit_ok r slot v =
+  Region.store r slot v;
+  Region.pwb r slot;
+  Region.pfence r

@@ -1,0 +1,15 @@
+(* Planted violation: the write-back exists on one branch only, so the
+   fence can execute with the base still dirty.  Expected: missing-flush
+   at the store line (the join keeps the dirty mark because SOME path
+   misses the pwb). *)
+
+let set_state r state fast =
+  Region.store r state 1;
+  if fast then () else Region.pwb r state;
+  Region.pfence r
+
+(* control: flushed on both branches *)
+let set_state_ok r state fast =
+  Region.store r state 1;
+  if fast then Region.pwb r state else Region.pwb r state;
+  Region.pfence r

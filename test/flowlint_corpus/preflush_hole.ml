@@ -1,0 +1,24 @@
+(* Planted violation: a function annotated (* flowlint: preflush *)
+   stores to a base it never wrote back first — the durable cell can be
+   overwritten while its pre-image is still unflushed.  Expected:
+   missing-preflush at the first store, plus missing-flush at the fence
+   (nothing is ever written back here). *)
+
+let req_cell inst tid = inst.reqs + tid
+
+(* flowlint: preflush the request cell pre-image must be durable before the overwrite *)
+let publish inst tid seq v =
+  let base = req_cell inst tid in
+  Region.store inst.region (base + 1) v;
+  Region.store inst.region base seq;
+  Region.pfence inst.region
+
+(* control: the same shape with the leading pwb discharges the annotation *)
+(* flowlint: preflush control copy of the annotated shape *)
+let publish_ok inst tid seq v =
+  let base = req_cell inst tid in
+  Region.pwb inst.region base;
+  Region.store inst.region (base + 1) v;
+  Region.store inst.region base seq;
+  Region.pwb_range inst.region base 2;
+  Region.pfence inst.region

@@ -1,0 +1,26 @@
+(* Planted violation: the OneFile commit shape with the log write-back
+   deleted — the publishing cas1 executes while the redo-log entries are
+   still dirty, so a crash after the publish exposes unflushed state
+   (the PR 1 publish_log hole, reduced to a fixture).  The dirt flows
+   interprocedurally: write_log leaves its [inst] parameter dirty and
+   commit publishes without flushing it.  Expected: publish-before-flush
+   at the cas1. *)
+
+let log_cell inst i = inst.log_base + i
+
+let write_log inst n v =
+  for i = 0 to n - 1 do
+    Region.store inst.region (log_cell inst i) v
+  done
+
+let commit inst curr next n v =
+  write_log inst n v;
+  Region.cas1 inst.region curr next;
+  Region.pfence inst.region
+
+(* control: range-flushing the log before the publish closes the hole *)
+let commit_ok inst curr next n v =
+  write_log inst n v;
+  Region.pwb_range inst.region (log_cell inst 0) n;
+  Region.cas1 inst.region curr next;
+  Region.pfence inst.region

@@ -1,0 +1,12 @@
+(* Planted violations: two unbounded retry loops with neither a
+   (* flowlint: bounded *) justification nor a closed() early-exit
+   re-check.  Expected: unbounded-loop at the while and at the rec. *)
+
+let spin_cas cell v =
+  while not (Satomic.compare_and_set cell 0 v) do
+    ()
+  done
+
+let rec help inst seq =
+  let w = Region.load inst.region seq in
+  if w = 0 then help inst seq else w

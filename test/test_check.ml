@@ -302,6 +302,34 @@ let test_lint_raw_atomic () =
   check int "nested comments stripped" 0
     (nfindings ~path:"lib/foo/bar.ml" "(* a (* Atomic.get *) b *)\nlet x = 1\n")
 
+(* Regression: the pre-v2 character scanner could not strip [{|...|}]
+   quoted strings, so banned tokens inside them false-positived.  The
+   token rules run on the real lexer and cannot be fooled; the legacy
+   [strip] is kept exported to document exactly the case it misses. *)
+let test_lint_quoted_strings () =
+  check int "Atomic in a quoted string is fine" 0
+    (nfindings ~path:"lib/foo/bar.ml" "let doc = {|use Atomic.get here|}\n");
+  check int "mutable in a quoted string is fine" 0
+    (nfindings ~path:"lib/foo/bar.ml" "let doc = {|mutable state|}\n");
+  check int "Random in a quoted string is fine" 0
+    (nfindings ~path:"lib/foo/bar.ml" "let doc = {|Random.int 5|}\n");
+  check int "quoted string with an id is fine" 0
+    (nfindings ~path:"lib/foo/bar.ml" "let doc = {x|Atomic.get|x}\n");
+  (* the legacy scanner demonstrably misses it: the banned token survives
+     stripping, which is why the old rules fired *)
+  let contains hay needle =
+    let n = String.length needle in
+    let rec go i =
+      i + n <= String.length hay
+      && (String.sub hay i n = needle || go (i + 1))
+    in
+    go 0
+  in
+  check bool "legacy strip keeps quoted-string text" true
+    (contains (Lint.strip "let doc = {|Atomic.get|}\n") "Atomic.get");
+  check bool "legacy strip does blank normal strings" false
+    (contains (Lint.strip "let doc = \"Atomic.get\"\n") "Atomic.get")
+
 let test_lint_determinism () =
   check Alcotest.string "Random in lib flagged" "nondeterminism"
     (rule_at ~path:"lib/foo/bar.ml" "let x = Random.int 5\n");
@@ -396,6 +424,7 @@ let () =
       ( "lint",
         [
           Alcotest.test_case "raw atomic" `Quick test_lint_raw_atomic;
+          Alcotest.test_case "quoted strings" `Quick test_lint_quoted_strings;
           Alcotest.test_case "determinism" `Quick test_lint_determinism;
           Alcotest.test_case "markers" `Quick test_lint_markers;
           Alcotest.test_case "hotpath alloc" `Quick test_lint_hotpath;

@@ -318,6 +318,39 @@ let test_planted_torn_commit_record () =
       check_bool "shrunk program still crashes" true (small.E.crash <> None);
       assert_deterministic_replay small
 
+let test_planted_torn_commit_record_wf () =
+  (* the same distributed-commit bug through the wait-free router: the
+     per-shard OneFile-WF protocols are locally clean (helping included),
+     so only the cross-shard crash-point sweep can see the torn record *)
+  let config =
+    {
+      E.default with
+      E.wf = true;
+      shards = 2;
+      sanitize = false;
+      fault = E.Torn_commit_record;
+    }
+  in
+  let find prog =
+    (E.explore_crashes ~config ~sites:`Persist ~max_sites:40 prog).E.failure
+  in
+  let rec hunt = function
+    | [] -> None
+    | seed :: rest -> (
+        let prog =
+          Proggen.gen_program ~max_txns:4 ~max_ops:4 ~transfers:true seed
+        in
+        match find prog with Some f -> Some f | None -> hunt rest)
+  in
+  match hunt [ 1; 2; 3; 4; 5 ] with
+  | None ->
+      Alcotest.fail "planted torn commit record (wf) not found within budget"
+  | Some f ->
+      check_bool "found at a crash point" true (f.E.crash <> None);
+      let small = E.shrink ~find f in
+      check_bool "shrunk program still crashes" true (small.E.crash <> None);
+      assert_deterministic_replay small
+
 (* --- helper early-exit under controlled interleaving --------------- *)
 
 (* Overlapping multi-word write sets under the seeded round-robin
@@ -419,6 +452,8 @@ let () =
             test_sharded_crash_sweep_clean;
           Alcotest.test_case "torn-commit-record-via-oracle" `Quick
             test_planted_torn_commit_record;
+          Alcotest.test_case "torn-commit-record-wf-router" `Quick
+            test_planted_torn_commit_record_wf;
         ] );
       ( "hotpath",
         [

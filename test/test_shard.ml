@@ -179,6 +179,86 @@ let test_crash_recovery () =
   transfer tm 0 5 3;
   check int "total after post-recovery transfer" (accounts * 50) (total tm)
 
+(* Roll-back recovery: a cross-shard transaction that crashed after every
+   shard prepared — write-ahead allocations logged in the pending lists,
+   locks held, the commit record's contents written — but before the
+   record's status word became durable must be discarded entirely.
+   Recovery frees the pending allocations, clears the stale locks, never
+   replays the uncommitted record, and the router stays usable.  The
+   prepared state is fabricated through the shards' own public API at
+   the control-block addresses the router published in its reserved root
+   slot, so the test exercises the exact durable footprint a crash
+   between the final prepare and the record commit leaves behind. *)
+
+(* mirror of the private control-block layout in tm_shard.ml: make's
+   default max_pending = 32 and mk_sharded's max_threads = 8 *)
+let ctl_cells = 3 + 32 + (2 * 8)
+
+let ctl_base sh =
+  Wf.read_tx sh (fun itx -> Wf.load itx (Wf.root sh (Wf.num_roots sh - 1)))
+
+let test_rollback_recovery () =
+  let dev, tm = mk_sharded ~n:2 () in
+  init_accounts tm 100;
+  let shards = Sh_wf.shards tm in
+  let base = Array.map Wf.allocated_cells shards in
+  for round = 1 to 3 do
+    (* every shard prepared: exactly the durable footprint of [alloc]'s
+       write-ahead transaction plus [ensure_locked] *)
+    Array.iter
+      (fun sh ->
+        let cb = ctl_base sh in
+        ignore
+          (Wf.update_tx sh (fun itx ->
+               let a = Wf.alloc itx 64 in
+               Wf.store itx (cb + 3) a (* pending slot 0 *);
+               Wf.store itx (cb + 2) 1 (* pending count *);
+               0));
+        ignore (Wf.update_tx sh (fun itx -> Wf.store itx cb 1; 0)))
+      shards;
+    (* the commit record's contents are durable but its status word is
+       not: a poison write that would zero account 0 if ever replayed *)
+    let rb = ctl_base shards.(0) + ctl_cells in
+    ignore
+      (Wf.update_tx shards.(0) (fun itx ->
+           Wf.store itx (rb + 1) (90 + round) (* id *);
+           Wf.store itx (rb + 2) 0b11 (* both shards participate *);
+           Wf.store itx (rb + 3) 1 (* one write... *);
+           Wf.store itx (rb + 4) 0;
+           Wf.store itx (rb + 5) (Sh_wf.root tm 0);
+           Wf.store itx (rb + 6) 0 (* ...that zeroes account 0 *);
+           0));
+    Region.crash dev ();
+    Sh_wf.recover ~shard_recover:Wf.recover tm;
+    Array.iteri
+      (fun s sh ->
+        let cb = ctl_base sh in
+        let lock = Wf.read_tx sh (fun itx -> Wf.load itx cb) in
+        let pc = Wf.read_tx sh (fun itx -> Wf.load itx (cb + 2)) in
+        check int (Printf.sprintf "round %d shard %d lock cleared" round s) 0
+          lock;
+        check int
+          (Printf.sprintf "round %d shard %d pendings cleared" round s)
+          0 pc;
+        check int
+          (Printf.sprintf "round %d shard %d allocation balance" round s)
+          base.(s) (Wf.allocated_cells sh))
+      shards
+  done;
+  check int "uncommitted record was never replayed" (accounts * 100) (total tm);
+  (* the router keeps working, including fresh cross-shard allocations *)
+  transfer tm 0 5 3;
+  let p =
+    Sh_wf.update_tx tm (fun tx ->
+        ignore (Sh_wf.load tx (Sh_wf.root tm 0));
+        ignore (Sh_wf.load tx (Sh_wf.root tm 1));
+        let p = Sh_wf.alloc tx 2 in
+        Sh_wf.store tx p 7;
+        p)
+  in
+  check bool "post-recovery cross alloc" true (p <> 0);
+  check int "total conserved after recovery" (accounts * 100) (total tm)
+
 let test_lf_router_volatile () =
   (* the functor is TM-generic: LF shards over a volatile device *)
   let device = Region.create ~mode:Region.Volatile (2 * 4096) in
@@ -216,6 +296,8 @@ let () =
             test_cross_transfer_conservation;
           Alcotest.test_case "cross-alloc-free" `Quick test_cross_alloc_free;
           Alcotest.test_case "crash-recovery" `Quick test_crash_recovery;
+          Alcotest.test_case "rollback-recovery" `Quick
+            test_rollback_recovery;
           Alcotest.test_case "lf-volatile-router" `Quick
             test_lf_router_volatile;
         ] );
