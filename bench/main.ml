@@ -992,14 +992,26 @@ let fig_hotpath mode =
 (* ------------------------------------------------------------------ *)
 (* Figure "shards" (extension): the Tm_shard cross-shard router.
    Throughput and pwb per committed transaction at 1/2/4/8 shards under
-   0/10/50% cross-shard transfer mixes, for LF and WF shard instances.
-   Each cell is one Shard_bench run (8 threads, persistent device); the
-   workload's account-total invariant is asserted on every cell, so a
-   router consistency bug fails the figure instead of skewing it. *)
+   0/10/25/50% cross-shard transfer mixes, for LF and WF shard
+   instances.  Each cell is one Shard_bench run (16 threads — the
+   group-commit batcher amortizes its one durable record + fence over
+   the requests that accumulate, so the figure oversubscribes the 8
+   simulated cores to give it a realistic arrival stream; Shard_bench
+   widens the scheduler to threads cores so the leader's critical path
+   is not stretched by scheduling gaps).  The workload's account-total
+   invariant is asserted on every cell, so a router consistency bug
+   fails the figure instead of skewing it.  The cross mixes exercise
+   the batched 2PC pipeline: at a fixed mix, throughput must scale WITH
+   the shard count, not collapse below the single-shard row.  (OF-WF's
+   single-shard row is a deliberately brutal baseline: its operation
+   combining improves super-linearly with thread count, so the sharded
+   WF rows trade combining degree for shard parallelism and only win
+   back the difference at moderate mixes; OF-LF scales monotonically at
+   every mix.) *)
 
 let fig_shards mode =
   let shard_counts = [ 1; 2; 4; 8 ] in
-  let mixes = [ 0; 10; 50 ] in
+  let mixes = [ 0; 10; 25; 50 ] in
   let columns = List.map (fun m -> Printf.sprintf "%d%% cross" m) mixes in
   let rounds = mode.rounds / 4 in
   let grid ~wf =
@@ -1010,7 +1022,7 @@ let fig_shards mode =
             (fun pct ->
               let r =
                 Shard_bench.run ~wf ~telemetry:!tele ~shards:n ~cross_pct:pct
-                  ~threads:8 ~rounds
+                  ~threads:16 ~rounds
                   ~seed:(mix (31 + (97 * n) + pct + (if wf then 1 else 0)))
                   ()
               in
@@ -1050,12 +1062,12 @@ let fig_shards mode =
   let glf = grid ~wf:false in
   let gwf = grid ~wf:true in
   emit ~label_col:"shards"
-    ~title:"Sharded OF-LF: throughput (ops/kround, 8 threads)" ~columns
+    ~title:"Sharded OF-LF: throughput (ops/kround, 16 threads)" ~columns
     ~better:J.Higher_better (thr_rows glf);
   emit ~label_col:"shards" ~title:"Sharded OF-LF: pwb per committed tx"
     ~columns ~better:J.Lower_better (pwb_rows glf);
   emit ~label_col:"shards"
-    ~title:"Sharded OF-WF: throughput (ops/kround, 8 threads)" ~columns
+    ~title:"Sharded OF-WF: throughput (ops/kround, 16 threads)" ~columns
     ~better:J.Higher_better (thr_rows gwf);
   emit ~label_col:"shards" ~title:"Sharded OF-WF: pwb per committed tx"
     ~columns ~better:J.Lower_better (pwb_rows gwf)

@@ -38,7 +38,8 @@ let usage () =
   --persistent     persistent region for interleaving strategies
   --no-sanitize    do not attach the Tmcheck sanitizer
   --plant F        plant a fault: durability | lost-update | stale-dedup
-                   | torn-commit-record (needs --shards >= 2)
+                   | torn-commit-record | torn-batch-record
+                   (the torn-record faults need --shards >= 2)
   --max-steps N    per-execution step budget (default 50000)
   --no-shrink      print the raw failure without minimizing it
   --out FILE       write the (shrunk) failing trace as JSON
@@ -135,6 +136,7 @@ let () =
         | "lost-update" -> fault := E.Lost_update
         | "stale-dedup" -> fault := E.Stale_dedup
         | "torn-commit-record" -> fault := E.Torn_commit_record
+        | "torn-batch-record" -> fault := E.Torn_batch_record
         | _ ->
             prerr_endline ("explore: unknown fault " ^ v);
             exit 2);
@@ -157,8 +159,13 @@ let () =
         usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
-  if !fault = E.Torn_commit_record && !shards < 2 then begin
-    prerr_endline "explore: --plant torn-commit-record needs --shards >= 2";
+  if
+    (!fault = E.Torn_commit_record || !fault = E.Torn_batch_record)
+    && !shards < 2
+  then begin
+    prerr_endline
+      "explore: the torn-record faults need --shards >= 2 (--plant \
+       torn-commit-record | torn-batch-record)";
     exit 2
   end;
 
@@ -229,7 +236,8 @@ let () =
          | E.Durability_hole -> " (planted: durability-hole)"
          | E.Lost_update -> " (planted: lost-update)"
          | E.Stale_dedup -> " (planted: stale-dedup)"
-         | E.Torn_commit_record -> " (planted: torn-commit-record)");
+         | E.Torn_commit_record -> " (planted: torn-commit-record)"
+         | E.Torn_batch_record -> " (planted: torn-batch-record)");
        let report = find prog in
        Format.printf "%a" E.pp_report report;
        match report.E.failure with

@@ -1,4 +1,4 @@
-(* Cross-shard router (see DESIGN.md §10).
+(* Cross-shard router (see DESIGN.md §10 and §12).
 
    [Make (T)] runs N independent instances of any [Tm_intf.S] — the
    shards — behind the single-instance signature.  Global addresses are
@@ -8,33 +8,63 @@
 
    Single-shard transactions run entirely on their home shard as one
    ordinary [T] transaction (wait-free when T is, parallel across
-   shards).  The home shard is found by a probe execution that stops at
-   the first interposed operation; if the transaction later touches a
-   second shard, the execution "escapes": it commits only a per-owner
-   escape token and the router re-runs it on the cross-shard path.  All
-   routed effects are buffered per execution (stores, frees) or
-   compensated (allocs), so an escaping execution commits nothing else —
-   this matters under OneFile-WF, where helpers may run the closure and
-   only the committed execution's verdict counts.
+   shards).  Routing is decided by a transaction-free classify pre-pass:
+   the closure runs once with every load returning 0 and every effect
+   discarded, recording only the set of shards touched (allocs commit to
+   a rotating fresh home).  A pure run routes nowhere, a single-shard
+   run routes straight to its home, a multi-shard run (or one exceeding
+   the classify op budget) routes to the cross path — all without a
+   durable transaction.  Classification is advisory, not load-bearing:
+   if the real data makes the closure touch a different shard set, the
+   home execution "escapes" by committing only a per-owner escape token
+   and re-routing cross, and the cross path handles single-shard members
+   under its locks.  All routed effects are buffered per execution
+   (stores, frees) or compensated (allocs), so an escaping execution
+   commits nothing else — this matters under OneFile-WF, where helpers
+   may run the closure and only the committed execution's verdict
+   counts.
 
-   Cross-shard transactions serialize on one router mutex and use strict
-   two-phase locking over per-shard persistent lock cells: lock shards on
-   first touch, buffer writes/frees, log allocations write-ahead into a
-   per-shard persistent pending list, then commit via (1) one atomic
-   durable commit record on shard 0 — participant set, writes, frees —
-   (2) one atomic apply transaction per shard (writes + frees + clear
-   pending + applied-id + unlock), (3) a DONE finalize.  Recovery (after
-   the per-shard null recoveries) replays a COMMITTED record into every
-   participant that missed its apply, then rolls back pending
-   allocations and stale locks of a transaction that never committed —
-   the whole cross-shard transaction is replayed or discarded.
+   Cross-shard transactions go through a lock-free batched 2PC pipeline
+   (DESIGN.md §12).  An owner publishes its request into a per-shard
+   MPSC prepare queue (one atomic ticket + one atomic slot store), then
+   loops: try to become the leader (one CAS on [leader]), else help the
+   in-flight batch; either way it re-checks its request's [closed] state
+   every iteration.  The leader drains a generation of requests from all
+   queues and executes them serially against one shared batch context —
+   strict 2PL over per-shard persistent lock cells acquired on first
+   touch and held for the whole batch, writes/frees buffered into a
+   batch union, allocations logged write-ahead into per-shard persistent
+   pending lists.  The batch then commits through ONE durable commit
+   record on shard 0 (participant set, union writes, union frees —
+   amortizing the record and its fence across every member), is
+   published in [cur], and is completed by one atomic apply transaction
+   per participant (writes + frees + clear pending + applied-id +
+   unlock).  The record is finalized lazily: its status is stamped DONE
+   by recovery or simply overwritten by the next batch's record — the
+   per-shard applied ids alone make a COMMITTED record's replay
+   idempotent.  Everything after publication is idempotent — the applies
+   are guarded in-transaction by the monotone per-shard applied id — so
+   any thread that observes the published batch can complete it
+   (OneFile-style helping): no thread waits on the leader's scheduling
+   once the batch is in flight.
 
-   Progress: single-shard transactions keep T's guarantee; cross-shard
-   ones are blocking (Kuznetsov & Ravi's partial wait-freedom). *)
-(* mutable-ok: the per-execution and per-call buffers (exec, cross) are
-   confined to the fiber running the transaction — helpers get their own
-   exec record per execution; the faults flag is test-only sequential
-   set-up.  Shared counters (mutex, tokens, ids) go through Satomic. *)
+   Recovery (after the per-shard null recoveries) replays a COMMITTED
+   batch record into every participant that missed its apply, then rolls
+   back pending allocations and stale locks of a batch that never
+   committed — the whole batch is replayed or discarded as a unit.
+
+   Progress: single-shard transactions keep T's guarantee; the
+   cross-shard pipeline is lock-free — a stalled leader can only stall
+   pre-publication, where it holds no published batch, and every
+   published batch is completed by whoever observes it. *)
+(* mutable-ok: the per-execution buffers (exec, overlay) are confined to
+   the fiber running the transaction — under batching that is the
+   leader's fiber, which executes members serially; the batch context
+   (bctx) and the queue heads are leader-confined by the [leader] CAS;
+   a request's result cell is written by the leader and read by the
+   owner only after the [closed] flag flips (one Satomic cell); the
+   faults flags are test-only sequential set-up.  Shared counters
+   (leader, cur, tickets, ids) go through Satomic. *)
 
 open Runtime
 
@@ -44,31 +74,97 @@ exception Store_in_read_tx = Tm_intf.Store_in_read_tx
 module Make (T : Tm_intf.S) = struct
   let name = "Shard(" ^ T.name ^ ")"
 
-  exception Home_found of int
   exception Cross_escape
 
-  type faults = { mutable torn_commit_record : bool }
+  type faults = {
+    mutable torn_commit_record : bool;
+    mutable torn_batch_record : bool;
+  }
+
+  (* One cross-shard request: [run] is executed only by the batch leader
+     (it returns [false] when the member is deferred to the next
+     sub-batch on record overflow); [state] flips 0 -> 1 exactly when
+     the member's batch has been fully applied.  Requests are fresh per
+     invocation and never reused, so a stale helper marking an old
+     request done is idempotent. *)
+  type req = {
+    run : bctx -> bool;
+    state : int Satomic.t;
+  }
+
+  (* Shared state of one batch execution (leader-confined). *)
+  and bctx = {
+    locked : bool array;
+    uwrites : (int, int) Hashtbl.t; (* union: global addr -> last value *)
+    ucache : (int, int) Hashtbl.t;
+        (* read cache over the frozen shards: a locked shard's cells
+           cannot change under the batch except through [uwrites], so a
+           once-read value stays valid for every later member *)
+    mutable uworder : int list; (* reversed first-store order *)
+    mutable ufrees : int list; (* reversed; global addrs *)
+    mutable nmerged : int; (* members that contributed effects *)
+    mutable mark_w : int; (* union sizes after the first such member *)
+    mutable mark_f : int;
+    mutable has_alloc : bool;
+  }
+
+  (* The published, immutable image of a committed batch: everything a
+     helper needs to drive it to completion. *)
+  and batch = {
+    gen : int; (* durable record id, strictly increasing *)
+    parts : int; (* participant bitmap *)
+    bws : (int * int) array; (* (gaddr, value), first-store order *)
+    bfs : int array; (* global free addrs *)
+    members : req array;
+    ro : bool; (* no writes/frees/allocs: no durable record *)
+    done_hint : int Satomic.t;
+        (* volatile progress hint: bit s = shard s applied.  Purely an
+           optimization — a lost update can only clear bits, and a
+           cleared bit just re-runs the idempotent,
+           in-transaction-guarded apply.  Correctness never depends on
+           it (it dies with a crash along with [cur]). *)
+  }
 
   type t = {
     shards : T.t array;
     span : int; (* cells per shard: global g = shard * span + local *)
     usable_roots : int; (* per shard; the last T root slot is reserved *)
     ctl : int array; (* per-shard control block, shard-local address *)
-    rec_base : int; (* cross-shard commit record, local to shard 0 *)
+    rec_base : int; (* batch commit record, local to shard 0 *)
     max_pending : int;
     max_writes : int;
     max_frees : int;
     max_threads : int;
-    mutex : int Satomic.t; (* serializes cross-shard transactions *)
+    watermark : int; (* close the accumulation window at this many queued *)
+    (* per-shard MPSC prepare queues: a ticket ring per shard, capacity
+       [max_threads] (each thread has at most one outstanding request) *)
+    qslots : req option Satomic.t array array;
+    qtail : int Satomic.t array;
+    qhead : int array; (* leader-confined drain cursor *)
+    leader : int Satomic.t; (* 1 while a leader drains/executes *)
+    cur : batch option Satomic.t; (* the in-flight published batch *)
+    locked_mask : int Satomic.t;
+        (* advisory freeze mask: bit s is set just before shard s's lock
+           transaction and cleared just after its apply/unlock commits.
+           Single-shard transactions consult it to wait a freeze out on
+           volatile state; it is a hint only — a lost set just means one
+           wasted "blocked" probe, a lost clear is bounded by the
+           batcher-quiescent escape in [wait_unfrozen] — so correctness
+           always rests on the in-transaction lock check. *)
     next_token : int Satomic.t;
     next_txid : int Satomic.t;
     next_home : int Satomic.t; (* round-robin home for alloc-first txs *)
+    tele : Telemetry.sink;
+    c_batches : Telemetry.handle; (* router.batch_commits *)
+    c_helps : Telemetry.handle; (* router.helps *)
+    c_enqueues : Telemetry.handle; (* router.enqueues *)
+    s_bsize : Telemetry.span_handle; (* router.batch_size *)
     faults : faults;
   }
 
   (* control block: lock | applied_id | pending count | pending slots
      (max_pending) | escape tokens (max_threads) | blocked tokens
-     (max_threads); shard 0 appends the commit record:
+     (max_threads); shard 0 appends the batch commit record:
      status (0 none / 1 committed / 2 done) | id | participants bitmap |
      nwrites | nfrees | (gaddr,value) pairs (max_writes) | free gaddrs
      (max_frees). *)
@@ -84,7 +180,7 @@ module Make (T : Tm_intf.S) = struct
   let global t s l = (s * t.span) + l
 
   let make ?(max_pending = 32) ?(max_cross_writes = 64) ?(max_cross_frees = 32)
-      ?(max_threads = 64) shards =
+      ?(max_threads = 64) ?(batch_watermark = 7) shards =
     let n = Array.length shards in
     if n < 1 then invalid_arg "Tm_shard.make: need at least one shard";
     if n > 62 then
@@ -115,6 +211,7 @@ module Make (T : Tm_intf.S) = struct
                 T.store itx slot a;
                 a))
     in
+    let tele = Telemetry.sink () in
     let t =
       {
         shards;
@@ -126,14 +223,27 @@ module Make (T : Tm_intf.S) = struct
         max_writes = max_cross_writes;
         max_frees = max_cross_frees;
         max_threads;
-        mutex = Satomic.make 0;
+        watermark = max 1 batch_watermark;
+        qslots =
+          Array.init n (fun _ ->
+              Array.init max_threads (fun _ -> Satomic.make None));
+        qtail = Array.init n (fun _ -> Satomic.make 0);
+        qhead = Array.make n 0;
+        leader = Satomic.make 0;
+        locked_mask = Satomic.make 0;
+        cur = Satomic.make None;
         next_token = Satomic.make 0;
         next_txid = Satomic.make 0;
         next_home = Satomic.make 0;
-        faults = { torn_commit_record = false };
+        tele;
+        c_batches = Telemetry.counter tele "router.batch_commits";
+        c_helps = Telemetry.counter tele "router.helps";
+        c_enqueues = Telemetry.counter tele "router.enqueues";
+        s_bsize = Telemetry.span tele "router.batch_size";
+        faults = { torn_commit_record = false; torn_batch_record = false };
       }
     in
-    (* fresh cross-tx ids must stay above any persisted applied id (an
+    (* fresh batch ids must stay above any persisted applied id (an
        adopted device may carry state from an earlier incarnation) *)
     let hi = ref (T.read_tx shards.(0) (fun itx -> T.load itx (t.rec_base + 1))) in
     for s = 0 to n - 1 do
@@ -146,6 +256,8 @@ module Make (T : Tm_intf.S) = struct
   let num_shards t = Array.length t.shards
   let span t = t.span
   let faults t = t.faults
+  let attach_telemetry t reg = Telemetry.attach t.tele reg
+  let detach_telemetry t = Telemetry.detach t.tele
 
   let root t i =
     let n = Array.length t.shards in
@@ -170,27 +282,57 @@ module Make (T : Tm_intf.S) = struct
     mutable sallocs : int list;
   }
 
-  type cross = {
-    locked : bool array;
-    writes : (int, int) Hashtbl.t; (* global addr -> last value *)
-    mutable worder : int list; (* reversed first-store order *)
-    mutable cfrees : int list; (* global addrs *)
-    mutable callocs : (int * int) list; (* (shard, local payload) *)
-    cread_only : bool;
+  type overlay = {
+    (* one batch member's private effects, merged into the batch union
+       only when the closure returns (so an Abort retry or a deferred
+       member leaves no trace in the union) *)
+    owrites : (int, int) Hashtbl.t; (* global addr -> last value *)
+    mutable oworder : int list; (* reversed first-store order *)
+    mutable ofrees : int list; (* global addrs *)
+    mutable oallocs : (int * int) list; (* (shard, local), newest first *)
+    oread_only : bool;
   }
 
+  (* Routing pre-pass state: which shards has the closure touched so
+     far?  [Classified] aborts the pre-pass as soon as the verdict is
+     decided (second distinct shard seen, or op budget exhausted). *)
+  type cls = {
+    mutable cfirst : int; (* first touched shard, -1 = none yet *)
+    mutable cmulti : bool; (* touched a second distinct shard *)
+    mutable cops : int; (* tx ops served so far *)
+  }
+
+  exception Classified
+
   type kind =
-    | Probe
+    | Classify of cls
     | Single of { home : int; itx : T.tx; ex : exec }
     | Read_single of { home : int; itx : T.tx }
-    | Cross of cross
+    | Cross of { bc : bctx; ov : overlay }
 
   type tx = { rt : t; kind : kind }
 
-  let ensure_locked t (c : cross) s =
-    if not c.locked.(s) then begin
+  (* the budget bounds closures whose control flow diverges on the
+     garbage values the pre-pass serves *)
+  let classify_budget = 128
+
+  let cbump (c : cls) =
+    c.cops <- c.cops + 1;
+    if c.cops > classify_budget then raise Classified
+
+  let cnote (c : cls) s =
+    if c.cfirst < 0 then c.cfirst <- s
+    else if s <> c.cfirst then begin
+      c.cmulti <- true;
+      raise Classified
+    end;
+    cbump c
+
+  let ensure_locked t (bc : bctx) s =
+    if not bc.locked.(s) then begin
+      Satomic.set t.locked_mask (Satomic.get t.locked_mask lor (1 lsl s));
       ignore (T.update_tx t.shards.(s) (fun itx -> T.store itx (lock_cell t s) 1; 0));
-      c.locked.(s) <- true
+      bc.locked.(s) <- true
     end
 
   let fresh_home t =
@@ -199,7 +341,9 @@ module Make (T : Tm_intf.S) = struct
   let load tx g =
     let t = tx.rt in
     match tx.kind with
-    | Probe -> raise (Home_found (shard_of t g))
+    | Classify c ->
+        if g <> 0 then cnote c (shard_of t g) else cbump c;
+        0
     | Single { home; itx; ex } ->
         let s = if g = 0 then home else shard_of t g in
         if s <> home then raise Cross_escape;
@@ -211,23 +355,52 @@ module Make (T : Tm_intf.S) = struct
         let s = if g = 0 then home else shard_of t g in
         if s <> home then raise Cross_escape;
         T.load itx (local_of t g)
-    | Cross c -> (
+    | Cross { bc; ov } -> (
         if g = 0 then 0
         else
-          match Hashtbl.find_opt c.writes g with
+          match Hashtbl.find_opt ov.owrites g with
           | Some v -> v
-          | None ->
-              let s = shard_of t g in
-              ensure_locked t c s;
-              (* the shard is frozen (locked) for the whole cross
-                 transaction, so per-access read transactions observe one
-                 consistent cross-shard snapshot *)
-              T.read_tx t.shards.(s) (fun itx -> T.load itx (local_of t g)))
+          | None -> (
+              (* earlier members of the same batch serialize before this
+                 one: their union writes are visible *)
+              match Hashtbl.find_opt bc.uwrites g with
+              | Some v -> v
+              | None -> (
+                  match Hashtbl.find_opt bc.ucache g with
+                  | Some v -> v
+                  | None ->
+                      let s = shard_of t g in
+                      let v =
+                        if not bc.locked.(s) then begin
+                          (* fuse the freeze with the batch's first load
+                             of the shard: the lock store and the read
+                             commit in ONE shard transaction, so no
+                             single-shard commit can slip between them *)
+                          Satomic.set t.locked_mask
+                            (Satomic.get t.locked_mask lor (1 lsl s));
+                          let v =
+                            T.update_tx t.shards.(s) (fun itx ->
+                                T.store itx (lock_cell t s) 1;
+                                T.load itx (local_of t g))
+                          in
+                          bc.locked.(s) <- true;
+                          v
+                        end
+                        else
+                          (* the shard is frozen (locked) for the whole
+                             batch, so per-access read transactions
+                             observe one consistent cross-shard
+                             snapshot *)
+                          T.read_tx t.shards.(s) (fun itx ->
+                              T.load itx (local_of t g))
+                      in
+                      Hashtbl.replace bc.ucache g v;
+                      v)))
 
   let store tx g v =
     let t = tx.rt in
     match tx.kind with
-    | Probe -> raise (Home_found (shard_of t g))
+    | Classify c -> if g <> 0 then cnote c (shard_of t g) else cbump c
     | Read_single _ -> raise Store_in_read_tx
     | Single { home; ex; _ } ->
         let s = if g = 0 then home else shard_of t g in
@@ -235,26 +408,32 @@ module Make (T : Tm_intf.S) = struct
         let l = local_of t g in
         if not (Hashtbl.mem ex.stores l) then ex.sorder <- l :: ex.sorder;
         Hashtbl.replace ex.stores l v
-    | Cross c ->
-        if c.cread_only then raise Store_in_read_tx;
+    | Cross { bc; ov } ->
+        if ov.oread_only then raise Store_in_read_tx;
         let s = shard_of t g in
-        ensure_locked t c s;
-        if not (Hashtbl.mem c.writes g) then c.worder <- g :: c.worder;
-        Hashtbl.replace c.writes g v
+        ensure_locked t bc s;
+        if not (Hashtbl.mem ov.owrites g) then ov.oworder <- g :: ov.oworder;
+        Hashtbl.replace ov.owrites g v
 
   let alloc tx nw =
     let t = tx.rt in
     match tx.kind with
-    | Probe -> raise (Home_found (fresh_home t))
+    | Classify c ->
+        (* pick (and commit to) a home the way the real execution would;
+           the fake address stays on that shard, so follow-up ops on it
+           cannot fabricate a cross verdict *)
+        if c.cfirst < 0 then c.cfirst <- fresh_home t;
+        cbump c;
+        global t c.cfirst 1
     | Read_single _ -> raise Store_in_read_tx
     | Single { home; itx; ex } ->
         let a = T.alloc itx nw in
         ex.sallocs <- a :: ex.sallocs;
         global t home a
-    | Cross c ->
-        if c.cread_only then raise Store_in_read_tx;
+    | Cross { bc; ov } ->
+        if ov.oread_only then raise Store_in_read_tx;
         let s = fresh_home t in
-        ensure_locked t c s;
+        ensure_locked t bc s;
         (* write-ahead: the allocation and its pending-list entry commit
            in one T transaction, so a crash either never allocated or
            left a pending entry for recovery to roll back *)
@@ -268,25 +447,26 @@ module Make (T : Tm_intf.S) = struct
               T.store itx (pcount_cell t s) (pc + 1);
               a)
         in
-        c.callocs <- (s, a) :: c.callocs;
+        ov.oallocs <- (s, a) :: ov.oallocs;
         global t s a
 
   let free tx g =
     let t = tx.rt in
     match tx.kind with
-    | Probe -> raise (Home_found (shard_of t g))
+    | Classify c -> if g <> 0 then cnote c (shard_of t g) else cbump c
     | Read_single _ -> raise Store_in_read_tx
     | Single { home; ex; _ } ->
         let s = if g = 0 then home else shard_of t g in
         if s <> home then raise Cross_escape;
         ex.sfrees <- local_of t g :: ex.sfrees
-    | Cross c ->
-        if c.cread_only then raise Store_in_read_tx;
-        ensure_locked t c (shard_of t g);
-        c.cfrees <- g :: c.cfrees
+    | Cross { bc; ov } ->
+        if ov.oread_only then raise Store_in_read_tx;
+        let s = shard_of t g in
+        ensure_locked t bc s;
+        ov.ofrees <- g :: ov.ofrees
 
   (* ---------------------------------------------------------------- *)
-  (* Drivers                                                           *)
+  (* Batch execution (leader side)                                     *)
 
   let flush_exec (ex : exec) itx =
     List.iter
@@ -294,121 +474,445 @@ module Make (T : Tm_intf.S) = struct
       (List.rev ex.sorder);
     List.iter (fun l -> T.free itx l) (List.rev ex.sfrees)
 
-  (* release every locked shard; [free_pending] rolls the write-ahead
-     allocations back (abort path), commit clears the list keeping them *)
-  let release_shards t (c : cross) ~free_pending =
-    Array.iteri
-      (fun s locked ->
-        if locked then
+  (* undo one member's write-ahead allocations: the leader executes
+     members serially, so this overlay's entries are exactly the newest
+     ones of each shard's pending list *)
+  let rollback_allocs t (ov : overlay) =
+    if ov.oallocs <> [] then
+      for s = 0 to Array.length t.shards - 1 do
+        let mine = List.filter (fun (s', _) -> s' = s) ov.oallocs in
+        if mine <> [] then
           ignore
             (T.update_tx t.shards.(s) (fun itx ->
-                 (if free_pending then
-                    let pc = T.load itx (pcount_cell t s) in
-                    for i = 0 to pc - 1 do
-                      T.free itx (T.load itx (pslot_cell t s i))
-                    done);
-                 T.store itx (pcount_cell t s) 0;
-                 T.store itx (lock_cell t s) 0;
-                 0)))
-      c.locked
+                 let pc = T.load itx (pcount_cell t s) in
+                 T.store itx (pcount_cell t s) (pc - List.length mine);
+                 List.iter (fun (_, a) -> T.free itx a) mine;
+                 0))
+      done
 
-  let commit_cross t (c : cross) =
-    let ws = List.rev c.worder in
-    let fs = List.rev c.cfrees in
-    if List.length ws > t.max_writes then
-      failwith "Tm_shard: cross-shard write-set overflow";
-    if List.length fs > t.max_frees then
-      failwith "Tm_shard: cross-shard free-set overflow";
+  let merge_overlay (bc : bctx) (ov : overlay) =
+    List.iter
+      (fun g ->
+        if not (Hashtbl.mem bc.uwrites g) then bc.uworder <- g :: bc.uworder;
+        Hashtbl.replace bc.uwrites g (Hashtbl.find ov.owrites g))
+      (List.rev ov.oworder);
+    bc.ufrees <- ov.ofrees @ bc.ufrees;
+    if ov.oallocs <> [] then bc.has_alloc <- true;
+    bc.nmerged <- bc.nmerged + 1;
+    if bc.nmerged = 1 then begin
+      bc.mark_w <- List.length bc.uworder;
+      bc.mark_f <- List.length bc.ufrees
+    end
+
+  (* would merging [ov] overflow the commit record's capacity? *)
+  let overflow_writes t (bc : bctx) (ov : overlay) =
+    let fresh =
+      List.fold_left
+        (fun k g -> if Hashtbl.mem bc.uwrites g then k else k + 1)
+        0 ov.oworder
+    in
+    List.length bc.uworder + fresh > t.max_writes
+
+  let overflow_frees t (bc : bctx) (ov : overlay) =
+    List.length bc.ufrees + List.length ov.ofrees > t.max_frees
+
+  (* the ONE durable commit record of the whole batch: its status store
+     is the durability (and linearization) point of every member *)
+  let write_record t (bc : bctx) (b : batch) =
+    let ws = List.rev bc.uworder in
+    let fs = List.rev bc.ufrees in
+    (* planted fault: persist a record truncated to the FIRST member's
+       contribution.  Volatile applies below use the full union, so
+       crash-free runs stay correct; a crash between the record commit
+       and the applies makes recovery replay half a batch, which the
+       crash oracle must catch.  Needs >= 2 contributing members. *)
+    let take k l = List.filteri (fun i _ -> i < k) l in
+    let ws, fs =
+      if t.faults.torn_batch_record && bc.nmerged > 1 then
+        (take bc.mark_w ws, take bc.mark_f fs)
+      else (ws, fs)
+    in
+    (* planted fault (PR 5): a record torn across shards — only the
+       first participant's effects survive *)
+    let ws, fs =
+      if not t.faults.torn_commit_record then (ws, fs)
+      else begin
+        let first =
+          (* flowlint: bounded the participant set is non-empty, so a locked shard exists below Array.length *)
+          let rec go s = if bc.locked.(s) then s else go (s + 1) in
+          go 0
+        in
+        ( List.filter (fun g -> shard_of t g = first) ws,
+          List.filter (fun g -> shard_of t g = first) fs )
+      end
+    in
+    ignore
+      (T.update_tx t.shards.(0) (fun itx ->
+           let rb = t.rec_base in
+           T.store itx (rb + 1) b.gen;
+           T.store itx (rb + 2) b.parts;
+           T.store itx (rb + 3) (List.length ws);
+           T.store itx (rb + 4) (List.length fs);
+           List.iteri
+             (fun i g ->
+               T.store itx (rb + 5 + (2 * i)) g;
+               T.store itx (rb + 5 + (2 * i) + 1) (Hashtbl.find bc.uwrites g))
+             ws;
+           List.iteri
+             (fun i g -> T.store itx (rb + 5 + (2 * t.max_writes) + i) g)
+             fs;
+           T.store itx rb 1;
+           (* fuse shard 0's apply into the record transaction: the
+              record and shard 0's effects (always the full volatile
+              union, even under a planted torn-record fault) become
+              durable atomically, which is indistinguishable from
+              record-then-apply and saves a whole durable transaction on
+              the most common participant.  On crash replay the
+              per-shard applied-id guard skips shard 0. *)
+           if b.parts land 1 <> 0 then begin
+             Array.iter
+               (fun (g, v) ->
+                 if shard_of t g = 0 then T.store itx (local_of t g) v)
+               b.bws;
+             Array.iter
+               (fun g -> if shard_of t g = 0 then T.free itx (local_of t g))
+               b.bfs;
+             T.store itx (pcount_cell t 0) 0;
+             T.store itx (applied_cell t 0) b.gen;
+             T.store itx (lock_cell t 0) 0
+           end;
+           0));
+    if b.parts land 1 <> 0 then begin
+      Satomic.set b.done_hint (Satomic.get b.done_hint lor 1);
+      Satomic.set t.locked_mask (Satomic.get t.locked_mask land lnot 1)
+    end
+
+  (* ---------------------------------------------------------------- *)
+  (* Batch completion (leader AND helpers; fully idempotent)           *)
+
+  let complete_batch t (b : batch) =
+    (* one atomic apply per participant.  The in-transaction applied-id
+       guard makes the apply idempotent and neutralizes stale helpers:
+       batch ids are strictly increasing, so once a shard's applied id
+       reaches [b.gen] every re-apply (and every late helper of an older
+       batch) is a no-op — in particular no double-free and no unlocking
+       of a later batch's freeze.  [done_hint] short-cuts the common
+       case where another completer already drove a step, so a helper
+       racing a healthy leader costs volatile reads, not a cascade of
+       no-op durable transactions.  Each completer starts the walk at a
+       thread-dependent shard, so the leader and a helper drive
+       *different* shards' applies concurrently instead of queueing up
+       behind the same one — the shards are independent TM instances, so
+       the applies genuinely overlap.  Cross-shard apply order is free:
+       recovery tolerates any applied prefix via the same per-shard
+       guard.
+
+       There is deliberately no eager DONE stamp on the record: a fully
+       applied record (every participant's applied id >= its id) is
+       inert on replay because of the per-shard guard, so the status=2
+       transition is left to recovery and the next batch's record simply
+       overwrites a stale status=1 one in its own atomic transaction.
+       That saves a durable transaction per batch on the hot path. *)
+    let n = Array.length t.shards in
+    let start = Sched.self () mod n in
+    for i = 0 to n - 1 do
+      let s = (start + i) mod n in
+      if
+        b.parts land (1 lsl s) <> 0
+        && Satomic.get b.done_hint land (1 lsl s) = 0
+      then begin
+        ignore
+          (T.update_tx t.shards.(s) (fun itx ->
+               if T.load itx (applied_cell t s) < b.gen then begin
+                 Array.iter
+                   (fun (g, v) ->
+                     if shard_of t g = s then T.store itx (local_of t g) v)
+                   b.bws;
+                 Array.iter
+                   (fun g -> if shard_of t g = s then T.free itx (local_of t g))
+                   b.bfs;
+                 (* the write-ahead allocations are committed now *)
+                 T.store itx (pcount_cell t s) 0;
+                 T.store itx (applied_cell t s) b.gen;
+                 T.store itx (lock_cell t s) 0
+               end;
+               0));
+        Satomic.set b.done_hint (Satomic.get b.done_hint lor (1 lsl s));
+        Satomic.set t.locked_mask
+          (Satomic.get t.locked_mask land lnot (1 lsl s))
+      end
+    done;
+    Array.iter (fun r -> Satomic.set r.state 1) b.members;
+    (* retire the published batch (physical-equality CAS: a later batch
+       in [cur] is left alone) *)
+    match Satomic.get t.cur with
+    | Some b' as cur when b' == b ->
+        ignore (Satomic.compare_and_set t.cur cur None)
+    | _ -> ()
+
+  let help t =
+    match Satomic.get t.cur with
+    | Some b ->
+        Telemetry.tick t.c_helps;
+        complete_batch t b
+    | None -> ()
+
+  (* Wait out a (possible) freeze of [home] without touching the shard:
+     locks are only ever held while a leader is active, and once a batch
+     is published its participant bitmap names every held lock, so
+     volatile reads alone tell whether [home] can still be frozen.
+     Helping drives a published batch's applies — which release the
+     locks — and the backoff keeps a crowd of frozen waiters from
+     thundering onto the same idempotent apply (or onto the leader's
+     own shard transactions with durable lock probes). *)
+  let wait_unfrozen t home =
+    let bo = Backoff.create ~max:16 () in
+    (* flowlint: bounded the freeze lifts when the in-flight batch completes; helping drives its apply/unlock steps, and a pre-publication leader holds the freeze only across its own bounded execution *)
+    let rec loop () =
+      if
+        Satomic.get t.locked_mask land (1 lsl home) <> 0
+        && (Satomic.get t.leader <> 0 || Satomic.get t.cur <> None)
+        (* second conjunct: with the batcher quiescent the locks are all
+           clear, so a stale advisory bit (lost clear) cannot wedge us *)
+      then begin
+        help t;
+        Backoff.once bo;
+        loop ()
+      end
+    in
+    loop ()
+
+  (* ---------------------------------------------------------------- *)
+  (* Prepare queues and the batcher                                    *)
+
+  let enqueue t home r =
+    let tid = Sched.self () in
+    if tid >= t.max_threads then
+      invalid_arg "Tm_shard: thread id >= max_threads";
+    let k = Satomic.fetch_and_add t.qtail.(home) 1 in
+    Satomic.set t.qslots.(home).(k mod t.max_threads) (Some r);
+    Telemetry.tick t.c_enqueues
+
+  (* drain every queue up to the first unpublished ticket (a producer
+     preempted between its ticket and its slot store keeps later tickets
+     for the next batch; their owners keep trying to lead, and the
+     gapped producer's own await drains them once its store lands) *)
+  let drain t =
+    let acc = ref [] in
+    for s = 0 to Array.length t.shards - 1 do
+      let q = t.qslots.(s) in
+      let stop = ref false in
+      (* flowlint: bounded scans at most one ring of pending requests: the ring holds <= max_threads entries and the scan stops at the first empty slot *)
+      while not !stop do
+        let i = t.qhead.(s) mod t.max_threads in
+        match Satomic.exchange q.(i) None with
+        | Some r ->
+            acc := r :: !acc;
+            t.qhead.(s) <- t.qhead.(s) + 1
+        | None -> stop := true
+      done
+    done;
+    List.rev !acc
+
+  (* execute one sub-batch: run members serially against a fresh batch
+     context, then commit the union through one durable record and
+     publish for completion.  Members whose merge would overflow the
+     record are deferred (in order) to the next sub-batch. *)
+  let run_batch t reqs =
+    let bc =
+      {
+        locked = Array.make (Array.length t.shards) false;
+        uwrites = Hashtbl.create 16;
+        ucache = Hashtbl.create 16;
+        uworder = [];
+        ufrees = [];
+        nmerged = 0;
+        mark_w = 0;
+        mark_f = 0;
+        has_alloc = false;
+      }
+    in
+    let members = ref [] and deferred = ref [] in
+    List.iter
+      (fun r ->
+        if !deferred <> [] then deferred := r :: !deferred
+        else if r.run bc then members := r :: !members
+        else deferred := r :: !deferred)
+      reqs;
     let parts = ref 0 in
     Array.iteri
       (fun s locked -> if locked then parts := !parts lor (1 lsl s))
-      c.locked;
-    let first =
-      (* flowlint: bounded parts is non-empty, so a locked shard exists below Array.length *)
-      let rec go s = if c.locked.(s) then s else go (s + 1) in
-      go 0
-    in
-    let id = Satomic.fetch_and_add t.next_txid 1 + 1 in
-    (* planted fault: persist a record torn across shards — only the first
-       participant's effects.  Normal applies below use the full volatile
-       buffers, so crash-free runs stay correct; a crash between the
-       record commit and the last per-shard apply makes recovery replay
-       the torn record, which the crash oracle must catch. *)
-    let keep g = (not t.faults.torn_commit_record) || shard_of t g = first in
-    let rws = List.filter keep ws in
-    let rfs = List.filter keep fs in
-    (* 1. one atomic durable commit record on shard 0 *)
-    ignore
-      (T.update_tx t.shards.(0) (fun itx ->
-           let b = t.rec_base in
-           T.store itx (b + 1) id;
-           T.store itx (b + 2) !parts;
-           T.store itx (b + 3) (List.length rws);
-           T.store itx (b + 4) (List.length rfs);
-           List.iteri
-             (fun i g ->
-               T.store itx (b + 5 + (2 * i)) g;
-               T.store itx (b + 5 + (2 * i) + 1) (Hashtbl.find c.writes g))
-             rws;
-           List.iteri
-             (fun i g -> T.store itx (b + 5 + (2 * t.max_writes) + i) g)
-             rfs;
-           T.store itx b 1;
-           0));
-    (* 2. one atomic apply transaction per participating shard *)
-    Array.iteri
-      (fun s locked ->
-        if locked then
-          ignore
-            (T.update_tx t.shards.(s) (fun itx ->
-                 List.iter
-                   (fun g ->
-                     if shard_of t g = s then
-                       T.store itx (local_of t g) (Hashtbl.find c.writes g))
-                   ws;
-                 List.iter
-                   (fun g -> if shard_of t g = s then T.free itx (local_of t g))
-                   fs;
-                 (* the pending allocations are committed now *)
-                 T.store itx (pcount_cell t s) 0;
-                 T.store itx (applied_cell t s) id;
-                 T.store itx (lock_cell t s) 0;
-                 0)))
-      c.locked;
-    (* 3. finalize *)
-    ignore (T.update_tx t.shards.(0) (fun itx -> T.store itx t.rec_base 2; 0))
-
-  (* flowlint: bounded the Abort rethrow loops only on genuine conflict, i.e. after another transaction committed *)
-  let rec cross_tx t ~read_only f =
-    (* cross-shard transactions serialize on the router mutex: per-shard
-       wait-freedom is preserved, cross-shard progress is blocking *)
-    (* flowlint: bounded router mutex spin: the holder cross transaction completes because per-shard commits are wait-free and it never waits on other cross transactions *)
-    while not (Satomic.compare_and_set t.mutex 0 1) do
-      ()
-    done;
-    let c =
+      bc.locked;
+    let ro = bc.uworder = [] && bc.ufrees = [] && not bc.has_alloc in
+    let gen = Satomic.fetch_and_add t.next_txid 1 + 1 in
+    let ws = List.rev bc.uworder in
+    let b =
       {
-        locked = Array.make (Array.length t.shards) false;
-        writes = Hashtbl.create 16;
-        worder = [];
-        cfrees = [];
-        callocs = [];
-        cread_only = read_only;
+        gen;
+        parts = !parts;
+        bws =
+          Array.of_list (List.map (fun g -> (g, Hashtbl.find bc.uwrites g)) ws);
+        bfs = Array.of_list (List.rev bc.ufrees);
+        members = Array.of_list (List.rev !members);
+        ro;
+        done_hint = Satomic.make 0;
       }
     in
-    let rtx = { rt = t; kind = Cross c } in
-    match f rtx with
-    | r ->
-        if read_only then release_shards t c ~free_pending:false
-        else commit_cross t c;
-        Satomic.set t.mutex 0;
-        r
-    | exception e ->
-        release_shards t c ~free_pending:true;
-        Satomic.set t.mutex 0;
-        (match e with Abort -> cross_tx t ~read_only f | e -> raise e)
+    if not ro then write_record t bc b;
+    (* publication: from here on anybody can (and helpers do) complete
+       the batch; the leader pipelines — it opens the next accumulation
+       window while owners drive this batch's remaining applies — and
+       only reconciles (complete_batch) before taking new locks *)
+    Satomic.set t.cur (Some b);
+    Telemetry.tick t.c_batches;
+    Telemetry.observe t.s_bsize (Array.length b.members);
+    (List.rev !deferred, b)
 
-  (* flowlint: bounded recursion re-enters only after a freeze observed via the blk token, i.e. after a cross transaction completed; see the freeze-wait below *)
+  (* Group-commit accumulation: after winning leadership the leader
+     idles up to this many scheduling steps before the second drain.  No
+     lock is taken yet, so single-shard traffic flows freely while more
+     cross-shard arrivals queue up — the batch that then forms amortizes
+     its one durable record and its freeze window over more members.
+     The window closes early once the queues hold [t.watermark] requests
+     (arrivals are at most one per thread, so a watermark near the
+     thread count is as large as batches can get); the cap keeps
+     leadership bounded either way. *)
+  let accumulation_window = 512
+
+  let queued t =
+    let q = ref 0 in
+    for s = 0 to Array.length t.shards - 1 do
+      q := !q + (Satomic.get t.qtail.(s) - t.qhead.(s))
+    done;
+    !q
+
+  let window t base =
+    let got = ref base and k = ref 0 in
+    (* flowlint: bounded the window is capped at accumulation_window steps *)
+    while !k < accumulation_window && !got < t.watermark do
+      for _ = 1 to 16 do
+        Sched.step_point ()
+      done;
+      k := !k + 16;
+      got := base + queued t
+    done
+
+  let run_leader t =
+    match drain t with
+    | [] -> ()
+    | reqs ->
+        window t (List.length reqs);
+        let pending = ref (reqs @ drain t) in
+        let prev = ref None in
+        (* flowlint: bounded every round retires at least one request: the first member of a round either joins its batch or overflows alone, which fails it *)
+        while !pending <> [] do
+          (* reconcile the previous batch before taking any new lock: a
+             new freeze may not observe a shard whose apply is still
+             outstanding.  Usually the owners finished it during our
+             window and this is a few volatile reads. *)
+          (match !prev with
+          | Some b -> complete_batch t b
+          | None -> ());
+          let deferred, b = run_batch t !pending in
+          prev := Some b;
+          pending := deferred;
+          (* pipeline: accumulate the next batch while the owners drive
+             the published one to completion *)
+          if !pending <> [] || queued t > 0 then window t (queued t)
+        done;
+        (match !prev with
+        | Some b -> complete_batch t b
+        | None -> ())
+
+  (* has the request's batch been fully applied?  The helping loops
+     below re-check this every iteration (their early exit). *)
+  let closed (r : req) = Satomic.get r.state <> 0
+
+  (* The owner's wait loop — the batcher's helping loop.  Each iteration
+     either becomes the leader (and then drains/executes, which always
+     completes its own request), helps the in-flight batch to
+     completion, or observes [closed] and returns. *)
+  let await t r =
+    let bo = Backoff.create ~max:16 () in
+    (* flowlint: bounded each iteration either leads (which completes the request) or helps the published batch; the backoff only spaces the iterations *)
+    let rec loop () =
+      if closed r then ()
+      else begin
+        (if Satomic.compare_and_set t.leader 0 1 then begin
+           (* a previous leader may have drained and completed us *)
+           if not (closed r) then run_leader t;
+           Satomic.set t.leader 0
+         end
+         else begin
+           help t;
+           (* spacing the help attempts keeps a whole batch of owners
+              from thundering onto the same idempotent apply
+              transaction at publication *)
+           Backoff.once bo
+         end);
+        loop ()
+      end
+    in
+    loop ()
+
+  (* flowlint: bounded each Abort retry follows the member's own raise; the batch holds its locks so there is no cross-member conflict to wait out *)
+  let attempt_member t ~read_only ~out f bc =
+    let rec attempt () =
+      let ov =
+        {
+          owrites = Hashtbl.create 8;
+          oworder = [];
+          ofrees = [];
+          oallocs = [];
+          oread_only = read_only;
+        }
+      in
+      match f { rt = t; kind = Cross { bc; ov } } with
+      | r ->
+          if overflow_writes t bc ov || overflow_frees t bc ov then begin
+            rollback_allocs t ov;
+            if bc.nmerged = 0 then
+              failwith
+                (if overflow_writes t bc ov then
+                   "Tm_shard: cross-shard write-set overflow"
+                 else "Tm_shard: cross-shard free-set overflow");
+            false (* defer to the next sub-batch *)
+          end
+          else begin
+            merge_overlay bc ov;
+            out := `Done r;
+            true
+          end
+      | exception Abort ->
+          rollback_allocs t ov;
+          Sched.step_point ();
+          attempt ()
+      | exception e ->
+          (* the member fails alone: its allocations are rolled back, it
+             contributes nothing, and the owner re-raises after the
+             batch completes *)
+          rollback_allocs t ov;
+          out := `Failed e;
+          true
+    in
+    attempt ()
+
+  let cross_tx t ~home ~read_only f =
+    let out = ref `Pending in
+    let r =
+      { run = attempt_member t ~read_only ~out f; state = Satomic.make 0 }
+    in
+    enqueue t home r;
+    await t r;
+    match !out with
+    | `Done v -> v
+    | `Failed e -> raise e
+    | `Pending -> assert false
+
+  (* ---------------------------------------------------------------- *)
+  (* Drivers                                                           *)
+
+  (* flowlint: bounded recursion re-enters only after a freeze observed via the blk token, i.e. after a batch completed; see the freeze-wait below *)
   let rec single_update t home f =
     let tid = Sched.self () in
     if tid >= t.max_threads then
@@ -416,9 +920,15 @@ module Make (T : Tm_intf.S) = struct
     let token = Satomic.fetch_and_add t.next_token 1 + 1 in
     let sh = t.shards.(home) in
     let esc = esc_cell t home tid and blk = blk_cell t home tid in
+    (* cheap freeze pre-check: one volatile read rules out the common
+       (no batcher around) case, and a frozen shard is waited out on
+       volatile state instead of burning a full transaction just to
+       commit a "blocked" verdict.  The in-transaction lock check below
+       still catches a freeze that lands after this. *)
+    wait_unfrozen t home;
     let wrapped itx =
       if T.load itx (lock_cell t home) <> 0 then begin
-        (* shard frozen by a cross-shard commit: report "blocked" through
+        (* shard frozen by a cross-shard batch: report "blocked" through
            the transaction itself — helpers may run this closure, and only
            the committed execution's verdict counts *)
         T.store itx blk token;
@@ -446,35 +956,50 @@ module Make (T : Tm_intf.S) = struct
       (* -token can also be a genuine user result: the token cells, written
          only by a committed escaped/blocked execution, disambiguate *)
     else if T.read_tx sh (fun itx -> T.load itx esc) = token then
-      cross_tx t ~read_only:false f
+      cross_tx t ~home ~read_only:false f
     else if T.read_tx sh (fun itx -> T.load itx blk) = token then begin
-      (* wait for the freeze to lift before retrying: each probe is a
-         read-only transaction (so the spin yields at every step point),
-         and the retry burns one blocked-token commit per freeze instead
-         of one per poll *)
-      (* flowlint: bounded the freeze lifts when the token holder cross transaction releases the shard; the mutex holder makes progress because per-shard commits are wait-free *)
-      while T.read_tx sh (fun itx -> T.load itx (lock_cell t home)) <> 0 do
-        ()
-      done;
+      (* wait for the freeze to lift before retrying, helping the
+         in-flight batch along: once the batch is published its applies
+         (which release the locks) can be driven by this thread *)
+      wait_unfrozen t home;
       single_update t home f
     end
     else r
 
-  (* flowlint: bounded each Abort retry follows a conflicting commit on the probed shard; the probe itself is read-only *)
-  let rec probe t f =
-    match f { rt = t; kind = Probe } with
-    | r -> `Pure r
-    | exception Home_found s -> `Home s
-    | exception Abort ->
-        Sched.step_point ();
-        probe t f
+  (* Routing pre-pass: run the closure once OUTSIDE any transaction,
+     serving every load with 0 and only recording which shards it
+     touches.  The verdict is a hint, not a commitment — a mis-routed
+     single still escapes through the in-transaction token fallback, and
+     the batch path executes a single-shard member correctly under its
+     lock — so the garbage values cannot break correctness, only pick a
+     slower path.  What the pre-pass buys: a cross-shard transaction
+     goes straight to the prepare queues instead of first paying a
+     durable escape transaction on its (contended) home shard just to
+     learn it is cross. *)
+  let classify t f =
+    let c = { cfirst = -1; cmulti = false; cops = 0 } in
+    match f { rt = t; kind = Classify c } with
+    | r ->
+        (* no tx op ran: the closure is pure and [r] is its real result *)
+        if c.cops = 0 then `Pure r else `Home (max c.cfirst 0)
+    | exception Classified ->
+        if c.cmulti then `Cross (max c.cfirst 0) else `Home (max c.cfirst 0)
+    | exception e ->
+        (* with no op served the raise is the closure's own doing and
+           deterministic — surface it; after garbage loads it may be an
+           artifact, so re-run on the real (single-shard) path *)
+        if c.cops = 0 then raise e else `Home (max c.cfirst 0)
 
   let update_tx t f =
-    match probe t f with `Pure r -> r | `Home home -> single_update t home f
+    match classify t f with
+    | `Pure r -> r
+    | `Home home -> single_update t home f
+    | `Cross home -> cross_tx t ~home ~read_only:false f
 
   let read_tx t f =
-    match probe t f with
+    match classify t f with
     | `Pure r -> r
+    | `Cross home -> cross_tx t ~home ~read_only:true f
     | `Home home ->
         let escaped = ref false in
         let r =
@@ -487,20 +1012,30 @@ module Make (T : Tm_intf.S) = struct
         in
         (* a stale flag from an aborted execution merely re-runs the pure
            read on the (consistent) cross-shard path *)
-        if !escaped then cross_tx t ~read_only:true f else r
+        if !escaped then cross_tx t ~home ~read_only:true f else r
 
   (* ---------------------------------------------------------------- *)
   (* Recovery                                                          *)
 
   let recover ~shard_recover t =
     Array.iter shard_recover t.shards;
-    Satomic.set t.mutex 0;
+    (* reset the volatile batcher: pre-crash requests are dead *)
+    Satomic.set t.leader 0;
+    Satomic.set t.cur None;
+    Satomic.set t.locked_mask 0;
+    for s = 0 to Array.length t.shards - 1 do
+      Satomic.set t.qtail.(s) 0;
+      t.qhead.(s) <- 0;
+      for i = 0 to t.max_threads - 1 do
+        Satomic.set t.qslots.(s).(i) None
+      done
+    done;
     let n = Array.length t.shards in
     let sh0 = t.shards.(0) in
     let rd sh l = T.read_tx sh (fun itx -> T.load itx l) in
     let b = t.rec_base in
     (if rd sh0 b = 1 then begin
-       (* roll the committed cross-shard transaction forward *)
+       (* roll the committed batch forward, as a unit *)
        let id = rd sh0 (b + 1) and parts = rd sh0 (b + 2) in
        let nw = rd sh0 (b + 3) and nf = rd sh0 (b + 4) in
        let ws =
@@ -510,7 +1045,7 @@ module Make (T : Tm_intf.S) = struct
        let fs = List.init nf (fun i -> rd sh0 (b + 5 + (2 * t.max_writes) + i)) in
        for s = 0 to n - 1 do
          if parts land (1 lsl s) <> 0 then
-           if rd t.shards.(s) (applied_cell t s) <> id then
+           if rd t.shards.(s) (applied_cell t s) < id then
              ignore
                (T.update_tx t.shards.(s) (fun itx ->
                     List.iter
@@ -522,7 +1057,7 @@ module Make (T : Tm_intf.S) = struct
                         if shard_of t g = s then T.free itx (local_of t g))
                       fs;
                     (* pending allocations belong to the committed
-                       transaction: clear the list without freeing *)
+                       batch: clear the list without freeing *)
                     T.store itx (pcount_cell t s) 0;
                     T.store itx (applied_cell t s) id;
                     T.store itx (lock_cell t s) 0;
@@ -530,8 +1065,8 @@ module Make (T : Tm_intf.S) = struct
        done;
        ignore (T.update_tx sh0 (fun itx -> T.store itx b 2; 0))
      end);
-    (* roll back the leftovers of a cross-shard transaction that never
-       committed: free write-ahead allocations, clear stale locks *)
+    (* roll back the leftovers of a batch that never committed: free
+       write-ahead allocations, clear stale locks *)
     for s = 0 to n - 1 do
       let sh = t.shards.(s) in
       let leftovers =
@@ -548,7 +1083,7 @@ module Make (T : Tm_intf.S) = struct
                T.store itx (lock_cell t s) 0;
                0))
     done;
-    (* fresh cross-tx ids must stay above every persisted applied id *)
+    (* fresh batch ids must stay above every persisted applied id *)
     let hi = ref (rd sh0 (b + 1)) in
     for s = 0 to n - 1 do
       hi := max !hi (rd t.shards.(s) (applied_cell t s))

@@ -5,18 +5,25 @@
     [Make (T)] recovers multi-instance scalability by routing addresses
     to shards ([shard * span + local], [span] = the equal shard region
     size) and running single-shard transactions entirely on their home
-    shard — wait-free when [T] is, parallel across shards.  Cross-shard
-    transactions are strict-2PL over per-shard persistent lock cells,
-    serialized on a router mutex, and commit through one atomic durable
-    commit record plus one atomic apply transaction per shard, so
-    recovery replays or discards the whole transaction (null recovery
-    per shard is preserved).  Single-shard progress keeps [T]'s
-    guarantee; cross-shard progress is blocking — the partial
-    wait-freedom design point (DESIGN.md §10).
+    shard — wait-free when [T] is, parallel across shards.
+
+    Cross-shard transactions go through a lock-free batched 2PC commit
+    pipeline (DESIGN.md §12): owners publish requests into per-shard
+    MPSC prepare queues; a leader (elected by one CAS) drains a
+    generation of requests and executes them serially under strict 2PL
+    over per-shard persistent lock cells; the whole batch then commits
+    through ONE durable commit record — amortizing the record write and
+    its persistence fence across every member — and is completed by one
+    idempotent atomic apply transaction per participant shard.  The
+    published batch can be completed by any thread that observes it
+    (OneFile-style helping), so no thread ever waits on the leader's
+    scheduling once a batch is in flight; recovery replays or discards
+    a torn batch as a unit (null recovery per shard is preserved).
 
     The structure functors and examples run over [Make (Onefile_wf)]
     unchanged: the router satisfies {!Tm_intf.S} and only adds [make]
-    (from an array of shards), [recover] and introspection. *)
+    (from an array of shards), [recover], telemetry attachment and
+    introspection. *)
 
 module Make (T : Tm_intf.S) : sig
   include Tm_intf.S
@@ -26,16 +33,23 @@ module Make (T : Tm_intf.S) : sig
     ?max_cross_writes:int ->
     ?max_cross_frees:int ->
     ?max_threads:int ->
+    ?batch_watermark:int ->
     T.t array ->
     t
   (** Build a router over 1–62 shards (equal region sizes and root
       counts; at least 2 roots each — the last root slot of every shard
       is reserved for the router's control block).  Caps: [max_pending]
-      (default 32) write-ahead allocations, [max_cross_writes] (64) and
-      [max_cross_frees] (32) buffered effects per cross-shard
-      transaction, [max_threads] (64) per-owner token cells.  Adopts an
-      existing control block when the reserved root is non-null (a
-      re-opened device); call {!recover} before use in that case. *)
+      (default 32) write-ahead allocations per shard, [max_cross_writes]
+      (64) and [max_cross_frees] (32) buffered effects per batch commit
+      record (a drained generation that would overflow the record is
+      split into consecutive sub-batches), [max_threads] (64) per-owner
+      token and prepare-queue slots.  [batch_watermark] (7) closes the
+      leader's group-commit accumulation window early once that many
+      requests are queued; arrivals are at most one per thread, so a
+      value near the expected thread count maximizes batch size (the
+      window is step-capped regardless).  Adopts an existing control block
+      when the reserved root is non-null (a re-opened device); call
+      {!recover} before use in that case. *)
 
   val shards : t -> T.t array
   val num_shards : t -> int
@@ -51,16 +65,36 @@ module Make (T : Tm_intf.S) : sig
 
   val recover : shard_recover:(T.t -> unit) -> t -> unit
   (** After {!Pmem.Region.crash}: run [shard_recover] (e.g.
-      [Onefile_wf.recover]) on every shard, then complete the cross-shard
-      protocol — replay a COMMITTED-but-unfinalized commit record into
-      every participant shard that missed its apply, roll back
-      write-ahead allocations and stale locks of a transaction that never
-      committed, and reset the router's volatile state. *)
+      [Onefile_wf.recover]) on every shard, then complete the batched
+      cross-shard protocol — replay a COMMITTED-but-unfinalized batch
+      record into every participant shard that missed its apply, roll
+      back write-ahead allocations and stale locks of a batch that never
+      committed, and reset the router's volatile state (leader flag,
+      published batch, prepare queues). *)
 
-  type faults = { mutable torn_commit_record : bool }
-  (** Test-only: persist commit records torn across shards (only the
-      first participant's effects), re-opening the classic distributed
-      torn-write bug for the explorer's planted-fault self-check.  Crash-
+  val attach_telemetry : t -> Runtime.Telemetry.t -> unit
+  (** Surface the router's counters in [reg]:
+      [router.batch_commits] (completed batches, read-only ones
+      included), [router.helps] (helping iterations that observed an
+      in-flight published batch), [router.enqueues] (requests published
+      into the prepare queues) and the [router.batch_size] span (members
+      per committed batch).  The shards keep their own telemetry
+      attachment. *)
+
+  val detach_telemetry : t -> unit
+
+  type faults = {
+    mutable torn_commit_record : bool;
+        (** persist batch records torn across {e shards} (only the first
+            participant's effects) — the classic distributed torn-write
+            bug (PR 5). *)
+    mutable torn_batch_record : bool;
+        (** persist batch records truncated to the first {e member}'s
+            contribution, so a crash between the record commit and the
+            per-shard applies replays half a batch.  Manifests only on
+            batches with >= 2 contributing members. *)
+  }
+  (** Test-only planted faults for the explorer's self-checks.  Crash-
       free runs are unaffected.  Never set outside tests. *)
 
   val faults : t -> faults

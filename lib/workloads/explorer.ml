@@ -26,6 +26,7 @@ type fault =
   | Lost_update
   | Stale_dedup
   | Torn_commit_record
+  | Torn_batch_record
 
 type config = {
   wf : bool;
@@ -194,9 +195,9 @@ let execute_one cfg ~memo prog ~pick ~crash =
           ~ws_cap:128 ()
       in
       (match cfg.fault with
-      | No_fault | Torn_commit_record ->
-          (* torn-commit-record lives in the cross-shard router: nothing to
-             plant on an unsharded instance *)
+      | No_fault | Torn_commit_record | Torn_batch_record ->
+          (* the torn-record faults live in the cross-shard router:
+             nothing to plant on an unsharded instance *)
           ()
       | Durability_hole -> (Lf.faults tm).drop_publish_pwb <- true
       | Lost_update -> (Lf.faults tm).stale_commit_snapshot <- true
@@ -243,7 +244,7 @@ let execute_one cfg ~memo prog ~pick ~crash =
           (fun sh ->
             let f = Wf.faults sh in
             match cfg.fault with
-            | No_fault | Torn_commit_record -> ()
+            | No_fault | Torn_commit_record | Torn_batch_record -> ()
             | Durability_hole -> f.drop_publish_pwb <- true
             | Lost_update -> f.stale_commit_snapshot <- true
             | Stale_dedup -> f.stale_dedup_flush <- true)
@@ -254,8 +255,13 @@ let execute_one cfg ~memo prog ~pick ~crash =
         if cfg.sanitize then
           Array.iter (fun sh -> ignore (Wf.sanitize sh)) shards;
         let tm = Sh_wf.make ~max_threads:mt shards in
+        (match cfg.telemetry with
+        | Some te -> Sh_wf.attach_telemetry tm te
+        | None -> ());
         if cfg.fault = Torn_commit_record then
           (Sh_wf.faults tm).torn_commit_record <- true;
+        if cfg.fault = Torn_batch_record then
+          (Sh_wf.faults tm).torn_batch_record <- true;
         ( device,
           Run_sh_wf.exec_txn tm,
           (fun () -> Run_sh_wf.observe tm),
@@ -274,7 +280,7 @@ let execute_one cfg ~memo prog ~pick ~crash =
           (fun sh ->
             let f = Lf.faults sh in
             match cfg.fault with
-            | No_fault | Torn_commit_record -> ()
+            | No_fault | Torn_commit_record | Torn_batch_record -> ()
             | Durability_hole -> f.drop_publish_pwb <- true
             | Lost_update -> f.stale_commit_snapshot <- true
             | Stale_dedup -> f.stale_dedup_flush <- true)
@@ -285,8 +291,13 @@ let execute_one cfg ~memo prog ~pick ~crash =
         if cfg.sanitize then
           Array.iter (fun sh -> ignore (Lf.sanitize sh)) shards;
         let tm = Sh_lf.make ~max_threads:mt shards in
+        (match cfg.telemetry with
+        | Some te -> Sh_lf.attach_telemetry tm te
+        | None -> ());
         if cfg.fault = Torn_commit_record then
           (Sh_lf.faults tm).torn_commit_record <- true;
+        if cfg.fault = Torn_batch_record then
+          (Sh_lf.faults tm).torn_batch_record <- true;
         ( device,
           Run_sh_lf.exec_txn tm,
           (fun () -> Run_sh_lf.observe tm),
@@ -587,7 +598,8 @@ let pp_failure ppf f =
     | Durability_hole -> ", planted fault: durability-hole"
     | Lost_update -> ", planted fault: lost-update"
     | Stale_dedup -> ", planted fault: stale-dedup"
-    | Torn_commit_record -> ", planted fault: torn-commit-record");
+    | Torn_commit_record -> ", planted fault: torn-commit-record"
+    | Torn_batch_record -> ", planted fault: torn-batch-record");
   Format.fprintf ppf "  program:@.%a" Proggen.pp_program f.program;
   Format.fprintf ppf "  schedule [%d choices]: %a@." (Array.length f.schedule)
     pp_schedule f.schedule;
@@ -666,6 +678,7 @@ let fault_name = function
   | Lost_update -> "lost-update"
   | Stale_dedup -> "stale-dedup"
   | Torn_commit_record -> "torn-commit-record"
+  | Torn_batch_record -> "torn-batch-record"
 
 let fault_of_name = function
   | "none" -> No_fault
@@ -673,6 +686,7 @@ let fault_of_name = function
   | "lost-update" -> Lost_update
   | "stale-dedup" -> Stale_dedup
   | "torn-commit-record" -> Torn_commit_record
+  | "torn-batch-record" -> Torn_batch_record
   | s -> bad ("unknown fault " ^ s)
 
 let config_to_json c =

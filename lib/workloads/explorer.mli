@@ -47,6 +47,13 @@ type fault =
       (** persist cross-shard commit records torn across shards (see
           [Tm.Tm_shard.Make(_).faults]); needs [shards >= 2], a no-op on
           an unsharded instance *)
+  | Torn_batch_record
+      (** persist the router's batch commit record truncated to the first
+          member's contribution (see [Tm.Tm_shard.Make(_).faults]):
+          a crash between the record commit and the per-shard applies
+          replays half a batch.  Needs [shards >= 2] and a schedule that
+          forms a batch of >= 2 members; a no-op on an unsharded
+          instance *)
 
 type config = {
   wf : bool;  (** wait-free algorithm instead of lock-free *)

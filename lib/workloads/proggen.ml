@@ -44,15 +44,17 @@ let pp_program ppf prog =
    accounting is not temporal), so the generator degrades such a free into
    a dereference; alloc/free interplay across transactions stays fully
    exercised. *)
-let gen_op rng ~read_only ~transfers ~fresh =
+let gen_op rng ~read_only ~weight ~fresh =
   if read_only then
     if Rng.bool rng then Load (Rng.int rng value_slots)
     else Load_through (value_slots + Rng.int rng ptr_slots)
   else
-    (* the extra two transfer cases draw from a wider range so that with
-       [transfers = false] the stream of rng calls — and hence every
-       existing seed's program — is byte-identical to before *)
-    match Rng.int rng (if transfers then 12 else 10) with
+    (* the [weight] extra transfer cases widen the draw range, so the
+       stream of rng calls — and hence every existing seed's program —
+       is byte-identical for the historical knob settings:
+       [transfers = false] is weight 0 (range 10) and the plain
+       [transfers = true] default is weight 2 (range 12) *)
+    match Rng.int rng (10 + weight) with
     | 0 | 1 -> Load (Rng.int rng value_slots)
     | 2 | 3 -> Store (Rng.int rng value_slots, Rng.int rng 1000)
     | 4 | 5 -> Add_delta (Rng.int rng value_slots, Rng.int rng 21 - 10)
@@ -71,19 +73,27 @@ let gen_op rng ~read_only ~transfers ~fresh =
         let a = Rng.int rng value_slots and b = Rng.int rng value_slots in
         Transfer (a, b, 1 + Rng.int rng 9)
 
-let gen_txn rng ~max_ops ~transfers =
+let gen_txn rng ~max_ops ~weight =
   let read_only = Rng.int rng 4 = 0 in
   let nops = 1 + Rng.int rng max_ops in
   let fresh = ref [] in
   {
     read_only;
-    ops = List.init nops (fun _ -> gen_op rng ~read_only ~transfers ~fresh);
+    ops = List.init nops (fun _ -> gen_op rng ~read_only ~weight ~fresh);
   }
 
-let gen_program ?(max_txns = 20) ?(max_ops = 6) ?(transfers = false) seed =
+let gen_program ?(max_txns = 20) ?(max_ops = 6) ?(transfers = false)
+    ?transfer_weight seed =
+  let weight =
+    match transfer_weight with
+    | Some w ->
+        if w < 0 then invalid_arg "Proggen.gen_program: transfer_weight < 0";
+        w
+    | None -> if transfers then 2 else 0
+  in
   let rng = Rng.create seed in
   let ntx = 1 + Rng.int rng max_txns in
-  List.init ntx (fun _ -> gen_txn rng ~max_ops ~transfers)
+  List.init ntx (fun _ -> gen_txn rng ~max_ops ~weight)
 
 let split ~threads prog =
   let parts = Array.make threads [] in

@@ -37,7 +37,13 @@ val pp_program : Format.formatter -> program -> unit
 
 (** {1 Generation} *)
 
-val gen_program : ?max_txns:int -> ?max_ops:int -> ?transfers:bool -> int -> program
+val gen_program :
+  ?max_txns:int ->
+  ?max_ops:int ->
+  ?transfers:bool ->
+  ?transfer_weight:int ->
+  int ->
+  program
 (** [gen_program seed]: 1 to [max_txns] (default 20) transactions of 1 to
     [max_ops] (default 6) operations each, every 4th transaction read-only
     on average.  Freeing a block allocated earlier in the same transaction
@@ -46,8 +52,14 @@ val gen_program : ?max_txns:int -> ?max_ops:int -> ?transfers:bool -> int -> pro
     alloc/free interplay across transactions stays fully exercised.
     [transfers] (default [false]) additionally generates two-slot
     {!Transfer} operations — the multi-root shape that crosses shard
-    boundaries under {!Tm.Tm_shard}; with it off, every seed generates
-    the exact same program as before the option existed. *)
+    boundaries under {!Tm.Tm_shard}.  [transfer_weight] tunes the
+    cross-shard mix precisely: each mutating operation draws a transfer
+    with probability [w / (10 + w)] (so [0] disables transfers, [2] is
+    the plain [transfers:true] mix of ~17%, [3] is ~23% and [10] is
+    50%).  When it is given, [transfers] is ignored.  Seed streams are
+    stable: [transfers:false] equals [transfer_weight:0] and
+    [transfers:true] equals [transfer_weight:2], and both generate the
+    exact same programs per seed as before the options existed. *)
 
 val split : threads:int -> program -> program array
 (** Deal the transactions round-robin onto [threads] per-thread programs

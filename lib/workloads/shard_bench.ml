@@ -48,7 +48,11 @@ module Run (T : Tm.Tm_intf.S) = struct
     in
     let crosses = Array.make threads 0 in
     let sp =
-      { Bench_runner.threads; cores = 8; rounds; seed; policy = Sched.Round_robin }
+      (* oversubscribe-friendly: every fiber steps every round, so the
+         group-commit leader's critical path is not stretched by
+         scheduling gaps when threads > 8 *)
+      { Bench_runner.threads; cores = max 8 threads; rounds; seed;
+        policy = Sched.Round_robin }
     in
     let ops =
       Bench_runner.run_ops sp (fun ~tid ~rng ->
@@ -81,9 +85,11 @@ module Run (T : Tm.Tm_intf.S) = struct
         shard_regions
     in
     (* the round cap cancels fibers mid-transaction — possibly holding
-       the router mutex and shard lock cells.  That is exactly a crash,
-       so run recovery before touching the TM again; the conservation
-       check below then also validates cross-shard crash atomicity. *)
+       the batcher leadership and shard lock cells.  That is exactly a
+       crash, so run recovery before touching the TM again; the
+       conservation check below then also validates cross-shard crash
+       atomicity (a committed batch record replays, a torn one rolls
+       back). *)
     recover ();
     let total =
       T.read_tx tm (fun tx ->
@@ -107,8 +113,13 @@ module R_wf = Run (Sh_wf)
 
 let span = 1 lsl 14
 
-let run ?(wf = false) ?telemetry ~shards:n ~cross_pct ~threads ~rounds ~seed
-    () =
+let run ?(wf = false) ?telemetry ?batch_watermark ~shards:n ~cross_pct ~threads
+    ~rounds ~seed () =
+  (* default: one short of the thread count — arrivals are at most one
+     per thread, so this is the largest batch the window can collect *)
+  let wm =
+    match batch_watermark with Some w -> w | None -> max 7 (threads - 1)
+  in
   if n < 1 || accounts mod n <> 0 || accounts / n < 2 then
     invalid_arg "Shard_bench.run: shards must divide 16 and leave >= 2 roots";
   let device = Region.create ~mode:Region.Persistent (n * span) in
@@ -129,7 +140,12 @@ let run ?(wf = false) ?telemetry ~shards:n ~cross_pct ~threads ~rounds ~seed
              sh)
            views)
     in
-    let tm = Sh_wf.make ~max_threads:mt shards in
+    let tm =
+      Sh_wf.make ~max_threads:mt ~batch_watermark:wm shards
+    in
+    (match telemetry with
+    | Some te -> Sh_wf.attach_telemetry tm te
+    | None -> ());
     R_wf.go tm
       ~recover:(fun () -> Sh_wf.recover ~shard_recover:Wf.recover tm)
       ~device
@@ -151,7 +167,12 @@ let run ?(wf = false) ?telemetry ~shards:n ~cross_pct ~threads ~rounds ~seed
              sh)
            views)
     in
-    let tm = Sh_lf.make ~max_threads:mt shards in
+    let tm =
+      Sh_lf.make ~max_threads:mt ~batch_watermark:wm shards
+    in
+    (match telemetry with
+    | Some te -> Sh_lf.attach_telemetry tm te
+    | None -> ());
     R_lf.go tm
       ~recover:(fun () -> Sh_lf.recover ~shard_recover:Lf.recover tm)
       ~device

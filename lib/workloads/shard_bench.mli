@@ -32,6 +32,7 @@ type result = {
 val run :
   ?wf:bool ->
   ?telemetry:Runtime.Telemetry.t ->
+  ?batch_watermark:int ->
   shards:int ->
   cross_pct:int ->
   threads:int ->

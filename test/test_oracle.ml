@@ -113,11 +113,18 @@ let run_all () =
 
 (* the same differential, with both OneFile variants behind the
    cross-shard router; transfer ops make transactions actually span
-   shards (root k lives on shard k mod n) *)
-let run_sharded n () =
+   shards (root k lives on shard k mod n).  [weight] is Proggen's
+   transfer_weight: None is the historical ~transfers:true mix (~17%
+   transfers), Some w pins the mix precisely — 0 / 3 / 10 give the
+   0% / ~25% / 50% cross-mix points of the batched-router battery. *)
+let run_sharded ?weight n () =
   for seed = 1 to seeds do
     let sanitize = seed mod 10 = 0 in
-    let prog = Proggen.gen_program ~transfers:true seed in
+    let prog =
+      match weight with
+      | None -> Proggen.gen_program ~transfers:true seed
+      | Some w -> Proggen.gen_program ~transfer_weight:w seed
+    in
     let sh_check p =
       let expected = Run_seq.run mk_seq p in
       let lf = Run_sh_lf.run (mk_sh_lf ~shards:n ~sanitize) p in
@@ -196,6 +203,35 @@ let () =
           Alcotest.test_case
             (Printf.sprintf "sharded-4-vs-seqtm-%d-seeds" seeds)
             `Quick (run_sharded 4);
+          (* cross-mix battery for the batched router: 2/4 shards at a
+             pinned 0% / ~25% / 50% transfer mix (transfer_weight
+             0 / 3 / 10).  0% keeps every transaction single-shard (the
+             escape path must stay exact under batching); 50% makes most
+             batches genuinely multi-member. *)
+          Alcotest.test_case
+            (Printf.sprintf "sharded-2-mix0-vs-seqtm-%d-seeds" seeds)
+            `Quick
+            (run_sharded ~weight:0 2);
+          Alcotest.test_case
+            (Printf.sprintf "sharded-2-mix25-vs-seqtm-%d-seeds" seeds)
+            `Quick
+            (run_sharded ~weight:3 2);
+          Alcotest.test_case
+            (Printf.sprintf "sharded-2-mix50-vs-seqtm-%d-seeds" seeds)
+            `Quick
+            (run_sharded ~weight:10 2);
+          Alcotest.test_case
+            (Printf.sprintf "sharded-4-mix0-vs-seqtm-%d-seeds" seeds)
+            `Quick
+            (run_sharded ~weight:0 4);
+          Alcotest.test_case
+            (Printf.sprintf "sharded-4-mix25-vs-seqtm-%d-seeds" seeds)
+            `Quick
+            (run_sharded ~weight:3 4);
+          Alcotest.test_case
+            (Printf.sprintf "sharded-4-mix50-vs-seqtm-%d-seeds" seeds)
+            `Quick
+            (run_sharded ~weight:10 4);
           Alcotest.test_case "harness-detects-planted-bug" `Quick
             harness_detects_bugs;
         ] );

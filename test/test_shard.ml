@@ -9,6 +9,8 @@ module Lf = Onefile.Onefile_lf
 module Wf = Onefile.Onefile_wf
 module Sh_wf = Tm.Tm_shard.Make (Wf)
 module Sh_lf = Tm.Tm_shard.Make (Lf)
+module E = Workloads.Explorer
+module Proggen = Workloads.Proggen
 
 let check = Alcotest.check
 let int = Alcotest.int
@@ -259,6 +261,328 @@ let test_rollback_recovery () =
   check bool "post-recovery cross alloc" true (p <> 0);
   check int "total conserved after recovery" (accounts * 100) (total tm)
 
+(* --- batched 2PC: batch-record recovery --------------------------- *)
+
+(* record layout mirror (make's defaults, see tm_shard.ml): status | id |
+   participants | nwrites | nfrees | (gaddr,value) pairs (2 * 64 cells) |
+   free gaddrs.  The record sits right after shard 0's control block. *)
+let rec_frees_off = 5 + (2 * 64)
+
+(* Roll-forward: a batch whose ONE commit record became durable (status
+   word written) but that crashed before any per-shard apply must be
+   replayed into every participant as a unit: union writes applied, union
+   frees executed, write-ahead allocations adopted (pending list cleared
+   WITHOUT freeing), freezes lifted, and the record finalized. *)
+let test_batch_roll_forward () =
+  let dev, tm = mk_sharded ~n:2 () in
+  init_accounts tm 100;
+  let shards = Sh_wf.shards tm in
+  let sh0 = shards.(0) and sh1 = shards.(1) in
+  let cb0 = ctl_base sh0 and cb1 = ctl_base sh1 in
+  let base0 = Wf.allocated_cells sh0 in
+  (* a pre-batch block on shard 0 that the committed batch frees *)
+  let fz =
+    Wf.update_tx sh0 (fun itx ->
+        let a = Wf.alloc itx 2 in
+        Wf.store itx a 7;
+        a)
+  in
+  (* one member's write-ahead allocation on shard 1, logged pending *)
+  ignore
+    (Wf.update_tx sh1 (fun itx ->
+         let a = Wf.alloc itx 3 in
+         Wf.store itx (cb1 + 3) a;
+         Wf.store itx (cb1 + 2) 1;
+         0));
+  let base1 = Wf.allocated_cells sh1 in
+  (* both shards frozen for the batch *)
+  ignore (Wf.update_tx sh0 (fun itx -> Wf.store itx cb0 1; 0));
+  ignore (Wf.update_tx sh1 (fun itx -> Wf.store itx cb1 1; 0));
+  (* the COMMITTED record: a two-member union — three writes across both
+     shards, one free — with its status word durable *)
+  let rb = ctl_base sh0 + ctl_cells in
+  let id = 600 in
+  ignore
+    (Wf.update_tx sh0 (fun itx ->
+         Wf.store itx (rb + 1) id;
+         Wf.store itx (rb + 2) 0b11;
+         Wf.store itx (rb + 3) 3;
+         Wf.store itx (rb + 4) 1;
+         Wf.store itx (rb + 5) (Sh_wf.root tm 0);
+         Wf.store itx (rb + 6) 41;
+         Wf.store itx (rb + 7) (Sh_wf.root tm 1);
+         Wf.store itx (rb + 8) 42;
+         Wf.store itx (rb + 9) (Sh_wf.root tm 2);
+         Wf.store itx (rb + 10) 43;
+         Wf.store itx (rb + rec_frees_off) fz (* shard-0 global = local *);
+         Wf.store itx rb 1;
+         0));
+  Region.crash dev ();
+  Sh_wf.recover ~shard_recover:Wf.recover tm;
+  let v k = Sh_wf.read_tx tm (fun tx -> Sh_wf.load tx (Sh_wf.root tm k)) in
+  check int "write on shard 0 replayed" 41 (v 0);
+  check int "write on shard 1 replayed" 42 (v 1);
+  check int "second shard-0 write replayed" 43 (v 2);
+  check int "union free executed" base0 (Wf.allocated_cells sh0);
+  check int "pending allocation adopted, not freed" base1
+    (Wf.allocated_cells sh1);
+  Array.iteri
+    (fun s sh ->
+      let cb = ctl_base sh in
+      check int (Printf.sprintf "shard %d unlocked" s) 0
+        (Wf.read_tx sh (fun itx -> Wf.load itx cb));
+      check int (Printf.sprintf "shard %d pendings cleared" s) 0
+        (Wf.read_tx sh (fun itx -> Wf.load itx (cb + 2)));
+      check int (Printf.sprintf "shard %d applied id" s) id
+        (Wf.read_tx sh (fun itx -> Wf.load itx (cb + 1))))
+    shards;
+  check int "record finalized" 2
+    (Wf.read_tx sh0 (fun itx -> Wf.load itx rb));
+  (* the router keeps working on top of the replayed state *)
+  transfer tm 0 5 3;
+  check int "post-recovery total" (126 + (5 * 100)) (total tm)
+
+(* Roll-back, multi-member footprint: every shard carries TWO members'
+   write-ahead allocations and the freeze, and the record's multi-member
+   contents are durable — but its status word is not.  The whole batch
+   must be discarded as a unit: every pending allocation freed, locks
+   cleared, the poison record (which would zero two accounts and free a
+   live block) never replayed. *)
+let test_batch_rollback_multi () =
+  let dev, tm = mk_sharded ~n:2 () in
+  init_accounts tm 100;
+  let shards = Sh_wf.shards tm in
+  let sh0 = shards.(0) in
+  (* a live block the poison record's free list targets *)
+  let live =
+    Wf.update_tx sh0 (fun itx ->
+        let a = Wf.alloc itx 2 in
+        Wf.store itx a 1234;
+        a)
+  in
+  let base = Array.map Wf.allocated_cells shards in
+  Array.iter
+    (fun sh ->
+      let cb = ctl_base sh in
+      ignore
+        (Wf.update_tx sh (fun itx ->
+             let a = Wf.alloc itx 16 in
+             Wf.store itx (cb + 3) a;
+             Wf.store itx (cb + 2) 1;
+             0));
+      ignore
+        (Wf.update_tx sh (fun itx ->
+             let b = Wf.alloc itx 8 in
+             Wf.store itx (cb + 4) b;
+             Wf.store itx (cb + 2) 2;
+             0));
+      ignore (Wf.update_tx sh (fun itx -> Wf.store itx cb 1; 0)))
+    shards;
+  let rb = ctl_base sh0 + ctl_cells in
+  ignore
+    (Wf.update_tx sh0 (fun itx ->
+         Wf.store itx (rb + 1) 800;
+         Wf.store itx (rb + 2) 0b11;
+         Wf.store itx (rb + 3) 2;
+         Wf.store itx (rb + 4) 1;
+         Wf.store itx (rb + 5) (Sh_wf.root tm 0);
+         Wf.store itx (rb + 6) 0;
+         Wf.store itx (rb + 7) (Sh_wf.root tm 1);
+         Wf.store itx (rb + 8) 0;
+         Wf.store itx (rb + rec_frees_off) live;
+         0));
+  Region.crash dev ();
+  Sh_wf.recover ~shard_recover:Wf.recover tm;
+  Array.iteri
+    (fun s sh ->
+      let cb = ctl_base sh in
+      check int (Printf.sprintf "shard %d unlocked" s) 0
+        (Wf.read_tx sh (fun itx -> Wf.load itx cb));
+      check int (Printf.sprintf "shard %d pendings cleared" s) 0
+        (Wf.read_tx sh (fun itx -> Wf.load itx (cb + 2)));
+      check int
+        (Printf.sprintf "shard %d both members' allocations rolled back" s)
+        base.(s) (Wf.allocated_cells sh))
+    shards;
+  check int "uncommitted batch never replayed" (accounts * 100) (total tm);
+  check int "live block untouched" 1234
+    (Wf.read_tx sh0 (fun itx -> Wf.load itx live));
+  transfer tm 0 5 3;
+  check int "router usable after roll-back" (accounts * 100) (total tm)
+
+(* Partially-helped batch: shard 1's apply had already run (a helper got
+   there before the crash), shard 0's had not.  Recovery must finish the
+   batch on shard 0 and SKIP shard 1 — the monotone applied-id guard —
+   so shard 1's post-apply state (here a sentinel overwrite) is not
+   clobbered by a replayed write and the recorded free is not executed a
+   second time. *)
+let test_batch_partially_helped () =
+  let dev, tm = mk_sharded ~n:2 () in
+  init_accounts tm 100;
+  let shards = Sh_wf.shards tm in
+  let sh0 = shards.(0) and sh1 = shards.(1) in
+  let cb0 = ctl_base sh0 and cb1 = ctl_base sh1 in
+  let id = 700 in
+  (* a pre-batch block on shard 1 that the batch frees *)
+  let f1 =
+    Wf.update_tx sh1 (fun itx ->
+        let a = Wf.alloc itx 2 in
+        Wf.store itx a 7;
+        a)
+  in
+  (* shard 0: prepared but not applied — freeze held, one write-ahead
+     pending allocation *)
+  ignore
+    (Wf.update_tx sh0 (fun itx ->
+         let a = Wf.alloc itx 2 in
+         Wf.store itx (cb0 + 3) a;
+         Wf.store itx (cb0 + 2) 1;
+         0));
+  let base0 = Wf.allocated_cells sh0 in
+  ignore (Wf.update_tx sh0 (fun itx -> Wf.store itx cb0 1; 0));
+  (* shard 1: already applied by a helper — write landed, free done,
+     pendings cleared, applied id stamped, unlocked *)
+  let l1 = Wf.root sh1 0 (* root tm 1's shard-local slot *) in
+  ignore
+    (Wf.update_tx sh1 (fun itx ->
+         Wf.store itx l1 66;
+         Wf.free itx f1;
+         Wf.store itx (cb1 + 1) id;
+         0));
+  let base1 = Wf.allocated_cells sh1 in
+  (* a sentinel a buggy re-apply of shard 1 would clobber back to 66 —
+     and its recorded free would double-free [f1] *)
+  ignore (Wf.update_tx sh1 (fun itx -> Wf.store itx l1 999; 0));
+  let rb = ctl_base sh0 + ctl_cells in
+  ignore
+    (Wf.update_tx sh0 (fun itx ->
+         Wf.store itx (rb + 1) id;
+         Wf.store itx (rb + 2) 0b11;
+         Wf.store itx (rb + 3) 2;
+         Wf.store itx (rb + 4) 1;
+         Wf.store itx (rb + 5) (Sh_wf.root tm 0);
+         Wf.store itx (rb + 6) 55;
+         Wf.store itx (rb + 7) (Sh_wf.root tm 1);
+         Wf.store itx (rb + 8) 66;
+         Wf.store itx (rb + rec_frees_off) (Sh_wf.span tm + f1);
+         Wf.store itx rb 1;
+         0));
+  Region.crash dev ();
+  Sh_wf.recover ~shard_recover:Wf.recover tm;
+  let v k = Sh_wf.read_tx tm (fun tx -> Sh_wf.load tx (Sh_wf.root tm k)) in
+  check int "shard 0 caught up" 55 (v 0);
+  check int "shard 1 NOT re-applied (sentinel intact)" 999 (v 1);
+  check int "no double free on shard 1" base1 (Wf.allocated_cells sh1);
+  check int "shard 0 pending adopted" base0 (Wf.allocated_cells sh0);
+  check int "shard 0 unlocked" 0
+    (Wf.read_tx sh0 (fun itx -> Wf.load itx cb0));
+  check int "shard 0 pendings cleared" 0
+    (Wf.read_tx sh0 (fun itx -> Wf.load itx (cb0 + 2)));
+  check int "shard 0 applied id" id
+    (Wf.read_tx sh0 (fun itx -> Wf.load itx (cb0 + 1)));
+  check int "record finalized" 2
+    (Wf.read_tx sh0 (fun itx -> Wf.load itx rb));
+  transfer tm 2 3 5;
+  let after = Sh_wf.read_tx tm (fun tx -> Sh_wf.load tx (Sh_wf.root tm 2)) in
+  check int "router usable after partial-help recovery" 95 after
+
+(* --- batched 2PC: torn-batch-record crash sweep -------------------- *)
+
+(* The planted [torn_batch_record] fault truncates the ONE batch commit
+   record to the first member's contribution, so crash-replay applies
+   half a batch.  It only manifests on batches with >= 2 members — which
+   the free schedule never forms (each owner leads its own singleton
+   batch to completion).  The sweep therefore parks fiber 1 after [k] of
+   its own steps and then forces fiber 0 to run: when [k] lands in fiber
+   1's publish->leader-CAS window, fiber 0's drain picks up both requests
+   and forms a two-member batch.  Park points are calibrated against the
+   router.batch_size telemetry of the crash-free base run, and only
+   schedules that actually form a multi-member batch are crash-swept. *)
+
+let sweep_cfg ~fault te =
+  {
+    E.default with
+    E.wf = true;
+    shards = 2;
+    threads = 2;
+    sanitize = false;
+    fault;
+    telemetry = Some te;
+  }
+
+let park_schedule k = Array.append (Array.make k 1) (Array.make 250 0)
+
+let sweep_prog seed =
+  Proggen.gen_program ~max_txns:4 ~max_ops:4 ~transfer_weight:10 seed
+
+(* does the base run of [sched] form a batch of >= 2 members? *)
+let forms_multi ~fault prog sched =
+  let te = Telemetry.create () in
+  match
+    E.explore_crashes ~config:(sweep_cfg ~fault te) ~max_sites:0
+      ~schedule:sched prog
+  with
+  | _ -> (Telemetry.span_summary te "router.batch_size").Telemetry.max >= 2
+  | exception Explore.Divergence _ -> false
+
+let multi_member_schedules ~fault ?(limit = 3) prog =
+  let rec go acc k =
+    if k > 400 || List.length acc >= limit then List.rev acc
+    else
+      let s = park_schedule k in
+      go (if forms_multi ~fault prog s then s :: acc else acc) (k + 1)
+  in
+  go [] 1
+
+let crash_sweep ~fault prog sched =
+  match
+    E.explore_crashes
+      ~config:(sweep_cfg ~fault (Telemetry.create ()))
+      ~sites:`Persist ~max_sites:40 ~schedule:sched prog
+  with
+  | r -> r.E.failure
+  | exception Explore.Divergence _ -> None
+
+let test_torn_batch_found () =
+  let fault = E.Torn_batch_record in
+  let find prog =
+    List.fold_left
+      (fun acc sched ->
+        match acc with Some _ -> acc | None -> crash_sweep ~fault prog sched)
+      None
+      (multi_member_schedules ~fault prog)
+  in
+  let rec hunt = function
+    | [] -> None
+    | seed :: rest -> (
+        match find (sweep_prog seed) with Some f -> Some f | None -> hunt rest)
+  in
+  match hunt [ 1; 2; 3; 4; 5 ] with
+  | None -> Alcotest.fail "planted torn batch record not found within budget"
+  | Some f ->
+      check bool "found at a crash point" true (f.E.crash <> None);
+      let r1 = E.replay f and r2 = E.replay f in
+      check bool "replay still fails" true (Option.is_some r1);
+      check bool "replay deterministic" true (r1 = r2)
+
+let test_torn_batch_clean_battery () =
+  (* the SAME multi-member-batch sweep on the clean batcher must be
+     silent: every crash point of a >= 2-member batch recovers to a
+     crash-consistent prefix *)
+  let swept = ref 0 in
+  List.iter
+    (fun seed ->
+      let prog = sweep_prog seed in
+      List.iter
+        (fun sched ->
+          incr swept;
+          match crash_sweep ~fault:E.No_fault prog sched with
+          | Some f -> Alcotest.failf "seed %d: %a" seed E.pp_failure f
+          | None -> ())
+        (multi_member_schedules ~fault:E.No_fault prog))
+    [ 1; 2; 3 ];
+  check bool "multi-member batches were actually swept" true (!swept > 0)
+
 let test_lf_router_volatile () =
   (* the functor is TM-generic: LF shards over a volatile device *)
   let device = Region.create ~mode:Region.Volatile (2 * 4096) in
@@ -300,5 +624,21 @@ let () =
             test_rollback_recovery;
           Alcotest.test_case "lf-volatile-router" `Quick
             test_lf_router_volatile;
+        ] );
+      ( "batch-recovery",
+        [
+          Alcotest.test_case "roll-forward-after-status-pwb" `Quick
+            test_batch_roll_forward;
+          Alcotest.test_case "roll-back-multi-member" `Quick
+            test_batch_rollback_multi;
+          Alcotest.test_case "partially-helped-batch" `Quick
+            test_batch_partially_helped;
+        ] );
+      ( "torn-batch-sweep",
+        [
+          Alcotest.test_case "planted-fault-found" `Quick
+            test_torn_batch_found;
+          Alcotest.test_case "clean-batcher-survives" `Quick
+            test_torn_batch_clean_battery;
         ] );
     ]

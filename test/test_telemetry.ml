@@ -229,6 +229,127 @@ let test_two_instances_one_registry () =
   check_int "anonymous instance keeps bare keys" 2
     (Telemetry.get t2 "tx.commits")
 
+(* --- cross-shard router ground truth ------------------------------- *)
+
+(* The router's batcher counters checked against hand-counted values:
+   first sequentially (every cross transaction is its own singleton
+   batch), then under a scripted 3-thread schedule that provably forms
+   one 3-member batch completed by a single helping episode. *)
+
+module Sh_wf = Tm.Tm_shard.Make (Wf)
+
+let mk_router () =
+  let device = Region.create ~mode:Region.Volatile (2 * 4096) in
+  let views = Region.partition device [ 4096; 4096 ] in
+  let shards =
+    Array.of_list
+      (List.map
+         (fun v ->
+           Wf.create ~region:v ~instance:(Region.id v) ~max_threads:8
+             ~ws_cap:256 ~num_roots:8 ())
+         views)
+  in
+  Sh_wf.make ~max_threads:8 shards
+
+(* roots 0 and 1 live on shards 0 and 1: this transfer always escapes to
+   the cross-shard pipeline *)
+let xfer tm a b d =
+  ignore
+    (Sh_wf.update_tx tm (fun tx ->
+         let ra = Sh_wf.root tm a and rb = Sh_wf.root tm b in
+         Sh_wf.store tx ra (Sh_wf.load tx ra - d);
+         Sh_wf.store tx rb (Sh_wf.load tx rb + d);
+         0))
+
+let test_router_sequential_ground_truth () =
+  let tm = mk_router () in
+  let te = Telemetry.create () in
+  Sh_wf.attach_telemetry tm te;
+  (* 4 sequential cross-shard transfers: each publishes one request,
+     leads its own batch of exactly one member, and never finds an
+     in-flight batch to help *)
+  for _ = 1 to 4 do
+    xfer tm 0 1 5
+  done;
+  check_int "enqueues: one per cross tx" 4 (Telemetry.get te "router.enqueues");
+  check_int "batch commits: one per cross tx" 4
+    (Telemetry.get te "router.batch_commits");
+  check_int "helps: nobody to help sequentially" 0
+    (Telemetry.get te "router.helps");
+  let s = Telemetry.span_summary te "router.batch_size" in
+  check_int "batch-size histogram: four samples" 4 s.Telemetry.count;
+  check_int "batch-size histogram: all singletons" 1 s.Telemetry.max;
+  (* single-shard transactions bypass the pipeline entirely *)
+  ignore
+    (Sh_wf.update_tx tm (fun tx ->
+         Sh_wf.store tx (Sh_wf.root tm 0) 100;
+         0));
+  check_int "single-shard tx adds nothing" 4
+    (Telemetry.get te "router.enqueues");
+  Sh_wf.detach_telemetry tm;
+  xfer tm 0 1 1;
+  check_int "detached router stops counting" 4
+    (Telemetry.get te "router.enqueues")
+
+let test_router_scripted_schedule () =
+  let tm = mk_router () in
+  let te = Telemetry.create () in
+  Sh_wf.attach_telemetry tm te;
+  ignore
+    (Sh_wf.update_tx tm (fun tx -> Sh_wf.store tx (Sh_wf.root tm 0) 100; 0));
+  ignore
+    (Sh_wf.update_tx tm (fun tx -> Sh_wf.store tx (Sh_wf.root tm 1) 100; 0));
+  (* fibers: A (0) and B (1) transfer r0 -> r1, C (2) transfers r1 -> r0;
+     all three escape to the cross-shard pipeline.
+
+     The script, phrased in the live counters (each ticks at a known
+     protocol point, so the pick parks a fiber exactly there):
+     1. run B until its request is published (router.enqueues = 1) — B
+        parks between its queue publish and its leader CAS;
+     2. run C likewise (router.enqueues = 2);
+     3. run A to the batch publication (router.batch_commits = 1): A
+        enqueues (3), wins the leader CAS, drains all three requests
+        into ONE batch, writes the record, publishes — and parks right
+        there, before any per-shard apply;
+     4. run B: its request is not closed and A still holds the
+        leadership, so B helps the published batch to completion —
+        exactly ONE helping episode;
+     5. drain out: B returns via its closed request, A's own completion
+        pass is a guarded no-op, C wakes up already closed (no help). *)
+  let fibers =
+    [|
+      (fun () -> xfer tm 0 1 5);
+      (fun () -> xfer tm 0 1 7);
+      (fun () -> xfer tm 1 0 1);
+    |]
+  in
+  let pick ~step:_ ~enabled ~last:_ =
+    let has t = Array.exists (fun x -> x = t) enabled in
+    let enq = Telemetry.get te "router.enqueues" in
+    let commits = Telemetry.get te "router.batch_commits" in
+    if enq < 1 && has 1 then 1
+    else if enq < 2 && has 2 then 2
+    else if commits < 1 && has 0 then 0
+    else if has 1 then 1
+    else if has 0 then 0
+    else enabled.(0)
+  in
+  let r = Explore.run ~pick fibers in
+  check_bool "schedule ran to completion" true
+    (r.Explore.status = Explore.Completed);
+  check_int "enqueues: one per member" 3 (Telemetry.get te "router.enqueues");
+  check_int "batch commits: ONE for all three members" 1
+    (Telemetry.get te "router.batch_commits");
+  check_int "helps: exactly B's one helping episode" 1
+    (Telemetry.get te "router.helps");
+  let s = Telemetry.span_summary te "router.batch_size" in
+  check_int "batch-size histogram: one sample" 1 s.Telemetry.count;
+  check_int "batch-size histogram: of three members" 3 s.Telemetry.max;
+  (* and the batch committed correctly: 100 -5 -7 +1 / 100 +5 +7 -1 *)
+  let v k = Sh_wf.read_tx tm (fun tx -> Sh_wf.load tx (Sh_wf.root tm k)) in
+  check_int "r0 after the batch" 89 (v 0);
+  check_int "r1 after the batch" 111 (v 1)
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -256,5 +377,12 @@ let () =
           Alcotest.test_case "wf-counters" `Quick test_wf_counters;
           Alcotest.test_case "two-instances-one-registry" `Quick
             test_two_instances_one_registry;
+        ] );
+      ( "router",
+        [
+          Alcotest.test_case "sequential-ground-truth" `Quick
+            test_router_sequential_ground_truth;
+          Alcotest.test_case "scripted-3-thread-batch" `Quick
+            test_router_scripted_schedule;
         ] );
     ]
