@@ -171,6 +171,47 @@ module Romlr_p = struct
   let fresh () = create ~half:(1 lsl 17) ()
 end
 
+(* The pre-snapshot validating read path on the same engine: read-only
+   transactions re-validate against curTx and restart on conflict.  The
+   before/after baseline of the readmix figure (DESIGN.md §13). *)
+module Of_lf_val_v = struct
+  include Lf
+
+  let read_tx = Lf.read_tx_validating
+  let fresh = Of_lf_v.fresh
+end
+
+(* The same workload behind a 4-shard volatile router: read-only
+   transactions that stay on one shard take that shard's wait-free
+   snapshot path, traversals that cross take the epoch-vector cut. *)
+module Shr_lf = Tm.Tm_shard.Make (Lf)
+
+module Of_sh_lf_v = struct
+  include Shr_lf
+
+  let n_shards = 4
+
+  let fresh () =
+    let span = 1 lsl 16 in
+    let device = Region.create ~mode:Region.Volatile (n_shards * span) in
+    let views = Region.partition device (List.init n_shards (fun _ -> span)) in
+    let insts =
+      Array.of_list
+        (List.map
+           (fun v ->
+             let sh =
+               Lf.create ~region:v ~instance:(Region.id v) ~max_threads:24
+                 ~ws_cap:256 ~num_roots:16 ()
+             in
+             Lf.attach_telemetry sh !tele;
+             sh)
+           views)
+    in
+    let t = make ~max_threads:24 ~ro_snapshot:Lf.snapshot_ops insts in
+    attach_telemetry t !tele;
+    t
+end
+
 (* ------------------------------------------------------------------ *)
 (* SPS (Figs. 2, 3, 8) *)
 
@@ -334,6 +375,8 @@ let harris_point ~keys ~update_pct sp =
       end)
 
 module Ll_of_lf = LlBench (Of_lf_v)
+module Ll_of_lf_val = LlBench (Of_lf_val_v)
+module Ll_sh_lf = LlBench (Of_sh_lf_v)
 module Ll_of_wf = LlBench (Of_wf_v)
 module Ll_tiny = LlBench (Tiny_v)
 module Ll_estm = LlBench (Estm_elastic_v)
@@ -1073,6 +1116,56 @@ let fig_shards mode =
     ~columns ~better:J.Lower_better (pwb_rows gwf)
 
 (* ------------------------------------------------------------------ *)
+(* Figure "readmix" (extension): read-mostly scaling of the wait-free
+   snapshot-read path (DESIGN.md §13).  Linked-list sets at 90/10 and
+   99/1 read/write mixes, 1-16 threads.  OF-LF-val is the pre-snapshot
+   validating read path (read_tx_validating) on the same engine — the
+   direct before/after comparison: its read-only scans restart whenever
+   a writer commits mid-traversal, the snapshot path never does.
+   Shard-LF routes the identical workload through a 4-shard router
+   (read-only traversals that cross shards take the epoch-vector cut
+   without entering the 2PC prepare queues).  RomLR is the left-right
+   design exemplar (persistent, so its writers also pay pwbs);
+   HarrisHE is the native lock-free list. *)
+
+let fig_readmix mode =
+  let threads = List.filter (fun t -> t <= 16) mode.threads in
+  let keys = mode.list_keys in
+  let series =
+    [
+      ("OF-LF", Ll_of_lf.point);
+      ("OF-WF", Ll_of_wf.point);
+      ("OF-LF-val", Ll_of_lf_val.point);
+      ("Shard-LF", Ll_sh_lf.point);
+      ("TinySTM", Ll_tiny.point);
+      ("RomLR", Ll_romlr.point);
+      ("HarrisHE", harris_point);
+    ]
+  in
+  List.iter
+    (fun upd ->
+      let title =
+        Printf.sprintf
+          "Read-mostly linked-list sets, %d keys, %d/%d read/write mix (ops \
+           per kround)"
+          keys
+          ((1000 - upd) / 10)
+          (upd / 10)
+      in
+      let rows =
+        List.map
+          (fun th ->
+            let sp = spec mode ~threads:th ~seed:(th + (upd * 13)) in
+            ( string_of_int th,
+              List.map
+                (fun (_, point) -> point ~keys ~update_pct:upd sp)
+                series ))
+          threads
+      in
+      emit ~title ~columns:(List.map fst series) ~better:J.Higher_better rows)
+    [ 100; 10 ]
+
+(* ------------------------------------------------------------------ *)
 (* Driver *)
 
 let figures =
@@ -1094,6 +1187,7 @@ let figures =
     ("micro", "bechamel primitive micro-benchmarks");
     ("hotpath", "hot-path cost trajectory: alloc/op, pwb per tx, helper work (extension)");
     ("shards", "sharded router: throughput and pwb vs cross-shard mix (extension)");
+    ("readmix", "read-mostly mixes: wait-free snapshot reads vs validating reads (extension)");
   ]
 
 let run_figure mode mode_name name =
@@ -1166,6 +1260,7 @@ let run_figure mode mode_name name =
   | "micro" -> micro ()
   | "hotpath" -> fig_hotpath mode
   | "shards" -> fig_shards mode
+  | "readmix" -> fig_readmix mode
   | other -> pr "unknown figure %s@." other);
   {
     J.figure = name;

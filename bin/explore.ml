@@ -39,6 +39,7 @@ let usage () =
   --no-sanitize    do not attach the Tmcheck sanitizer
   --plant F        plant a fault: durability | lost-update | stale-dedup
                    | torn-commit-record | torn-batch-record
+                   | stale-ro-snapshot
                    (the torn-record faults need --shards >= 2)
   --max-steps N    per-execution step budget (default 50000)
   --no-shrink      print the raw failure without minimizing it
@@ -137,6 +138,7 @@ let () =
         | "stale-dedup" -> fault := E.Stale_dedup
         | "torn-commit-record" -> fault := E.Torn_commit_record
         | "torn-batch-record" -> fault := E.Torn_batch_record
+        | "stale-ro-snapshot" -> fault := E.Stale_ro_snapshot
         | _ ->
             prerr_endline ("explore: unknown fault " ^ v);
             exit 2);
@@ -237,7 +239,8 @@ let () =
          | E.Lost_update -> " (planted: lost-update)"
          | E.Stale_dedup -> " (planted: stale-dedup)"
          | E.Torn_commit_record -> " (planted: torn-commit-record)"
-         | E.Torn_batch_record -> " (planted: torn-batch-record)");
+         | E.Torn_batch_record -> " (planted: torn-batch-record)"
+         | E.Stale_ro_snapshot -> " (planted: stale-ro-snapshot)");
        let report = find prog in
        Format.printf "%a" E.pp_report report;
        match report.E.failure with

@@ -127,7 +127,7 @@ let run_sharded () =
              ~ws_cap:256 ~num_roots:8 ())
          views)
   in
-  let tm = Sh_wf.make ~max_threads:4 shards in
+  let tm = Sh_wf.make ~max_threads:4 ~ro_snapshot:Wf.snapshot_ops shards in
   Kv_sh.demo ~name:"Shard(OF-WF) x4" tm
     ~dirty:(fun () -> Region.dirty_lines device)
     ~crash:(fun () -> Region.crash device ())

@@ -1,7 +1,7 @@
-(* The four flow-sensitive checks.  One abstract interpretation per
+(* The flow-sensitive checks.  One abstract interpretation per
    function computes persistence facts (which bases are dirty/flushed on
    each path) and a callee summary; separate light walks discharge the
-   loop-bound and lock-order obligations.
+   loop-bound, lock-order and snapshot-pin obligations.
 
    Precision stance: the @lint gate requires zero findings on a clean
    tree, so every rule only reports what it can name.  Dirty marks whose
@@ -170,7 +170,9 @@ let transfer penv st = function
             { m = drop_dirty st.m; fa = true }
           end
           else st)
-  | Acquire _ | Mutex_acq _ | Recheck _ -> st
+  | Acquire _ | Mutex_acq _ | Recheck _ | Snap_pin _ | Snap_load _
+  | Snap_unpin _ ->
+      st
 
 let rec interp penv st = function
   | Nil -> st
@@ -284,7 +286,8 @@ let rec lock_walk penv loops st = function
 
 let rec collect_acquires summaries acc = function
   | Nil | Ev (Store _ | Flush _ | Flush_all _ | Fence _ | Publish _
-             | Mutex_acq _ | Recheck _) ->
+             | Mutex_acq _ | Recheck _ | Snap_pin _ | Snap_load _
+             | Snap_unpin _) ->
       acc
   | Ev (Acquire { shard; _ }) -> shard :: acc
   | Ev (Call { callee; args; _ }) -> (
@@ -349,12 +352,51 @@ let rec loop_check penv annots = function
       loop_check penv annots body
 
 (* ------------------------------------------------------------------ *)
+(* Snapshot pin domination (check 5)                                   *)
+
+(* Boolean must-analysis: [true] iff a snap_pin dominates this point on
+   every path with no intervening snap_unpin.  A snapshot load outside
+   that region walks the version store with no published read epoch, so
+   reclamation can free (or writers overwrite) the versions under it.
+   Loads whose pin is held by a caller (the router's cross-shard driver,
+   the instance-level resolver) carry an [ok] annotation at the site. *)
+let rec snap_walk penv pinned = function
+  | Nil -> pinned
+  | Ev (Snap_pin _) -> true
+  | Ev (Snap_unpin _) -> false
+  | Ev (Snap_load { line }) ->
+      if not pinned then
+        fnd penv line "unpinned-snapshot-load"
+          "snapshot load with no epoch pin dominating it on every path: \
+           without a published read era the version walk races \
+           reclamation and can observe freed or mid-apply state — \
+           snap_pin first, or justify a caller-held pin with (* \
+           flowlint: ok unpinned-snapshot-load <reason> *)";
+      pinned
+  | Ev _ -> pinned
+  | Seq (a, b) -> snap_walk penv (snap_walk penv pinned a) b
+  | Branch [] -> pinned
+  | Branch (x :: rest) ->
+      List.fold_left
+        (fun acc n ->
+          let p = snap_walk penv pinned n in
+          acc && p)
+        (snap_walk penv pinned x)
+        rest
+  | Loop { body; _ } ->
+      (* the body may run zero times, so pinned-ness must hold both
+         around and through it *)
+      let p = snap_walk penv pinned body in
+      pinned && p
+
+(* ------------------------------------------------------------------ *)
 (* Configuration and driver                                            *)
 
 type config = {
   persist : string -> bool;
   loops : string -> bool;
   locks : string -> bool;
+  snaps : string -> bool;
 }
 
 let under dir path =
@@ -368,10 +410,16 @@ let repo_config =
       (fun p ->
         under "lib/onefile" p || under "lib/reclaim" p || p = "lib/tm/tm_shard.ml");
     locks = (fun p -> p = "lib/tm/tm_shard.ml");
+    snaps = (fun p -> under "lib/onefile" p || p = "lib/tm/tm_shard.ml");
   }
 
 let corpus_config =
-  { persist = (fun _ -> true); loops = (fun _ -> true); locks = (fun _ -> true) }
+  {
+    persist = (fun _ -> true);
+    loops = (fun _ -> true);
+    locks = (fun _ -> true);
+    snaps = (fun _ -> true);
+  }
 
 let empty_pst = { m = SM.empty; fa = false }
 
@@ -381,6 +429,7 @@ let run config ~path (file : Eventcfg.file) annots =
   let do_persist = config.persist path in
   let do_loops = config.loops path in
   let do_locks = config.locks path in
+  let do_snaps = config.snaps path in
   List.iter
     (fun (fn : func) ->
       let local = ref [] in
@@ -430,6 +479,7 @@ let run config ~path (file : Eventcfg.file) annots =
         };
       let lpenv = { penv with sink = (fun f -> acc := f :: !acc) } in
       if do_loops then loop_check lpenv annots fn.body;
+      if do_snaps then ignore (snap_walk lpenv false fn.body);
       if do_locks then begin
         let lock_annot =
           List.exists

@@ -1,6 +1,6 @@
-(** The four flow-sensitive checks over {!Eventcfg} effect CFGs.
+(** The flow-sensitive checks over {!Eventcfg} effect CFGs.
 
-    All four run in one pass per file, functions in definition order, so
+    All of them run in one pass per file, functions in definition order, so
     interprocedural summaries (which bases a callee leaves dirty, which
     it flushes, which shard locks it takes) are available at call sites.
 
@@ -19,6 +19,14 @@
     - [unbounded-loop] — a [while] or self-recursive loop in wait-free
       scope with neither a [(* flowlint: bounded ... *)] justification
       nor a recognizable early-exit re-check (a call to [closed]).
+    - [unpinned-snapshot-load] — a snapshot load ([snap_load] or
+      [snap_resolve]) not dominated on every path by a [snap_pin] with
+      no intervening [snap_unpin]: the wait-free RO path's version walk
+      is only safe under a published read era (DESIGN.md §13), and an
+      unpinned walk races reclamation.  Loads whose pin is held by the
+      caller (the router's cross-shard driver pins every shard before
+      running the closure) are justified site-by-site with
+      [(* flowlint: ok unpinned-snapshot-load ... *)].
     - [lock-order] — shard-lock acquisitions on some path that cannot be
       proven ascending: descending or repeated constant pairs, a second
       acquisition with an unprovable shard, or acquisition inside a retry
@@ -34,11 +42,13 @@ type config = {
   persist : string -> bool;  (** paths subject to persistence checks *)
   loops : string -> bool;  (** paths subject to [unbounded-loop] *)
   locks : string -> bool;  (** paths subject to [lock-order] *)
+  snaps : string -> bool;  (** paths subject to [unpinned-snapshot-load] *)
 }
 
 val repo_config : config
 (** Persistence checks everywhere scanned; loop obligations in
     [lib/onefile], [lib/reclaim] and [lib/tm/tm_shard.ml]; lock order in
+    [lib/tm/tm_shard.ml]; snapshot-pin domination in [lib/onefile] and
     [lib/tm/tm_shard.ml]. *)
 
 val corpus_config : config

@@ -25,6 +25,9 @@ type event =
   | Acquire of { shard : shard_expr; line : int }
   | Mutex_acq of { line : int }
   | Recheck of { line : int }
+  | Snap_pin of { line : int }
+  | Snap_load of { line : int }
+  | Snap_unpin of { line : int }
   | Call of {
       callee : string;
       args : (string option * string * shard_expr) list;
@@ -440,6 +443,14 @@ and lower_apply ctx env e f args =
                 if is_mutex then Ev (Mutex_acq { line = ln }) else Nil
             | [] -> Nil)
         | _, "closed" -> Ev (Recheck { line = ln })
+        (* the wait-free snapshot-read protocol (DESIGN.md §13): the pin
+           publishes a read epoch, resolves walk the version store
+           against it, the unpin retires it.  Matched unqualified so the
+           per-instance functions (core0) and the router's per-shard
+           wrappers (tm_shard) both classify. *)
+        | _, "snap_pin" -> Ev (Snap_pin { line = ln })
+        | _, ("snap_load" | "snap_resolve") -> Ev (Snap_load { line = ln })
+        | _, "snap_unpin" -> Ev (Snap_unpin { line = ln })
         | _, "" -> Nil
         | _ ->
             (* qualified names are kept whole so a same-file function

@@ -13,6 +13,8 @@
       of the literal [1] through a [*lock_cell] address projector) and the
       router mutex ([compare_and_set] on a [*.mutex] cell);
     - helping-loop re-checks (a call to a function named [closed]);
+    - the wait-free snapshot-read protocol (calls to [snap_pin],
+      [snap_load]/[snap_resolve] and [snap_unpin] — DESIGN.md §13);
     - loop back-edges ([while], [for], self-recursive functions, and
       closures passed to iteration combinators);
     - calls to same-file functions, so checks can apply interprocedural
@@ -40,6 +42,12 @@ type event =
   | Acquire of { shard : shard_expr; line : int }
   | Mutex_acq of { line : int }
   | Recheck of { line : int }
+  | Snap_pin of { line : int }
+      (** a call to [snap_pin] — publishes a read epoch *)
+  | Snap_load of { line : int }
+      (** a call to [snap_load] or [snap_resolve] — walks the version
+          store against a pinned epoch *)
+  | Snap_unpin of { line : int }  (** a call to [snap_unpin] *)
   | Call of {
       callee : string;
       args : (string option * string * shard_expr) list;

@@ -52,13 +52,48 @@ let round4 n = (n + 3) land lnot 3
 
 module Tmcheck = Check.Tmcheck
 
+(* One overwritten value of a data word, kept for pinned snapshot readers
+   (DESIGN.md §13): [vval] was the content of [vaddr] over the commit
+   interval [vbirth, vdel] (both inclusive).  Records are immutable and
+   published through Satomic cells, so every version-store access is a
+   scheduling step the explorer can interleave. *)
+type version = { vaddr : int; vval : int; vbirth : int; vdel : int }
+
+(* The volatile version store backing wait-free snapshot reads: a fixed
+   hash table of [vbuckets] buckets with [vslots_per] direct slots each
+   plus a per-bucket overflow list.  [ro_stable] is the newest fully
+   applied commit sequence — the epoch a new reader pins.  [pin_floor] is
+   a sound lower bound on the epoch of every active and future reader;
+   versions whose [vdel] sits below it are invisible to all readers and
+   may be dropped.  [pin_watermark] bounds the floor scan: it is a
+   monotone upper bound (exclusive) on the slot of every thread that has
+   ever pinned, so write-only workloads recompute the floor without
+   touching a single era slot.  [pinned_once] is the thread-confined
+   "already registered" flag behind it, and [pin_mine] mirrors the era
+   this slot last published through [snap_pin] (0 = none) so a
+   transaction driver reusing the slot of a fiber that was abandoned
+   mid-read can release the orphaned pin without paying a step in the
+   common case (mutable-ok: cell [i] of either array is written only by
+   thread [i], plus sequential recovery). *)
+type vstore = {
+  vslots : version option Satomic.t array; (* vbuckets * vslots_per *)
+  voverflow : version list Satomic.t array; (* one per bucket *)
+  ro_stable : int Satomic.t;
+  pin_floor : int Satomic.t;
+  pin_watermark : int Satomic.t;
+  pinned_once : bool array;
+  pin_mine : int array;
+}
+
 type tx = {
   txregion : Region.t;
   txalloc : Tm.Tm_alloc.t;
   mutable start_seq : int;
   mutable read_only : bool;
+  mutable snap_epoch : int; (* pinned snapshot epoch; -1 = not a snap read *)
   ws : Writeset.t;
   txchk : Tmcheck.t option ref; (* shared with the owning instance *)
+  vst : vstore; (* shared with the owning instance *)
   ops : Tm.Tm_intf.alloc_ops; (* interposition record, built once per slot *)
 }
 
@@ -79,6 +114,10 @@ type faults = {
       (* never advance the flush-dedup generation: lines flushed for an
          earlier transaction count as "already flushed" for later ones,
          so a committed write can silently skip its data pwb *)
+  mutable stale_ro_snapshot : bool;
+      (* pin snapshot readers at the raw curTx sequence instead of the
+         fully-applied ro_stable epoch: a reader then observes a
+         half-published epoch and mixes pre- and post-transaction words *)
 }
 
 type t = {
@@ -94,6 +133,7 @@ type t = {
   heap_base : int;
   ws_threshold : int; (* Writeset linear/hash switchover, instance config *)
   alloc : Tm.Tm_alloc.t;
+  vst : vstore;
   txs : tx array;
   read_tries : int; (* read-only attempts before WF fallback *)
   (* wait-free state *)
@@ -123,7 +163,9 @@ type t = {
   c_wf_fallbacks : Telemetry.handle;
   c_rec_runs : Telemetry.handle;
   c_rec_helped : Telemetry.handle;
+  c_ro_pins : Telemetry.handle;
   s_latency : Telemetry.span_handle;
+  s_ro_lag : Telemetry.span_handle;
   faults : faults;
 }
 
@@ -134,6 +176,53 @@ let op_cell inst tid = inst.wf_base + (3 * tid)
 let res_cell inst tid = inst.wf_base + (3 * tid) + 1
 let ack_cell inst tid = inst.wf_base + (3 * tid) + 2
 let stats inst = Region.stats inst.region
+
+(* ------------------------------------------------------------------ *)
+(* Snapshot version store, reader side (DESIGN.md §13)                  *)
+
+let vbuckets = 512
+let vslots_per = 2
+let vbucket addr = (addr lxor (addr lsr 7)) land (vbuckets - 1)
+
+(* Resolve [addr] at snapshot epoch [epoch]: the current word when it is
+   old enough, else the captured version covering [epoch].  Never aborts,
+   never retries, never flushes.  The version is guaranteed present:
+   every overwrite captures its predecessor before the winning DCAS
+   ([put_one]), and replacement drops only versions with
+   [vdel < pin_floor <= every pinned epoch]. *)
+let snap_resolve ~region ~chk vst epoch addr =
+  let w = Region.load region addr in
+  if w.Word.s <= epoch then begin
+    (match !chk with
+    | None -> ()
+    | Some c -> Tmcheck.tx_load c ~addr ~v:w.Word.v ~s:w.Word.s);
+    w.Word.v
+  end
+  else begin
+    let base = vbucket addr * vslots_per in
+    let hit = ref None in
+    for i = 0 to vslots_per - 1 do
+      match Satomic.get vst.vslots.(base + i) with
+      | Some u when u.vaddr = addr && u.vbirth <= epoch && epoch <= u.vdel ->
+          hit := Some u
+      | _ -> ()
+    done;
+    (match !hit with
+    | Some _ -> ()
+    | None ->
+        List.iter
+          (fun u ->
+            if u.vaddr = addr && u.vbirth <= epoch && epoch <= u.vdel then
+              hit := Some u)
+          (Satomic.get vst.voverflow.(vbucket addr)));
+    match !hit with
+    | Some u ->
+        (match !chk with
+        | None -> ()
+        | Some c -> Tmcheck.tx_load c ~addr ~v:u.vval ~s:u.vbirth);
+        u.vval
+    | None -> failwith "OneFile: snapshot version missing from the version store"
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Interposition — defined before [create] so each tx slot can cache its
@@ -148,7 +237,10 @@ let load_shared tx addr =
   w.Word.v
 
 let load tx addr =
-  if tx.read_only then load_shared tx addr
+  (* flowlint: ok unpinned-snapshot-load the snap_epoch guard means snap_read_tx pinned this epoch and unpins only after the closure returns *)
+  if tx.snap_epoch >= 0 then
+    snap_resolve ~region:tx.txregion ~chk:tx.txchk tx.vst tx.snap_epoch addr
+  else if tx.read_only then load_shared tx addr
   else
     let i = Writeset.find_idx tx.ws addr in
     if i >= 0 then Writeset.val_at tx.ws i else load_shared tx addr
@@ -198,6 +290,17 @@ let create ?mode ?size ?region:backing ?(instance = "") ?(max_threads = 64)
     | None -> ()
   in
   let tele = Telemetry.sink () in
+  let vst =
+    {
+      vslots = Array.init (vbuckets * vslots_per) (fun _ -> Satomic.make None);
+      voverflow = Array.init vbuckets (fun _ -> Satomic.make []);
+      ro_stable = Satomic.make 1;
+      pin_floor = Satomic.make 1;
+      pin_watermark = Satomic.make 0;
+      pinned_once = Array.make max_threads false;
+      pin_mine = Array.make max_threads 0;
+    }
+  in
   let mk_tx () =
     let rec tx =
       {
@@ -205,8 +308,10 @@ let create ?mode ?size ?region:backing ?(instance = "") ?(max_threads = 64)
         txalloc = alloc;
         start_seq = 0;
         read_only = true;
+        snap_epoch = -1;
         ws = Writeset.create ?linear_threshold ws_cap;
         txchk = checker;
+        vst;
         ops =
           {
             Tm.Tm_intf.aload = (fun a -> load tx a);
@@ -231,6 +336,7 @@ let create ?mode ?size ?region:backing ?(instance = "") ?(max_threads = 64)
       heap_base;
       ws_threshold = Writeset.threshold txs.(0).ws;
       alloc;
+      vst;
       txs;
       read_tries;
       pending = Array.init max_threads (fun _ -> Satomic.make None);
@@ -254,12 +360,15 @@ let create ?mode ?size ?region:backing ?(instance = "") ?(max_threads = 64)
       c_wf_fallbacks = Telemetry.counter tele (key "wf.fallbacks");
       c_rec_runs = Telemetry.counter tele (key "recovery.runs");
       c_rec_helped = Telemetry.counter tele (key "recovery.helped");
+      c_ro_pins = Telemetry.counter tele (key "tx.ro_epoch_pins");
       s_latency = Telemetry.span tele (key "tx.latency");
+      s_ro_lag = Telemetry.span tele (key "ro.snapshot_lag");
       faults =
         {
           drop_publish_pwb = false;
           stale_commit_snapshot = false;
           stale_dedup_flush = false;
+          stale_ro_snapshot = false;
         };
     }
   in
@@ -337,13 +446,125 @@ let read_curtx inst = Region.load inst.region curtx_cell
 let is_open inst (ct : Word.t) =
   (Region.load inst.region (req_cell inst ct.Word.s)).Word.v = ct.Word.v
 
-(* Sequence-guarded DCAS of one redo-log entry (Alg. 1 lines 10-15). *)
+(* ------------------------------------------------------------------ *)
+(* Snapshot version store, writer side (DESIGN.md §13)                  *)
+
+(* Monotone CAS-max bump of the fully-applied epoch. *)
+let stable_bump vst s =
+  (* flowlint: bounded a CAS miss means another thread raised ro_stable concurrently, which is progress toward the target *)
+  let rec go () =
+    let cur = Satomic.get vst.ro_stable in
+    if cur < s then
+      if not (Satomic.compare_and_set vst.ro_stable cur s) then go ()
+  in
+  go ()
+
+(* Recompute [pin_floor] as min(published reader eras, ro_stable).
+   [ro_stable] must be read BEFORE the era scan: a reader is pin-ordered
+   as (register in pin_watermark; e := ro_stable; publish era e;
+   r := ro_stable; read at r).  If the scan sees its era, the floor is
+   <= e <= r.  If it does not — including when the watermark cut the
+   scan short of its slot — the reader registered or published after
+   that was checked, hence read ro_stable after we read [s0], so its
+   epoch r >= s0 >= the floor.  Either way no version with vdel < floor
+   can be the one a reader at r needs (which has vdel >= r).  Returns
+   the refreshed floor. *)
+let refresh_floor inst =
+  let vst = inst.vst in
+  let s0 = Satomic.get vst.ro_stable in
+  let wm = Satomic.get vst.pin_watermark in
+  let c = ref s0 in
+  for i = 0 to wm - 1 do
+    let e = Hazard_eras.era inst.he i in
+    if e <> 0 && e < !c then c := e
+  done;
+  let f = !c in
+  (* flowlint: bounded a CAS miss means another scan raised pin_floor concurrently, which is progress *)
+  let rec bump () =
+    let cur = Satomic.get vst.pin_floor in
+    if cur < f then begin
+      if not (Satomic.compare_and_set vst.pin_floor cur f) then bump ()
+    end
+  in
+  bump ();
+  f
+
+(* Install one captured version into its bucket.  Preference order: a
+   slot already holding the same (addr, del) record — a racing helper
+   captured the identical overwrite — then an empty slot, then a slot
+   whose version expired below the floor; otherwise the bucket's
+   overflow list, pruning expired entries in the same CAS.
+
+   [floor_hint] is a value known by the caller to be <= ro_stable right
+   now (put_one passes [seq - 1]: the commit CAS for [seq] required
+   request [seq - 1] closed, and every path into the apply phase bumps
+   ro_stable accordingly first).  While no reader has ever registered in
+   [pin_watermark] the hint IS a sound floor — a future reader's epoch
+   is >= the ro_stable it pins, which is >= the hint — so the hot
+   write-only path expires old versions without reading pin_floor or
+   scanning a single era. *)
+let vinstall inst ~floor_hint b (v : version) =
+  let vst = inst.vst in
+  let base = b * vslots_per in
+  let installed = ref false in
+  let floor = ref (-1) in
+  let get_floor () =
+    (if !floor < 0 then
+       if Satomic.get vst.pin_watermark = 0 then floor := floor_hint
+       else floor := Satomic.get vst.pin_floor);
+    !floor
+  in
+  let try_slots () =
+    for i = 0 to vslots_per - 1 do
+      if not !installed then begin
+        let cell = vst.vslots.(base + i) in
+        match Satomic.get cell with
+        | Some u when u.vaddr = v.vaddr && u.vdel = v.vdel -> installed := true
+        | None as cur ->
+            if Satomic.compare_and_set cell cur (Some v) then installed := true
+        | Some u as cur when u.vdel < get_floor () ->
+            if Satomic.compare_and_set cell cur (Some v) then installed := true
+        | Some _ -> ()
+      end
+    done
+  in
+  try_slots ();
+  if not !installed then begin
+    floor := refresh_floor inst;
+    try_slots ();
+    if not !installed then begin
+      let floor = !floor in
+      let cell = vst.voverflow.(b) in
+      (* flowlint: bounded a CAS miss means a racing capture replaced the list — progress — and the duplicate check then stops this one *)
+      let rec go () =
+        let cur = Satomic.get cell in
+        if not (List.exists (fun u -> u.vaddr = v.vaddr && u.vdel = v.vdel) cur)
+        then
+          let keep = List.filter (fun u -> u.vdel >= floor) cur in
+          if not (Satomic.compare_and_set cell cur (v :: keep)) then go ()
+      in
+      go ()
+    end
+  end
+
+(* Sequence-guarded DCAS of one redo-log entry (Alg. 1 lines 10-15).
+
+   Before the winning CAS the word about to be overwritten is captured
+   into the version store: it covered the commit interval
+   [w.s, seq - 1], exactly what a reader pinned inside that interval
+   still needs.  Capture precedes the CAS so no reader can observe the
+   new word while the old version is absent from the store; racing
+   helpers capture the identical record and dedup on (addr, del). *)
 let put_one inst ~seq addr v =
   (* flowlint: bounded a CAS miss means a helper already installed this entry with sequence >= seq, so the seq guard fails on the next round *)
   let rec go () =
     let w = Region.load inst.region addr in
-    if w.Word.s < seq then
+    if w.Word.s < seq then begin
+      if addr >= inst.roots_base then
+        vinstall inst ~floor_hint:(seq - 1) (vbucket addr)
+          { vaddr = addr; vval = w.Word.v; vbirth = w.Word.s; vdel = seq - 1 };
       if not (Region.cas inst.region addr w (Word.make v seq)) then go ()
+    end
   in
   go ()
 
@@ -449,30 +670,49 @@ let help inst ~me (ct : Word.t) =
   let tid = ct.Word.s and seq = ct.Word.v in
   Region.pwb region curtx_cell;
   let req = Region.load region (req_cell inst tid) in
-  if req.Word.v = seq then begin
-    let n = (Region.load region (nstores_cell inst tid)).Word.v in
-    if n >= 0 && n <= inst.ws_cap then begin
-      let addrs = inst.scratch_addrs.(me) and vals = inst.scratch_vals.(me) in
-      for i = 0 to n - 1 do
-        let e = Region.load region (entry_cell inst tid i) in
-        addrs.(i) <- e.Word.v;
-        vals.(i) <- e.Word.s
-      done;
-      (* the log cannot have been recycled while the request is still open *)
-      let req' = Region.load region (req_cell inst tid) in
-      if req'.Word.v = seq then begin
-        if tid <> me then begin
-          (stats inst).Pstats.helps <- (stats inst).Pstats.helps + 1;
-          Telemetry.tick inst.c_helps
-        end;
-        if apply_foreign inst ~me ~tid ~seq ~n addrs vals then
-          close_request inst ~tid ~seq
-        else begin
-          (stats inst).Pstats.help_exits <- (stats inst).Pstats.help_exits + 1;
-          Telemetry.tick inst.c_help_exits
-        end
-      end
+  (if req.Word.v = seq then begin
+     let n = (Region.load region (nstores_cell inst tid)).Word.v in
+     if n >= 0 && n <= inst.ws_cap then begin
+       let addrs = inst.scratch_addrs.(me) and vals = inst.scratch_vals.(me) in
+       for i = 0 to n - 1 do
+         let e = Region.load region (entry_cell inst tid i) in
+         addrs.(i) <- e.Word.v;
+         vals.(i) <- e.Word.s
+       done;
+       (* the log cannot have been recycled while the request is still open *)
+       let req' = Region.load region (req_cell inst tid) in
+       if req'.Word.v = seq then begin
+         if tid <> me then begin
+           (stats inst).Pstats.helps <- (stats inst).Pstats.helps + 1;
+           Telemetry.tick inst.c_helps
+         end;
+         if apply_foreign inst ~me ~tid ~seq ~n addrs vals then
+           close_request inst ~tid ~seq
+         else begin
+           (stats inst).Pstats.help_exits <- (stats inst).Pstats.help_exits + 1;
+           Telemetry.tick inst.c_help_exits
+         end
+       end
+     end
+   end);
+  (* every exit above means [seq] is fully applied: either this thread ran
+     the apply to completion, or whoever closed the request did first *)
+  stable_bump inst.vst seq
+
+(* Raise [ro_stable] to at least [seq] (a commit sequence that already
+   won its CAS) before an update returns: a later snapshot reader must
+   pin an epoch that includes it (strict serializability).  One pass
+   suffices — curTx open at a later sequence proves [seq] applied (the
+   commit CAS requires the predecessor closed), curTx open at [seq]
+   itself is finished by helping, and a closed curTx is applied. *)
+let ensure_stable inst ~me seq =
+  if Satomic.get inst.vst.ro_stable < seq then begin
+    let ct = read_curtx inst in
+    if is_open inst ct then begin
+      if ct.Word.v <= seq then help inst ~me ct
+      else stable_bump inst.vst (ct.Word.v - 1)
     end
+    else stable_bump inst.vst ct.Word.v
   end
 
 (* Write the redo log into this thread's persistent log area and open the
@@ -532,12 +772,106 @@ let num_roots inst = inst.num_roots
 let region inst = inst.region
 
 (* ------------------------------------------------------------------ *)
+(* Wait-free snapshot reads (DESIGN.md §13)                            *)
+
+(* Publish a read epoch for the calling thread and return it: three
+   steps, no loop, no curTx access.  The era is published between the
+   two ro_stable reads; see [refresh_floor] for why the returned epoch
+   is always protected. *)
+let snap_pin inst =
+  let vst = inst.vst in
+  (if not vst.pinned_once.(Sched.self ()) then begin
+     (* first pin by this thread slot, ever: raise the era-scan watermark
+        before publishing anything (see [refresh_floor]'s ordering proof) *)
+     vst.pinned_once.(Sched.self ()) <- true;
+     let wm = Sched.self () + 1 in
+     (* flowlint: bounded a CAS miss means another first-time reader raised the watermark, which is progress *)
+     let rec bump () =
+       let cur = Satomic.get vst.pin_watermark in
+       if cur < wm then
+         if not (Satomic.compare_and_set vst.pin_watermark cur wm) then bump ()
+     in
+     bump ()
+   end);
+  if inst.faults.stale_ro_snapshot then begin
+    (* planted fault: pin the raw curTx sequence, which may still be
+       mid-apply — the reader then mixes pre- and post-transaction words *)
+    let e = (read_curtx inst).Word.v in
+    (* the mirror is written BEFORE the era is published: a fiber
+       abandoned between the two leaves a mirror with no era behind it,
+       which the orphan release clears harmlessly; the opposite order
+       would leak an unreleasable pin *)
+    vst.pin_mine.(Sched.self ()) <- e;
+    Hazard_eras.set_era inst.he e;
+    Telemetry.tick inst.c_ro_pins;
+    e
+  end
+  else begin
+    let e = Satomic.get inst.vst.ro_stable in
+    vst.pin_mine.(Sched.self ()) <- e;
+    Hazard_eras.set_era inst.he e;
+    let r = Satomic.get inst.vst.ro_stable in
+    Telemetry.tick inst.c_ro_pins;
+    r
+  end
+
+let snap_unpin inst =
+  Hazard_eras.clear inst.he;
+  (* mirror cleared AFTER the era: the plain write runs in the same
+     scheduling quantum as the clear, so no abandonment gap exists here *)
+  inst.vst.pin_mine.(Sched.self ()) <- 0
+
+(* Release the era pin of a fiber that was abandoned mid-snapshot-read
+   on this thread slot (the simulation's stand-in for a killed thread):
+   the stale pin would hold [pin_floor] down forever.  The [pin_mine]
+   mirror makes the common no-orphan case a plain read — zero steps. *)
+let release_orphan_pin inst ~me =
+  if inst.vst.pin_mine.(me) <> 0 then snap_unpin inst
+
+(* flowlint: ok unpinned-snapshot-load instance-level resolver for Tm_shard, whose cross-shard driver pins every shard before loading *)
+let snap_load inst epoch addr =
+  snap_resolve ~region:inst.region ~chk:inst.checker inst.vst epoch addr
+
+(* The wait-free read-only fast path: pin an epoch, run the closure
+   against that frozen snapshot, unpin.  Zero aborts, zero restarts,
+   zero pwbs, bounded steps — write churn never touches it. *)
+let snap_read_tx inst f =
+  let me = Sched.self () in
+  let tx = inst.txs.(me) in
+  let r = snap_pin inst in
+  tx.start_seq <- r;
+  tx.read_only <- true;
+  tx.snap_epoch <- r;
+  with_chk inst.checker (fun c -> Tmcheck.tx_begin c ~read_only:true ~start_seq:r);
+  match f tx with
+  | exception e ->
+      tx.snap_epoch <- -1;
+      with_chk inst.checker Tmcheck.tx_abort;
+      snap_unpin inst;
+      raise e
+  | v ->
+      tx.snap_epoch <- -1;
+      with_chk inst.checker (fun c -> Tmcheck.tx_end c ~committed:None);
+      Telemetry.tick inst.c_ro_commits;
+      Telemetry.observe inst.s_ro_lag (Satomic.get inst.vst.ro_stable - r);
+      snap_unpin inst;
+      v
+
+let snapshot_ops = { Tm.Tm_intf.snap_pin; snap_load; snap_unpin }
+
+(* ------------------------------------------------------------------ *)
 (* Lock-free transactions (§III-B)                                     *)
 
-let lf_read_tx inst f =
+let lf_read_tx = snap_read_tx
+
+(* The pre-snapshot validating read path, kept as the comparison
+   baseline for --figure readmix: optimistic reads against curTx with
+   helping and restart on conflict. *)
+let lf_read_tx_validating inst f =
   let me = Sched.self () in
   let tx = inst.txs.(me) in
   let st = stats inst in
+  release_orphan_pin inst ~me;
   (* flowlint: bounded lock-free path: a retry happens only when another transaction committed in the meantime (curtx advanced), which is global progress *)
   let rec attempt () =
     let ct = read_curtx inst in
@@ -548,6 +882,7 @@ let lf_read_tx inst f =
     else begin
       tx.start_seq <- ct.Word.v;
       tx.read_only <- true;
+      tx.snap_epoch <- -1;
       with_chk inst.checker (fun c ->
           Tmcheck.tx_begin c ~read_only:true ~start_seq:tx.start_seq);
       match f tx with
@@ -569,16 +904,22 @@ let lf_update_tx inst f =
   let tx = inst.txs.(me) in
   let st = stats inst in
   let t0 = Sched.now () in
+  release_orphan_pin inst ~me;
   (* flowlint: bounded lock-free path: a retry happens only when another transaction committed in the meantime (curtx advanced), which is global progress *)
   let rec attempt () =
     let ct = read_curtx inst in
     if is_open inst ct then begin
+      stable_bump inst.vst (ct.Word.v - 1);
       help inst ~me ct;
       attempt ()
     end
     else begin
+      stable_bump inst.vst ct.Word.v;
       tx.start_seq <- ct.Word.v;
       tx.read_only <- false;
+      (* a fiber abandoned mid-snapshot-read leaves its pin behind;
+         this slot is ours now, so drop the stale epoch *)
+      tx.snap_epoch <- -1;
       Writeset.clear tx.ws;
       with_chk inst.checker (fun c ->
           Tmcheck.tx_begin c ~read_only:false ~start_seq:tx.start_seq);
@@ -605,6 +946,7 @@ let lf_update_tx inst f =
               Region.pwb inst.region curtx_cell;
               apply_own inst ~me ~seq tx.ws;
               close_request inst ~tid:me ~seq;
+              stable_bump inst.vst seq;
               st.Pstats.commits <- st.Pstats.commits + 1;
               Telemetry.tick inst.c_commits;
               Telemetry.observe inst.s_latency (Sched.now () - t0 + 1);
@@ -663,6 +1005,7 @@ let wf_update_tx inst f =
   let st = stats inst in
   let region_ = inst.region in
   let t0 = Sched.now () in
+  release_orphan_pin inst ~me;
   (* publish the operation (its "birth era" is the seq it was tagged with) *)
   let opid = Satomic.fetch_and_add inst.next_opid 1 + 1 in
   let rs = (Region.load region_ (res_cell inst me)).Word.s in
@@ -679,18 +1022,24 @@ let wf_update_tx inst f =
       let resw = Region.load region_ (res_cell inst me) in
       Satomic.set inst.pending.(me) None;
       Hazard_eras.retire_at inst.he ~birth:rs ~del:ackw.Word.s d;
+      (* session order for snapshot reads: a snap_read_tx issued by this
+         thread after we return must observe this operation's commit. *)
+      ensure_stable inst ~me ackw.Word.s;
       Telemetry.observe inst.s_latency (Sched.now () - t0 + 1);
       resw.Word.v
     end
     else begin
       let ct = read_curtx inst in
       if is_open inst ct then begin
+        stable_bump inst.vst (ct.Word.v - 1);
         help inst ~me ct;
         loop ()
       end
       else begin
+        stable_bump inst.vst ct.Word.v;
         tx.start_seq <- ct.Word.v;
         tx.read_only <- false;
+        tx.snap_epoch <- -1;
         Writeset.clear tx.ws;
         with_chk inst.checker (fun c ->
             Tmcheck.tx_begin c ~read_only:false ~start_seq:tx.start_seq);
@@ -718,6 +1067,7 @@ let wf_update_tx inst f =
                 Region.pwb region_ curtx_cell;
                 apply_own inst ~me ~seq tx.ws;
                 close_request inst ~tid:me ~seq;
+                stable_bump inst.vst seq;
                 st.Pstats.commits <- st.Pstats.commits + 1;
                 Telemetry.tick inst.c_commits
               end
@@ -735,10 +1085,16 @@ let wf_update_tx inst f =
   Hazard_eras.clear inst.he;
   r
 
-let wf_read_tx inst f =
+let wf_read_tx inst f = snap_read_tx inst f
+
+(* Pre-snapshot-store read path, kept for the readmix benchmark baseline:
+   optimistic validated reads with a bounded retry budget falling back to
+   the wait-free update path. *)
+let wf_read_tx_validating inst f =
   let me = Sched.self () in
   let tx = inst.txs.(me) in
   let st = stats inst in
+  release_orphan_pin inst ~me;
   (* flowlint: bounded k strictly decreases to the wf_update_tx fallback *)
   let rec attempt k =
     if k <= 0 then begin
@@ -755,6 +1111,7 @@ let wf_read_tx inst f =
       else begin
         tx.start_seq <- ct.Word.v;
         tx.read_only <- true;
+        tx.snap_epoch <- -1;
         with_chk inst.checker (fun c ->
             Tmcheck.tx_begin c ~read_only:true ~start_seq:tx.start_seq);
         match f tx with
@@ -805,4 +1162,15 @@ let recover inst =
     Telemetry.tick inst.c_rec_helped;
     help inst ~me:0 ct
   end;
+  (* The snapshot version store is volatile: rebuild epoch bookkeeping from
+     the durable image.  Pre-crash readers are gone, so no era pins or
+     shadow versions survive; the recovered state is epoch [ct.v] exactly. *)
+  Array.iter (fun c -> Satomic.set c None) inst.vst.vslots;
+  Array.iter (fun c -> Satomic.set c []) inst.vst.voverflow;
+  Hazard_eras.reset inst.he;
+  Array.fill inst.vst.pinned_once 0 (Array.length inst.vst.pinned_once) false;
+  Array.fill inst.vst.pin_mine 0 (Array.length inst.vst.pin_mine) 0;
+  Satomic.set inst.vst.pin_watermark 0;
+  Satomic.set inst.vst.ro_stable ct.Word.v;
+  Satomic.set inst.vst.pin_floor ct.Word.v;
   Region.pfence inst.region

@@ -43,6 +43,34 @@ val lf_read_tx : t -> (tx -> 'a) -> 'a
 val lf_update_tx : t -> (tx -> 'a) -> 'a
 val wf_read_tx : t -> (tx -> int) -> int
 val wf_update_tx : t -> (tx -> int) -> int
+
+val lf_read_tx_validating : t -> (tx -> 'a) -> 'a
+val wf_read_tx_validating : t -> (tx -> int) -> int
+(** Pre-snapshot-store read paths (optimistic reads validated against
+    curTx, restarting on conflict).  [read_tx] now runs on the wait-free
+    snapshot path (see {!snapshot_ops}); these remain as the comparison
+    baseline for the readmix benchmark and the paper's §III-B/§III-E
+    read algorithms. *)
+
+(** {1 Wait-free snapshot reads} (DESIGN.md §13)
+
+    Writers keep a bounded volatile version store of overwritten words;
+    a read-only transaction pins the newest fully-applied sequence number
+    through the hazard-era slots and resolves every load at that epoch —
+    no aborts, no restarts, no flushes, bounded steps.  [read_tx] on both
+    front-ends uses this path.  The pieces are exposed individually so
+    {!Tm.Tm_shard} can assemble cross-shard snapshot reads. *)
+
+val snap_pin : t -> int
+(** Publish and return a snapshot epoch for the calling thread. *)
+
+val snap_load : t -> int -> int -> int
+(** [snap_load t epoch addr]: the value of [addr] as of [epoch].  Only
+    valid between [snap_pin] and [snap_unpin] on the same thread. *)
+
+val snap_unpin : t -> unit
+
+val snapshot_ops : t Tm.Tm_intf.snapshot_ops
 val load : tx -> int -> int
 val store : tx -> int -> int -> unit
 val alloc : tx -> int -> int
@@ -85,10 +113,11 @@ val set_checker : t -> Check.Tmcheck.t option -> unit
 
 val attach_telemetry : t -> Runtime.Telemetry.t -> unit
 (** Wire this instance into the registry: transaction counters and the
-    commit-latency span ("tx.commits", "tx.ro_commits", "tx.aborts",
-    "tx.helps", "tx.help_exits", "log.recycles", "wf.published",
-    "wf.aggregated", "wf.fallbacks", "recovery.runs", "recovery.helped",
-    span "tx.latency"), the region's Pstats as a pull source ("pmem.*"),
+    commit-latency span ("tx.commits", "tx.ro_commits", "tx.ro_epoch_pins",
+    "tx.aborts", "tx.helps", "tx.help_exits", "log.recycles",
+    "wf.published", "wf.aggregated", "wf.fallbacks", "recovery.runs",
+    "recovery.helped", spans "tx.latency" and "ro.snapshot_lag"),
+    the region's Pstats as a pull source ("pmem.*"),
     and the hazard-era reclaimer ("he.*").  All instance counters are
     pre-resolved {!Runtime.Telemetry} handles — no string hashing on the
     transaction hot paths. *)
@@ -115,6 +144,9 @@ type faults = {
       (** never advance the cache-line flush-dedup generation, so lines
           flushed for an earlier transaction count as "already flushed"
           for later ones and a committed write can skip its data pwb *)
+  mutable stale_ro_snapshot : bool;
+      (** pin the raw curTx sequence instead of the newest fully-applied
+          one, so a snapshot reader can observe a half-published epoch *)
 }
 
 val faults : t -> faults

@@ -35,6 +35,16 @@ val linear_threshold : t -> int
 val instance : t -> string
 (** The telemetry-prefix instance id ([""] by default). *)
 
+val read_tx_validating : t -> (tx -> 'a) -> 'a
+(** The pre-snapshot-store read path (optimistic reads validated against
+    [curTx], restarting on conflict).  {!read_tx} itself now runs on the
+    wait-free snapshot path; this baseline remains for the readmix
+    benchmark and as the paper's §III-B read algorithm. *)
+
+val snapshot_ops : t Tm.Tm_intf.snapshot_ops
+(** Wait-free snapshot-read primitives (epoch pin / load-at-epoch /
+    unpin), consumed by {!Tm.Tm_shard} for cross-shard snapshot reads. *)
+
 val faults : t -> Core0.faults
 (** Test-only fault-injection flags (see {!Core0.faults}); exposed here so
     harnesses outside [lib/onefile] can plant bugs without referencing

@@ -33,6 +33,16 @@ val linear_threshold : t -> int
 val instance : t -> string
 (** The telemetry-prefix instance id ([""] by default). *)
 
+val read_tx_validating : t -> (tx -> int) -> int
+(** The pre-snapshot-store read path: optimistic validated reads with a
+    bounded retry budget falling back to {!update_tx} publication (the
+    paper's §III-E read algorithm).  {!read_tx} itself now runs on the
+    wait-free snapshot path. *)
+
+val snapshot_ops : t Tm.Tm_intf.snapshot_ops
+(** Wait-free snapshot-read primitives (epoch pin / load-at-epoch /
+    unpin), consumed by {!Tm.Tm_shard} for cross-shard snapshot reads. *)
+
 val faults : t -> Core0.faults
 (** Test-only fault-injection flags (see {!Core0.faults}); exposed here so
     harnesses outside [lib/onefile] can plant bugs without referencing

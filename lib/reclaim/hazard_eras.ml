@@ -56,10 +56,17 @@ let rec get_protected t ~read =
     get_protected t ~read
   end
 
+let era t i = Satomic.get t.eras.(i)
+
+let reset t =
+  for i = 0 to t.max_threads - 1 do
+    Satomic.set t.eras.(i) 0
+  done
+
 let conflicts t r =
   let alive = ref false in
   for i = 0 to t.max_threads - 1 do
-    let e = Satomic.get t.eras.(i) in
+    let e = era t i in
     if e <> 0 && e >= r.birth && e <= r.del then alive := true
   done;
   !alive

@@ -39,6 +39,15 @@ val get_protected : 'a t -> read:(unit -> 'b) -> 'b
 val clear : 'a t -> unit
 (** Calling thread no longer accesses protected objects. *)
 
+val era : 'a t -> int -> int
+(** [era t i] is the era thread [i] currently publishes (0 = none).
+    Exposed so external reclamation schemes — e.g. the OneFile snapshot
+    version store — can compute a floor over every active reader. *)
+
+val reset : 'a t -> unit
+(** Clear every thread's published era (post-crash recovery: pre-crash
+    readers are gone, their pins must not outlive them). *)
+
 val retire : 'a t -> birth:int -> 'a -> unit
 (** Retire an object whose lifetime started at era [birth]; it will be
     freed once safe.  The deletion era is the current clock value. *)

@@ -56,3 +56,15 @@ end
 (** Implementation-side handle used by {!Tm_alloc}: raw transactional
     load/store bound to the current transaction. *)
 type alloc_ops = { aload : int -> int; astore : int -> int -> unit }
+
+(** Wait-free snapshot-read primitives of a TM instance, when it has them
+    (OneFile's epoch-stamped version store).  [snap_pin] publishes a read
+    epoch for the calling thread and returns it; [snap_load inst epoch
+    addr] resolves [addr] at that epoch without aborting, retrying or
+    flushing; [snap_unpin] releases the epoch.  Used by {!Tm_shard} to
+    assemble cross-shard snapshot reads from per-shard epoch pins. *)
+type 'a snapshot_ops = {
+  snap_pin : 'a -> int;
+  snap_load : 'a -> int -> int -> int;
+  snap_unpin : 'a -> unit;
+}

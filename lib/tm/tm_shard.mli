@@ -34,6 +34,7 @@ module Make (T : Tm_intf.S) : sig
     ?max_cross_frees:int ->
     ?max_threads:int ->
     ?batch_watermark:int ->
+    ?ro_snapshot:T.t Tm_intf.snapshot_ops ->
     T.t array ->
     t
   (** Build a router over 1–62 shards (equal region sizes and root
@@ -49,7 +50,18 @@ module Make (T : Tm_intf.S) : sig
       value near the expected thread count maximizes batch size (the
       window is step-capped regardless).  Adopts an existing control block
       when the reserved root is non-null (a re-opened device); call
-      {!recover} before use in that case. *)
+      {!recover} before use in that case.
+
+      [ro_snapshot] installs the shards' wait-free snapshot-read
+      primitives (e.g. [Onefile_wf.snapshot_ops]); cross-shard read-only
+      transactions then pin a per-shard epoch vector — a pub/done
+      generation seqlock around the batch apply window plus an
+      atomic-snapshot double collect make the vector a consistent cut —
+      and resolve every load at its shard's pinned epoch, without
+      entering the batched-2PC prepare queues or taking any lock
+      (DESIGN.md §13).  Single-shard read-only transactions already run
+      on the shard's own wait-free [read_tx].  Without [ro_snapshot],
+      cross-shard reads batch through the 2PC pipeline as before. *)
 
   val shards : t -> T.t array
   val num_shards : t -> int

@@ -27,6 +27,7 @@ type fault =
   | Stale_dedup
   | Torn_commit_record
   | Torn_batch_record
+  | Stale_ro_snapshot
 
 type config = {
   wf : bool;
@@ -201,7 +202,8 @@ let execute_one cfg ~memo prog ~pick ~crash =
           ()
       | Durability_hole -> (Lf.faults tm).drop_publish_pwb <- true
       | Lost_update -> (Lf.faults tm).stale_commit_snapshot <- true
-      | Stale_dedup -> (Lf.faults tm).stale_dedup_flush <- true);
+      | Stale_dedup -> (Lf.faults tm).stale_dedup_flush <- true
+      | Stale_ro_snapshot -> (Lf.faults tm).stale_ro_snapshot <- true);
       (match cfg.telemetry with
       | Some te -> Lf.attach_telemetry tm te
       | None -> ());
@@ -247,14 +249,15 @@ let execute_one cfg ~memo prog ~pick ~crash =
             | No_fault | Torn_commit_record | Torn_batch_record -> ()
             | Durability_hole -> f.drop_publish_pwb <- true
             | Lost_update -> f.stale_commit_snapshot <- true
-            | Stale_dedup -> f.stale_dedup_flush <- true)
+            | Stale_dedup -> f.stale_dedup_flush <- true
+            | Stale_ro_snapshot -> f.stale_ro_snapshot <- true)
           shards;
         (match cfg.telemetry with
         | Some te -> Array.iter (fun sh -> Wf.attach_telemetry sh te) shards
         | None -> ());
         if cfg.sanitize then
           Array.iter (fun sh -> ignore (Wf.sanitize sh)) shards;
-        let tm = Sh_wf.make ~max_threads:mt shards in
+        let tm = Sh_wf.make ~max_threads:mt ~ro_snapshot:Wf.snapshot_ops shards in
         (match cfg.telemetry with
         | Some te -> Sh_wf.attach_telemetry tm te
         | None -> ());
@@ -283,14 +286,15 @@ let execute_one cfg ~memo prog ~pick ~crash =
             | No_fault | Torn_commit_record | Torn_batch_record -> ()
             | Durability_hole -> f.drop_publish_pwb <- true
             | Lost_update -> f.stale_commit_snapshot <- true
-            | Stale_dedup -> f.stale_dedup_flush <- true)
+            | Stale_dedup -> f.stale_dedup_flush <- true
+            | Stale_ro_snapshot -> f.stale_ro_snapshot <- true)
           shards;
         (match cfg.telemetry with
         | Some te -> Array.iter (fun sh -> Lf.attach_telemetry sh te) shards
         | None -> ());
         if cfg.sanitize then
           Array.iter (fun sh -> ignore (Lf.sanitize sh)) shards;
-        let tm = Sh_lf.make ~max_threads:mt shards in
+        let tm = Sh_lf.make ~max_threads:mt ~ro_snapshot:Lf.snapshot_ops shards in
         (match cfg.telemetry with
         | Some te -> Sh_lf.attach_telemetry tm te
         | None -> ());
@@ -599,7 +603,8 @@ let pp_failure ppf f =
     | Lost_update -> ", planted fault: lost-update"
     | Stale_dedup -> ", planted fault: stale-dedup"
     | Torn_commit_record -> ", planted fault: torn-commit-record"
-    | Torn_batch_record -> ", planted fault: torn-batch-record");
+    | Torn_batch_record -> ", planted fault: torn-batch-record"
+    | Stale_ro_snapshot -> ", planted fault: stale-ro-snapshot");
   Format.fprintf ppf "  program:@.%a" Proggen.pp_program f.program;
   Format.fprintf ppf "  schedule [%d choices]: %a@." (Array.length f.schedule)
     pp_schedule f.schedule;
@@ -679,6 +684,7 @@ let fault_name = function
   | Stale_dedup -> "stale-dedup"
   | Torn_commit_record -> "torn-commit-record"
   | Torn_batch_record -> "torn-batch-record"
+  | Stale_ro_snapshot -> "stale-ro-snapshot"
 
 let fault_of_name = function
   | "none" -> No_fault
@@ -687,6 +693,7 @@ let fault_of_name = function
   | "stale-dedup" -> Stale_dedup
   | "torn-commit-record" -> Torn_commit_record
   | "torn-batch-record" -> Torn_batch_record
+  | "stale-ro-snapshot" -> Stale_ro_snapshot
   | s -> bad ("unknown fault " ^ s)
 
 let config_to_json c =

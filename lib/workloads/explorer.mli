@@ -54,6 +54,14 @@ type fault =
           replays half a batch.  Needs [shards >= 2] and a schedule that
           forms a batch of >= 2 members; a no-op on an unsharded
           instance *)
+  | Stale_ro_snapshot
+      (** snapshot readers pin the raw curTx sequence instead of the
+          newest fully-applied one (see [Onefile.Core0.faults]), so a
+          read-only transaction can observe a half-published epoch —
+          the wait-free read path's analogue of a lost update.  Only
+          the serialization oracle catches it (the per-word sanitizer
+          accepts any in-window version); needs a schedule that parks a
+          writer mid-apply under a concurrent reader *)
 
 type config = {
   wf : bool;  (** wait-free algorithm instead of lock-free *)

@@ -73,8 +73,12 @@ let gen_op rng ~read_only ~weight ~fresh =
         let a = Rng.int rng value_slots and b = Rng.int rng value_slots in
         Transfer (a, b, 1 + Rng.int rng 9)
 
-let gen_txn rng ~max_ops ~weight =
-  let read_only = Rng.int rng 4 = 0 in
+let gen_txn rng ~max_ops ~weight ~ro_weight =
+  (* the [ro_weight] extra cases widen the draw range the same way the
+     transfer knob does, keeping every historical seed's rng stream —
+     and hence its program — byte-identical at the default:
+     [ro_weight = 0] is the original [Rng.int rng 4 = 0] *)
+  let read_only = Rng.int rng (4 + ro_weight) < 1 + ro_weight in
   let nops = 1 + Rng.int rng max_ops in
   let fresh = ref [] in
   {
@@ -83,7 +87,7 @@ let gen_txn rng ~max_ops ~weight =
   }
 
 let gen_program ?(max_txns = 20) ?(max_ops = 6) ?(transfers = false)
-    ?transfer_weight seed =
+    ?transfer_weight ?(ro_weight = 0) seed =
   let weight =
     match transfer_weight with
     | Some w ->
@@ -91,9 +95,10 @@ let gen_program ?(max_txns = 20) ?(max_ops = 6) ?(transfers = false)
         w
     | None -> if transfers then 2 else 0
   in
+  if ro_weight < 0 then invalid_arg "Proggen.gen_program: ro_weight < 0";
   let rng = Rng.create seed in
   let ntx = 1 + Rng.int rng max_txns in
-  List.init ntx (fun _ -> gen_txn rng ~max_ops ~weight)
+  List.init ntx (fun _ -> gen_txn rng ~max_ops ~weight ~ro_weight)
 
 let split ~threads prog =
   let parts = Array.make threads [] in

@@ -42,6 +42,7 @@ val gen_program :
   ?max_ops:int ->
   ?transfers:bool ->
   ?transfer_weight:int ->
+  ?ro_weight:int ->
   int ->
   program
 (** [gen_program seed]: 1 to [max_txns] (default 20) transactions of 1 to
@@ -56,10 +57,15 @@ val gen_program :
     cross-shard mix precisely: each mutating operation draws a transfer
     with probability [w / (10 + w)] (so [0] disables transfers, [2] is
     the plain [transfers:true] mix of ~17%, [3] is ~23% and [10] is
-    50%).  When it is given, [transfers] is ignored.  Seed streams are
-    stable: [transfers:false] equals [transfer_weight:0] and
-    [transfers:true] equals [transfer_weight:2], and both generate the
-    exact same programs per seed as before the options existed. *)
+    50%).  When it is given, [transfers] is ignored.  [ro_weight]
+    (default 0) biases the read-only draw the same widening way: a
+    transaction is read-only with probability [(1 + w) / (4 + w)] — [0]
+    keeps the historical 25%, [4] is ~62% and [16] is 85% — exercising
+    the wait-free snapshot-read path under real write churn.  Seed
+    streams are stable: [transfers:false] equals [transfer_weight:0],
+    [transfers:true] equals [transfer_weight:2], [ro_weight:0] is the
+    historical read-only draw, and all defaults generate the exact same
+    programs per seed as before the options existed. *)
 
 val split : threads:int -> program -> program array
 (** Deal the transactions round-robin onto [threads] per-thread programs

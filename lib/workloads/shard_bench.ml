@@ -141,7 +141,8 @@ let run ?(wf = false) ?telemetry ?batch_watermark ~shards:n ~cross_pct ~threads
            views)
     in
     let tm =
-      Sh_wf.make ~max_threads:mt ~batch_watermark:wm shards
+      Sh_wf.make ~max_threads:mt ~batch_watermark:wm ~ro_snapshot:Wf.snapshot_ops
+        shards
     in
     (match telemetry with
     | Some te -> Sh_wf.attach_telemetry tm te
@@ -168,7 +169,8 @@ let run ?(wf = false) ?telemetry ?batch_watermark ~shards:n ~cross_pct ~threads
            views)
     in
     let tm =
-      Sh_lf.make ~max_threads:mt ~batch_watermark:wm shards
+      Sh_lf.make ~max_threads:mt ~batch_watermark:wm ~ro_snapshot:Lf.snapshot_ops
+        shards
     in
     (match telemetry with
     | Some te -> Sh_lf.attach_telemetry tm te

@@ -235,6 +235,95 @@ let test_set_over_romulus_lr () =
   check int "cardinal" (4 * 16) (RomSet.cardinal s)
 
 (* ------------------------------------------------------------------ *)
+(* RomulusLR left-right mechanics under a scripted schedule.
+
+   The wait-free reader guarantee of the left-right technique has three
+   observable halves, and a random schedule rarely exercises the
+   straggler window, so the schedule is scripted:
+
+   1. a reader that ARRIVED before the writer's toggle keeps reading
+      its replica untouched until it departs — the writer's drain must
+      wait for it (the writer cannot retire while the straggler is on
+      the old side);
+   2. a reader arriving AFTER the toggle sees the new version
+      immediately, even while the writer is still parked in drain;
+   3. once the straggler departs the writer completes and patches the
+      old side, so later readers on either side see the new version.
+
+   Script: park R1 between its version-index arrival and its first
+   load; give the writer a generous step budget (it must NOT finish —
+   it is spinning in drain on R1's version); run R2 to completion mid-
+   drain; release R1; let the writer retire. *)
+
+module Rom = Baselines.Romulus
+
+let test_romlr_readers_vs_toggle () =
+  let t = Rom.create ~variant:Rom.Lr ~half:(1 lsl 12) ~max_threads:4 () in
+  let r0 = Rom.root t 0 and r1 = Rom.root t 1 in
+  ignore
+    (Sched.run
+       [|
+         (fun () ->
+           ignore
+             (Rom.run_update t (fun tx ->
+                  Rom.store tx r0 1;
+                  Rom.store tx r1 1)));
+       |]);
+  let w_done = ref false
+  and w_parked_in_drain = ref false
+  and r1_in = ref false
+  and r1_res = ref (-1, -1)
+  and r2_res = ref (-1, -1)
+  and r2_done = ref false in
+  let fibers =
+    [|
+      (fun () ->
+        Rom.run_update t (fun tx ->
+            Rom.store tx r0 2;
+            Rom.store tx r1 2);
+        w_done := true);
+      (fun () ->
+        r1_res :=
+          Rom.run_read t (fun tx ->
+              r1_in := true;
+              let a = Rom.load tx r0 in
+              (a, Rom.load tx r1)));
+      (fun () ->
+        r2_res := Rom.run_read t (fun tx -> (Rom.load tx r0, Rom.load tx r1));
+        r2_done := true);
+    |]
+  in
+  (* the writer's pre-drain work is well under 100 scheduler steps; 600
+     consecutive writer steps therefore end inside the drain spin *)
+  let w_budget = 600 in
+  let w_steps = ref 0 in
+  let pick ~step:_ ~enabled ~last:_ =
+    let has tid = Array.exists (fun x -> x = tid) enabled in
+    if (not !r1_in) && has 1 then 1
+    else if !w_steps < w_budget && has 0 then begin
+      incr w_steps;
+      if !w_steps = w_budget then w_parked_in_drain := not !w_done;
+      0
+    end
+    else if (not !r2_done) && has 2 then 2
+    else if has 1 then 1
+    else if has 0 then 0
+    else enabled.(0)
+  in
+  let r = Explore.run ~pick fibers in
+  check bool "schedule ran to completion" true (r.Explore.status = Explore.Completed);
+  check bool "drain waits: writer cannot retire while the straggler reads" true
+    !w_parked_in_drain;
+  check (Alcotest.pair int int) "straggler reads its frozen pre-toggle snapshot"
+    (1, 1) !r1_res;
+  check (Alcotest.pair int int) "post-toggle reader sees the new version mid-drain"
+    (2, 2) !r2_res;
+  check bool "writer retired after the straggler departed" true !w_done;
+  check (Alcotest.pair int int) "steady state: both roots on the new version"
+    (2, 2)
+    (Rom.run_read t (fun tx -> (Rom.load tx r0, Rom.load tx r1)))
+
+(* ------------------------------------------------------------------ *)
 (* Hand-made queues *)
 
 let queue_no_loss enqueue dequeue () =
@@ -504,6 +593,11 @@ let () =
           Alcotest.test_case "ll set over tinystm" `Quick test_set_over_tiny;
           Alcotest.test_case "ll set over elastic estm" `Quick test_set_over_estm_elastic;
           Alcotest.test_case "ll set over romulus-lr" `Quick test_set_over_romulus_lr;
+        ] );
+      ( "left-right",
+        [
+          Alcotest.test_case "romlr readers vs toggle" `Quick
+            test_romlr_readers_vs_toggle;
         ] );
       ( "queues",
         [

@@ -254,6 +254,58 @@ let test_planted_stale_dedup () =
       check_bool "shrunk program still crashes" true (small.E.crash <> None);
       assert_deterministic_replay small
 
+(* --- planted stale snapshot pin (wait-free read path self-check) --- *)
+
+(* The snapshot-read fault: [stale_ro_snapshot] pins the raw curTx
+   sequence instead of the newest fully-applied one, so a read-only
+   transaction whose pin lands mid-apply resolves some words at the
+   half-published sequence (already-DCASed words at their new values)
+   and others before it — a mix no serialization explains.  Only the
+   oracle can see this: the per-word sanitizer accepts any in-window
+   version, so the searches run with the sanitizer off.  Read-weighted
+   programs (Proggen ro_weight) keep snapshot readers in flight against
+   the write churn the fault needs. *)
+let test_planted_stale_ro_snapshot () =
+  let config =
+    { E.default with E.sanitize = false; fault = E.Stale_ro_snapshot }
+  in
+  let find prog =
+    (E.explore_exhaustive ~config ~max_executions:3000 prog).E.failure
+  in
+  let rec hunt = function
+    | [] -> None
+    | seed :: rest -> (
+        let prog =
+          Proggen.gen_program ~max_txns:4 ~max_ops:4 ~ro_weight:2 seed
+        in
+        match find prog with Some f -> Some f | None -> hunt rest)
+  in
+  match hunt [ 1; 2; 3; 4; 5; 6; 7; 8 ] with
+  | None -> Alcotest.fail "planted stale ro snapshot not found within budget"
+  | Some f ->
+      let small = E.shrink ~find f in
+      (* the minimal manifestation is one multi-word writer and one
+         reader that straddles its apply *)
+      check_bool "shrinks to at most 2 transactions" true
+        (List.length small.E.program <= 2);
+      assert_deterministic_replay small
+
+let test_stale_ro_snapshot_clean () =
+  (* the same read-weighted searches on the healthy snapshot path stay
+     silent: epoch pinning is not over-approximated into false alarms *)
+  let config = { E.default with E.sanitize = false } in
+  List.iter
+    (fun seed ->
+      let prog =
+        Proggen.gen_program ~max_txns:4 ~max_ops:4 ~ro_weight:2 seed
+      in
+      match
+        (E.explore_exhaustive ~config ~max_executions:800 prog).E.failure
+      with
+      | Some f -> Alcotest.failf "seed %d: %a" seed E.pp_failure f
+      | None -> ())
+    [ 1; 2; 3 ]
+
 (* --- sharded exploration (Tm_shard router) ------------------------- *)
 
 (* the schedule and crash searches run unchanged over the cross-shard
@@ -443,6 +495,10 @@ let () =
           Alcotest.test_case "stale-dedup-via-oracle" `Quick
             test_planted_stale_dedup;
           Alcotest.test_case "no-false-positives" `Quick test_no_false_positives;
+          Alcotest.test_case "stale-ro-snapshot-via-oracle" `Quick
+            test_planted_stale_ro_snapshot;
+          Alcotest.test_case "stale-ro-snapshot-clean" `Quick
+            test_stale_ro_snapshot_clean;
         ] );
       ( "sharded",
         [

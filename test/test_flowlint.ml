@@ -78,6 +78,7 @@ let test_corpus_covers_all_rules () =
     [
       "missing-flush"; "duplicate-flush"; "publish-before-flush";
       "missing-preflush"; "unbounded-loop"; "lock-order"; "flowlint-annot";
+      "unpinned-snapshot-load";
     ]
 
 (* Repo scoping: the same fixture under a path outside the wait-free
@@ -136,6 +137,25 @@ let test_core0_publish_before_flush () =
   (* both the lf and wf commit paths publish the unflushed log *)
   check Alcotest.int "both commit paths flagged" 2
     (List.length (List.filter (( = ) "publish-before-flush") rules))
+
+(* The snapshot-read rule on the real tree: core0's two caller-held-pin
+   load sites are justified with ok-annotations; stripping both (turning
+   them into plain comments) must make the analyzer flag exactly those
+   two loads — the suppressions are load-bearing, not decorative. *)
+let snap_ok_annot = "flowlint: ok unpinned-snapshot-load"
+
+let test_core0_unpinned_snapshot_load () =
+  let src =
+    read_file core0_path
+    |> replace ~what:snap_ok_annot ~by:""
+    |> replace ~what:snap_ok_annot ~by:""
+  in
+  let rules = List.map (fun (f : Lint.finding) -> f.rule) (analyze_core0 src) in
+  check
+    Alcotest.(list string)
+    "both caller-pinned load sites are flagged without their annotations"
+    [ "unpinned-snapshot-load"; "unpinned-snapshot-load" ]
+    rules
 
 (* ------------------------------------------------------------------ *)
 (* Report: JSON round-trip and baseline diff                           *)
@@ -201,6 +221,8 @@ let () =
           Alcotest.test_case "missing preflush" `Quick test_core0_missing_preflush;
           Alcotest.test_case "publish before flush" `Quick
             test_core0_publish_before_flush;
+          Alcotest.test_case "unpinned snapshot load" `Quick
+            test_core0_unpinned_snapshot_load;
         ] );
       ( "report",
         [

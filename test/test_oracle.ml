@@ -57,7 +57,7 @@ let mk_sh_lf ~shards:n ~sanitize () =
            sh)
          (sharded_views n))
   in
-  Sh_lf.make ~max_threads:8 shards
+  Sh_lf.make ~max_threads:8 ~ro_snapshot:Lf.snapshot_ops shards
 
 let mk_sh_wf ~shards:n ~sanitize () =
   let shards =
@@ -72,7 +72,7 @@ let mk_sh_wf ~shards:n ~sanitize () =
            sh)
          (sharded_views n))
   in
-  Sh_wf.make ~max_threads:8 shards
+  Sh_wf.make ~max_threads:8 ~ro_snapshot:Wf.snapshot_ops shards
 
 type outcome = { lf_ok : bool; wf_ok : bool }
 
@@ -90,10 +90,10 @@ let agrees ~sanitize prog =
 
 let seeds = 210
 
-let run_all () =
+let run_all ?ro_weight () =
   for seed = 1 to seeds do
     let sanitize = seed mod 10 = 0 in
-    let prog = Proggen.gen_program seed in
+    let prog = Proggen.gen_program ?ro_weight seed in
     let o = check ~sanitize prog in
     if not (o.lf_ok && o.wf_ok) then begin
       let small =
@@ -117,13 +117,13 @@ let run_all () =
    transfer_weight: None is the historical ~transfers:true mix (~17%
    transfers), Some w pins the mix precisely — 0 / 3 / 10 give the
    0% / ~25% / 50% cross-mix points of the batched-router battery. *)
-let run_sharded ?weight n () =
+let run_sharded ?weight ?ro_weight n () =
   for seed = 1 to seeds do
     let sanitize = seed mod 10 = 0 in
     let prog =
       match weight with
-      | None -> Proggen.gen_program ~transfers:true seed
-      | Some w -> Proggen.gen_program ~transfer_weight:w seed
+      | None -> Proggen.gen_program ~transfers:true ?ro_weight seed
+      | Some w -> Proggen.gen_program ~transfer_weight:w ?ro_weight seed
     in
     let sh_check p =
       let expected = Run_seq.run mk_seq p in
@@ -193,7 +193,7 @@ let () =
         [
           Alcotest.test_case
             (Printf.sprintf "lf/wf-vs-seqtm-%d-seeds" seeds)
-            `Quick run_all;
+            `Quick (fun () -> run_all ());
           Alcotest.test_case
             (Printf.sprintf "sharded-1-vs-seqtm-%d-seeds" seeds)
             `Quick (run_sharded 1);
@@ -203,6 +203,28 @@ let () =
           Alcotest.test_case
             (Printf.sprintf "sharded-4-vs-seqtm-%d-seeds" seeds)
             `Quick (run_sharded 4);
+          (* read-mostly battery (Proggen ro_weight 4: ~62% read-only):
+             read_tx now runs on the wait-free snapshot path, so these
+             pin its serializability — unsharded LF/WF epoch pinning
+             under write churn, and the router's per-shard epoch-vector
+             cut (seqlock + double collect) at 1/2/4 shards with a ~23%
+             transfer mix keeping cross-shard writers in flight *)
+          Alcotest.test_case
+            (Printf.sprintf "lf/wf-romix-vs-seqtm-%d-seeds" seeds)
+            `Quick
+            (fun () -> run_all ~ro_weight:4 ());
+          Alcotest.test_case
+            (Printf.sprintf "sharded-1-romix-vs-seqtm-%d-seeds" seeds)
+            `Quick
+            (run_sharded ~weight:3 ~ro_weight:4 1);
+          Alcotest.test_case
+            (Printf.sprintf "sharded-2-romix-vs-seqtm-%d-seeds" seeds)
+            `Quick
+            (run_sharded ~weight:3 ~ro_weight:4 2);
+          Alcotest.test_case
+            (Printf.sprintf "sharded-4-romix-vs-seqtm-%d-seeds" seeds)
+            `Quick
+            (run_sharded ~weight:3 ~ro_weight:4 4);
           (* cross-mix battery for the batched router: 2/4 shards at a
              pinned 0% / ~25% / 50% transfer mix (transfer_weight
              0 / 3 / 10).  0% keeps every transaction single-shard (the

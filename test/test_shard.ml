@@ -27,7 +27,7 @@ let mk_sharded ?(mode = Region.Persistent) ?(n = 4) ?(span = 4096) () =
              ~ws_cap:256 ~num_roots:8 ())
          views)
   in
-  (device, Sh_wf.make ~max_threads:8 shards)
+  (device, Sh_wf.make ~max_threads:8 ~ro_snapshot:Wf.snapshot_ops shards)
 
 let accounts = 8
 
@@ -557,7 +557,13 @@ let test_torn_batch_found () =
     | seed :: rest -> (
         match find (sweep_prog seed) with Some f -> Some f | None -> hunt rest)
   in
-  match hunt [ 1; 2; 3; 4; 5 ] with
+  (* the truncation only bites when the SECOND member contributes fresh
+     addresses (values are looked up in the full union, so a same-cells
+     batch writes a complete record anyway).  Read-only transactions no
+     longer pad batches — they run on the snapshot path — so seeds whose
+     concurrent transfers hit identical root pairs (1-5) form torn-proof
+     batches; the hunt continues to seeds with disjoint pairs. *)
+  match hunt [ 1; 2; 5; 11; 16 ] with
   | None -> Alcotest.fail "planted torn batch record not found within budget"
   | Some f ->
       check bool "found at a crash point" true (f.E.crash <> None);
@@ -595,7 +601,7 @@ let test_lf_router_volatile () =
              ~ws_cap:256 ())
          views)
   in
-  let tm = Sh_lf.make ~max_threads:8 shards in
+  let tm = Sh_lf.make ~max_threads:8 ~ro_snapshot:Lf.snapshot_ops shards in
   ignore
     (Sh_lf.update_tx tm (fun tx ->
          Sh_lf.store tx (Sh_lf.root tm 0) 1;

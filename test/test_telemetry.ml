@@ -229,6 +229,176 @@ let test_two_instances_one_registry () =
   check_int "anonymous instance keeps bare keys" 2
     (Telemetry.get t2 "tx.commits")
 
+(* --- wait-free snapshot reads ground truth ------------------------- *)
+
+(* The RO-path counters checked against hand-counted values under a
+   scripted 3-thread schedule (same style as the router batch pin
+   below): two readers pin their epochs, a writer commits twice UNDER
+   both pins, and the readers then finish against their frozen
+   snapshots.  Every count is exact: one epoch pin per read_tx (the pin
+   is 3 straight-line steps — wait-free, so it can never re-tick), one
+   RO commit per reader, and zero aborts anywhere — the snapshot path
+   never restarts, and the single writer is uncontended.  The
+   pre-change validating path would have restarted both readers here
+   (their start seq is two commits stale by the time they load). *)
+
+let test_ro_pin_scripted_schedule () =
+  let tm = Lf.create ~mode:Region.Volatile ~size:(1 lsl 14) ~ws_cap:64 () in
+  let r0 = Lf.root tm 0 in
+  ignore (Lf.update_tx tm (fun tx -> Lf.store tx r0 10; 0));
+  (* attach after the setup store so every counter starts at zero *)
+  let te = Telemetry.create () in
+  Lf.attach_telemetry tm te;
+  let r1_res = ref (-1) and r2_res = ref (-1) in
+  (* fibers: W (0) commits 11 then 12 into r0; R1 (1) and R2 (2) are
+     single-load read-only transactions *)
+  let fibers =
+    [|
+      (fun () ->
+        for i = 11 to 12 do
+          ignore (Lf.update_tx tm (fun tx -> Lf.store tx r0 i; 0))
+        done);
+      (fun () -> r1_res := Lf.read_tx tm (fun tx -> Lf.load tx r0));
+      (fun () -> r2_res := Lf.read_tx tm (fun tx -> Lf.load tx r0));
+    |]
+  in
+  (* the script, phrased in the live counters:
+     1. run R1 until its epoch is pinned (tx.ro_epoch_pins = 1) — it
+        parks at its first load, snapshot frozen;
+     2. run R2 likewise (tx.ro_epoch_pins = 2);
+     3. run W to completion of both updates (tx.commits = 2): the
+        version store captures the overwritten word under the pins;
+     4. resume R1 to its commit (tx.ro_commits = 1), then R2, then
+        drain — both must resolve r0 at their pinned epoch. *)
+  let pick ~step:_ ~enabled ~last:_ =
+    let has t = Array.exists (fun x -> x = t) enabled in
+    let pins = Telemetry.get te "tx.ro_epoch_pins" in
+    let commits = Telemetry.get te "tx.commits" in
+    let rocs = Telemetry.get te "tx.ro_commits" in
+    if pins < 1 && has 1 then 1
+    else if pins < 2 && has 2 then 2
+    else if commits < 2 && has 0 then 0
+    else if rocs < 1 && has 1 then 1
+    else if has 2 then 2
+    else if has 0 then 0
+    else enabled.(0)
+  in
+  let r = Explore.run ~pick fibers in
+  check_bool "schedule ran to completion" true
+    (r.Explore.status = Explore.Completed);
+  check_int "epoch pins: exactly one per read_tx" 2
+    (Telemetry.get te "tx.ro_epoch_pins");
+  check_int "ro commits: both readers committed" 2
+    (Telemetry.get te "tx.ro_commits");
+  check_int "writer commits" 2 (Telemetry.get te "tx.commits");
+  check_int "zero aborts: RO never restarts, W is uncontended" 0
+    (Telemetry.get te "tx.aborts");
+  (* both readers pinned before W's first commit, so both must observe
+     the pre-churn value — the two later commits are invisible *)
+  check_int "R1 reads its frozen snapshot" 10 !r1_res;
+  check_int "R2 reads its frozen snapshot" 10 !r2_res;
+  (* each RO commit samples its snapshot lag; R1/R2 held their pins
+     across both of W's commits, so the maximum observed lag is >= 2 *)
+  let s = Telemetry.span_summary te "ro.snapshot_lag" in
+  check_int "lag sampled once per RO commit" 2 s.Telemetry.count;
+  check_bool "pins held across both commits" true (s.Telemetry.max >= 2);
+  check_int "follow-up read sees the final value" 12
+    (Lf.read_tx tm (fun tx -> Lf.load tx r0))
+
+(* Zero aborts under free-running write churn: ONE writer (so every
+   writer-side conflict is impossible — any abort in the run would be
+   attributable to the read-only transactions) hammers two roots while
+   four snapshot readers check consistency; every read_tx must commit
+   on its first and only epoch pin, with tx.aborts pinned at zero for
+   the whole run.  A control run with the SAME schedule but the
+   pre-change validating read path must tick tx.aborts — proving the
+   zero is the snapshot path's doing, not a vacuous counter. *)
+let churn_iters = 40
+let churn_readers = 4
+
+let churn_fibers (type a b)
+    (module T : Tm.Tm_intf.S with type t = a and type tx = b)
+    ~(read_tx : a -> (b -> int) -> int) (tm : a) =
+  let r0 = T.root tm 0 and r1 = T.root tm 1 in
+  Array.init (1 + churn_readers) (fun i () ->
+      if i = 0 then
+        for _ = 1 to churn_iters do
+          ignore
+            (T.update_tx tm (fun tx ->
+                 T.store tx r0 (T.load tx r0 + 1);
+                 T.store tx r1 (T.load tx r1 + 1);
+                 0))
+        done
+      else
+        for _ = 1 to churn_iters do
+          (* the writer keeps r0 = r1 invariant; a snapshot mixing two
+             different commits would return a nonzero difference *)
+          let d = read_tx tm (fun tx -> T.load tx r0 - T.load tx r1) in
+          check_int "snapshot is transactionally consistent" 0 d
+        done)
+
+let test_ro_zero_aborts_under_churn () =
+  let tm =
+    Wf.create ~mode:Region.Volatile ~size:(1 lsl 14) ~max_threads:8
+      ~ws_cap:64 ()
+  in
+  let te = Telemetry.create () in
+  Wf.attach_telemetry tm te;
+  ignore
+    (Sched.run ~cores:4 ~policy:Sched.Random_order ~seed:11
+       (churn_fibers (module Wf) ~read_tx:Wf.read_tx tm));
+  let ro = churn_readers * churn_iters in
+  check_int "every RO tx committed" ro (Telemetry.get te "tx.ro_commits");
+  check_int "exactly one wait-free pin per RO tx" ro
+    (Telemetry.get te "tx.ro_epoch_pins");
+  check_int "zero aborts under churn" 0 (Telemetry.get te "tx.aborts");
+  check_int "lag sampled per RO commit" ro
+    (Telemetry.span_summary te "ro.snapshot_lag").Telemetry.count;
+  (* this verification read_tx samples lag itself — keep it after the
+     count pin above *)
+  check_int "every writer op applied" churn_iters
+    (Wf.read_tx tm (fun tx -> Wf.load tx (Wf.root tm 0)));
+  (* control: the pre-change validating read path DOES restart (and
+     tick tx.aborts) when a commit lands mid-read — so the zero above
+     is the snapshot path's doing, not a dead counter.  Scripted: park
+     the validating reader between capturing start_seq and its first
+     load, run the writer to a commit, resume — the load observes
+     seq > start_seq and must abort exactly once. *)
+  let tm' =
+    Lf.create ~mode:Region.Volatile ~size:(1 lsl 14) ~max_threads:8
+      ~ws_cap:64 ()
+  in
+  let te' = Telemetry.create () in
+  Lf.attach_telemetry tm' te';
+  let r0' = Lf.root tm' 0 in
+  let in_read = ref false in
+  let fibers' =
+    [|
+      (fun () ->
+        ignore
+          (Lf.update_tx tm' (fun tx -> Lf.store tx r0' 7; 0)));
+      (fun () ->
+        ignore
+          (Lf.read_tx_validating tm' (fun tx ->
+               in_read := true;
+               Lf.load tx r0')));
+    |]
+  in
+  let pick ~step:_ ~enabled ~last:_ =
+    let has t = Array.exists (fun x -> x = t) enabled in
+    if Telemetry.get te' "tx.commits" < 1 then
+      if !in_read && has 0 then 0
+      else if has 1 then 1
+      else enabled.(0)
+    else if has 1 then 1
+    else enabled.(0)
+  in
+  let r = Explore.run ~pick fibers' in
+  check_bool "control schedule ran to completion" true
+    (r.Explore.status = Explore.Completed);
+  check_int "validating reader restarts when a commit lands mid-read" 1
+    (Telemetry.get te' "tx.aborts")
+
 (* --- cross-shard router ground truth ------------------------------- *)
 
 (* The router's batcher counters checked against hand-counted values:
@@ -249,7 +419,7 @@ let mk_router () =
              ~ws_cap:256 ~num_roots:8 ())
          views)
   in
-  Sh_wf.make ~max_threads:8 shards
+  Sh_wf.make ~max_threads:8 ~ro_snapshot:Wf.snapshot_ops shards
 
 (* roots 0 and 1 live on shards 0 and 1: this transfer always escapes to
    the cross-shard pipeline *)
@@ -377,6 +547,13 @@ let () =
           Alcotest.test_case "wf-counters" `Quick test_wf_counters;
           Alcotest.test_case "two-instances-one-registry" `Quick
             test_two_instances_one_registry;
+        ] );
+      ( "snapshot-reads",
+        [
+          Alcotest.test_case "scripted-3-thread-ro-pins" `Quick
+            test_ro_pin_scripted_schedule;
+          Alcotest.test_case "zero-aborts-under-churn" `Quick
+            test_ro_zero_aborts_under_churn;
         ] );
       ( "router",
         [
