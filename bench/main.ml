@@ -1116,6 +1116,94 @@ let fig_shards mode =
     ~columns ~better:J.Lower_better (pwb_rows gwf)
 
 (* ------------------------------------------------------------------ *)
+(* Figure "elastic" (extension): live range migration under traffic
+   (DESIGN.md §14).  Shard_bench.run_elastic runs a read-mostly
+   transfer mix while a migrator fiber storms split/merge cycles around
+   the shard ring, so traffic keeps crossing live moves and epoch
+   flips.  Three hard gates fail the figure instead of skewing it: the
+   account total must survive the post-run recovery (which lands
+   mid-migration whenever the round cap caught the migrator in its copy
+   loop), every read-only sum must see the invariant total (a torn
+   snapshot cut across a move), and no completed migration window may
+   contain zero read-only commits — the elasticity claim that the
+   snapshot read path never stalls while a range moves.  The "min
+   RO/window" column carries that last gate into the committed JSON so
+   bench_diff also guards it against erosion. *)
+
+let fig_elastic mode =
+  let rounds = mode.rounds / 2 in
+  let threads = 8 in
+  let shard_counts = [ 2; 4 ] in
+  let cell ~wf n =
+    let r =
+      Shard_bench.run_elastic ~wf ~telemetry:!tele ~shards:n ~threads ~rounds
+        ~seed:(mix (17 + (53 * n) + if wf then 1 else 0))
+        ()
+    in
+    let fail msg =
+      failwith
+        (Printf.sprintf "elastic figure: %s (%s, %d shards)" msg
+           (if wf then "WF" else "LF")
+           n)
+    in
+    if not r.Shard_bench.e_conserved then
+      fail "account total not conserved after recovery";
+    if not r.Shard_bench.e_ro_consistent then
+      fail "a read-only sum saw a torn snapshot during a live move";
+    if r.Shard_bench.e_migrations = 0 then
+      fail "no migration completed (the figure exercised nothing)";
+    if r.Shard_bench.e_min_ro = 0 then
+      fail "read-only throughput dropped to zero during a migration";
+    r
+  in
+  let label ~wf n = Printf.sprintf "%s %d shards" (if wf then "WF" else "LF") n in
+  let grid =
+    List.concat_map
+      (fun wf -> List.map (fun n -> (label ~wf n, cell ~wf n)) shard_counts)
+      [ false; true ]
+  in
+  let per_kround ops = float_of_int ops *. 1000.0 /. float_of_int rounds in
+  emit ~label_col:"series"
+    ~title:
+      (Printf.sprintf
+         "Elastic migration storm: traffic throughput (ops/kround, %d threads)"
+         threads)
+    ~columns:[ "updates"; "ro-sums" ]
+    ~better:J.Higher_better
+    (List.map
+       (fun (l, r) ->
+         ( l,
+           [
+             per_kround r.Shard_bench.e_updates;
+             per_kround r.Shard_bench.e_ro;
+           ] ))
+       grid);
+  emit ~label_col:"series"
+    ~title:"Elastic migration storm: reads survive every migration window"
+    ~columns:[ "migrations"; "min RO/window"; "map epoch" ]
+    ~better:J.Higher_better
+    (List.map
+       (fun (l, r) ->
+         ( l,
+           [
+             float_of_int r.Shard_bench.e_migrations;
+             float_of_int r.Shard_bench.e_min_ro;
+             float_of_int r.Shard_bench.e_epoch;
+           ] ))
+       grid);
+  emit ~label_col:"series"
+    ~title:"Elastic migration storm: pwb per committed tx"
+    ~columns:[ "pwb/tx" ] ~better:J.Lower_better
+    (List.map
+       (fun (l, r) ->
+         ( l,
+           [
+             float_of_int r.Shard_bench.e_pwb
+             /. float_of_int (max 1 (r.Shard_bench.e_updates + r.Shard_bench.e_ro));
+           ] ))
+       grid)
+
+(* ------------------------------------------------------------------ *)
 (* Figure "readmix" (extension): read-mostly scaling of the wait-free
    snapshot-read path (DESIGN.md §13).  Linked-list sets at 90/10 and
    99/1 read/write mixes, 1-16 threads.  OF-LF-val is the pre-snapshot
@@ -1187,6 +1275,7 @@ let figures =
     ("micro", "bechamel primitive micro-benchmarks");
     ("hotpath", "hot-path cost trajectory: alloc/op, pwb per tx, helper work (extension)");
     ("shards", "sharded router: throughput and pwb vs cross-shard mix (extension)");
+    ("elastic", "elastic sharding: live range migration under traffic (extension)");
     ("readmix", "read-mostly mixes: wait-free snapshot reads vs validating reads (extension)");
   ]
 
@@ -1260,6 +1349,7 @@ let run_figure mode mode_name name =
   | "micro" -> micro ()
   | "hotpath" -> fig_hotpath mode
   | "shards" -> fig_shards mode
+  | "elastic" -> fig_elastic mode
   | "readmix" -> fig_readmix mode
   | other -> pr "unknown figure %s@." other);
   {

@@ -39,8 +39,9 @@ let usage () =
   --no-sanitize    do not attach the Tmcheck sanitizer
   --plant F        plant a fault: durability | lost-update | stale-dedup
                    | torn-commit-record | torn-batch-record
-                   | stale-ro-snapshot
-                   (the torn-record faults need --shards >= 2)
+                   | stale-ro-snapshot | torn-migration
+                   (the torn-record and torn-migration faults need
+                   --shards >= 2)
   --max-steps N    per-execution step budget (default 50000)
   --no-shrink      print the raw failure without minimizing it
   --out FILE       write the (shrunk) failing trace as JSON
@@ -139,6 +140,7 @@ let () =
         | "torn-commit-record" -> fault := E.Torn_commit_record
         | "torn-batch-record" -> fault := E.Torn_batch_record
         | "stale-ro-snapshot" -> fault := E.Stale_ro_snapshot
+        | "torn-migration" -> fault := E.Torn_migration
         | _ ->
             prerr_endline ("explore: unknown fault " ^ v);
             exit 2);
@@ -162,12 +164,14 @@ let () =
   in
   parse (List.tl (Array.to_list Sys.argv));
   if
-    (!fault = E.Torn_commit_record || !fault = E.Torn_batch_record)
+    (!fault = E.Torn_commit_record
+    || !fault = E.Torn_batch_record
+    || !fault = E.Torn_migration)
     && !shards < 2
   then begin
     prerr_endline
-      "explore: the torn-record faults need --shards >= 2 (--plant \
-       torn-commit-record | torn-batch-record)";
+      "explore: the torn-record and torn-migration faults need --shards >= 2 \
+       (--plant torn-commit-record | torn-batch-record | torn-migration)";
     exit 2
   end;
 
@@ -240,7 +244,8 @@ let () =
          | E.Stale_dedup -> " (planted: stale-dedup)"
          | E.Torn_commit_record -> " (planted: torn-commit-record)"
          | E.Torn_batch_record -> " (planted: torn-batch-record)"
-         | E.Stale_ro_snapshot -> " (planted: stale-ro-snapshot)");
+         | E.Stale_ro_snapshot -> " (planted: stale-ro-snapshot)"
+         | E.Torn_migration -> " (planted: torn-migration)");
        let report = find prog in
        Format.printf "%a" E.pp_report report;
        match report.E.failure with

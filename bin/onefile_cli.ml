@@ -108,42 +108,147 @@ let shards_cmd =
   in
   let wf = Arg.(value & flag & info [ "wf" ] ~doc:"Use the wait-free PTM.") in
   let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scheduler seed.") in
-  let run shards cross threads rounds wf seed =
-    if cross < 0 || cross > 100 then (
-      Format.eprintf "onefile_cli shards: --cross-shard must be 0..100@.";
-      exit 2);
+  let split =
+    Arg.(
+      value & opt (some string) None
+      & info [ "split" ] ~docv:"SRC:DST"
+          ~doc:
+            "Perform one live split (rehome the upper half of shard SRC's \
+             root block onto DST) under the traffic mix, and print the \
+             shard map before and after.")
+  in
+  let merge =
+    Arg.(
+      value & opt (some string) None
+      & info [ "merge" ] ~docv:"SRC:DST"
+          ~doc:
+            "Perform one live merge (retire every range hosted by SRC whose \
+             native home is DST) under the traffic mix, and print the shard \
+             map before and after.")
+  in
+  let parse_pair opt v =
+    match String.split_on_char ':' v with
+    | [ a; b ] -> (
+        match (int_of_string_opt a, int_of_string_opt b) with
+        | Some s, Some d -> (s, d)
+        | _ ->
+            Format.eprintf "onefile_cli shards: %s wants SRC:DST, got %s@." opt v;
+            exit 2)
+    | _ ->
+        Format.eprintf "onefile_cli shards: %s wants SRC:DST, got %s@." opt v;
+        exit 2
+  in
+  let pp_map ppf entries =
+    if Array.length entries = 0 then
+      Format.fprintf ppf "(empty: every range natively homed)"
+    else
+      Array.iteri
+        (fun i (lo, len, shard, base) ->
+          Format.fprintf ppf "%s[%d..%d] -> shard %d @@ %d"
+            (if i = 0 then "" else "; ")
+            lo (lo + len - 1) shard base)
+        entries
+  in
+  let run_migration ~wf ~shards ~threads ~rounds ~seed action =
+    let module SB = Workloads.Shard_bench in
+    let te = Runtime.Telemetry.create () in
     let r =
-      try Workloads.Shard_bench.run ~wf ~shards ~cross_pct:cross ~threads
-            ~rounds ~seed ()
+      try
+        SB.run_elastic_action ~wf ~telemetry:te ~shards ~action ~threads
+          ~rounds ~seed ()
       with Invalid_argument m ->
         Format.eprintf "onefile_cli shards: %s@." m;
         exit 2
     in
-    let open Workloads.Shard_bench in
-    Format.printf
-      "%s router, %d shard%s, %d%% cross-shard, %d threads, %d rounds:@."
+    Format.printf "%s router, %d shards, %d threads, %d rounds, live %a:@."
       (if wf then "OF-WF" else "OF-LF")
-      shards
-      (if shards = 1 then "" else "s")
-      cross threads rounds;
-    Format.printf "  committed txs  %d (%.1f ops/kround), of which cross-shard %d@."
-      r.ops
-      (1000.0 *. float_of_int r.ops /. float_of_int rounds)
-      r.cross;
-    Format.printf "  pwb per tx     %.1f@."
-      (float_of_int r.pwb /. float_of_int (max 1 r.ops));
-    Format.printf "  shard commits  [%s]@."
-      (String.concat "; "
-         (Array.to_list (Array.map string_of_int r.per_shard_commits)));
-    Format.printf "  account total conserved after post-run recovery: %b@."
-      r.conserved;
-    if not r.conserved then exit 1
+      shards threads rounds SB.pp_action action;
+    Format.printf "  map before  (epoch %d)  %a@." r.SB.e_epoch_before pp_map
+      r.SB.e_map_before;
+    List.iter
+      (fun (a, outcome) ->
+        Format.printf "  %a -> %s@." SB.pp_action a
+          (match outcome with
+          | `Ok -> "ok"
+          | `Busy -> "busy (another migration was live)"
+          | `Invalid m -> "invalid: " ^ m))
+      r.SB.e_outcomes;
+    Format.printf "  map after   (epoch %d)  %a@." r.SB.e_epoch pp_map r.SB.e_map;
+    Format.printf "  traffic     %d updates, %d read-only sums%s@." r.SB.e_updates
+      r.SB.e_ro
+      (if r.SB.e_migrations > 0 then
+         Printf.sprintf " (%d read-only commits inside the migration window)"
+           r.SB.e_min_ro
+       else "");
+    let migs = Runtime.Telemetry.get te "router.migrations" in
+    let stall = Runtime.Telemetry.span_summary te "router.migration_stall" in
+    Format.printf
+      "  telemetry   router.migrations=%d router.map_epoch=%d \
+       router.migration_stall: count=%d mean=%.1f max=%d@."
+      migs
+      (Runtime.Telemetry.get te "router.map_epoch")
+      stall.Runtime.Telemetry.count stall.Runtime.Telemetry.mean
+      stall.Runtime.Telemetry.max;
+    Format.printf "  account total conserved: %b; snapshots consistent: %b@."
+      r.SB.e_conserved r.SB.e_ro_consistent;
+    let ok =
+      r.SB.e_conserved && r.SB.e_ro_consistent
+      && List.for_all (fun (_, o) -> o = `Ok) r.SB.e_outcomes
+    in
+    if not ok then exit 1
+  in
+  let run shards cross threads rounds wf seed split merge =
+    if cross < 0 || cross > 100 then (
+      Format.eprintf "onefile_cli shards: --cross-shard must be 0..100@.";
+      exit 2);
+    match (split, merge) with
+    | Some _, Some _ ->
+        Format.eprintf
+          "onefile_cli shards: --split and --merge are mutually exclusive@.";
+        exit 2
+    | Some v, None ->
+        let s, d = parse_pair "--split" v in
+        run_migration ~wf ~shards ~threads ~rounds ~seed
+          (Workloads.Shard_bench.Split (s, d))
+    | None, Some v ->
+        let s, d = parse_pair "--merge" v in
+        run_migration ~wf ~shards ~threads ~rounds ~seed
+          (Workloads.Shard_bench.Merge (s, d))
+    | None, None ->
+        let r =
+          try Workloads.Shard_bench.run ~wf ~shards ~cross_pct:cross ~threads
+                ~rounds ~seed ()
+          with Invalid_argument m ->
+            Format.eprintf "onefile_cli shards: %s@." m;
+            exit 2
+        in
+        let open Workloads.Shard_bench in
+        Format.printf
+          "%s router, %d shard%s, %d%% cross-shard, %d threads, %d rounds:@."
+          (if wf then "OF-WF" else "OF-LF")
+          shards
+          (if shards = 1 then "" else "s")
+          cross threads rounds;
+        Format.printf
+          "  committed txs  %d (%.1f ops/kround), of which cross-shard %d@."
+          r.ops
+          (1000.0 *. float_of_int r.ops /. float_of_int rounds)
+          r.cross;
+        Format.printf "  pwb per tx     %.1f@."
+          (float_of_int r.pwb /. float_of_int (max 1 r.ops));
+        Format.printf "  shard commits  [%s]@."
+          (String.concat "; "
+             (Array.to_list (Array.map string_of_int r.per_shard_commits)));
+        Format.printf "  account total conserved after post-run recovery: %b@."
+          r.conserved;
+        if not r.conserved then exit 1
   in
   Cmd.v
     (Cmd.info "shards"
        ~doc:
-         "Sharded transfer workload over the cross-shard router (Tm_shard)")
-    Term.(const run $ shards $ cross $ threads $ rounds $ wf $ seed)
+         "Sharded transfer workload over the cross-shard router (Tm_shard); \
+          --split/--merge perform one live range migration under traffic")
+    Term.(const run $ shards $ cross $ threads $ rounds $ wf $ seed $ split $ merge)
 
 let costs_cmd =
   let nw = Arg.(value & opt int 8 & info [ "nw" ] ~doc:"Modified words per tx.") in

@@ -390,6 +390,72 @@ let rec snap_walk penv pinned = function
       pinned && p
 
 (* ------------------------------------------------------------------ *)
+(* Migration record order (check 6)                                    *)
+
+(* The live-migration protocol's three named stages (tm_shard):
+   [publish_migration_record] makes the move durable, [migrate_chunk]
+   copies one bounded slice into the write-ahead host block, and
+   [flip_map_epoch] settles the new route.  Two orderings are load-
+   bearing for crash safety: every chunk copy must be dominated by the
+   record publish (a crash mid-copy with no record leaves host cells
+   recovery can neither roll forward nor tie to the held block), and no
+   copy may be reachable after the flip (the flipped map already routes
+   traffic to the host copy, so a late chunk would overwrite post-flip
+   writes with stale source data).  [published] is a must-fact (joins
+   with &&), [flipped] a may-fact (joins with ||). *)
+
+type mst = { published : bool; flipped : bool }
+
+let mjoin a b =
+  { published = a.published && b.published; flipped = a.flipped || b.flipped }
+
+let mig_stage callee =
+  match List.rev (String.split_on_char '.' callee) with
+  | "publish_migration_record" :: _ -> Some `Publish
+  | "migrate_chunk" :: _ -> Some `Copy
+  | "flip_map_epoch" :: _ -> Some `Flip
+  | _ -> None
+
+let rec mig_walk penv st = function
+  | Nil -> st
+  | Ev (Call { callee; line; _ }) -> (
+      match mig_stage callee with
+      | Some `Publish ->
+          (* a fresh durable record opens a new migration *)
+          { published = true; flipped = false }
+      | Some `Flip -> { st with flipped = true }
+      | Some `Copy ->
+          if not st.published then
+            fnd penv line "migration-record-order"
+              "migrate_chunk not dominated by publish_migration_record on \
+               every path: a crash during the copy leaves host cells with no \
+               durable migration record, so recovery can neither roll the \
+               move forward nor recognize the write-ahead block";
+          if st.flipped then
+            fnd penv line "migration-record-order"
+              "migrate_chunk reachable after flip_map_epoch: the flipped map \
+               already routes the range to the host copy, so a late chunk \
+               overwrites post-flip writes with stale source data";
+          st
+      | None -> st)
+  | Ev _ -> st
+  | Seq (a, b) -> mig_walk penv (mig_walk penv st a) b
+  | Branch [] -> st
+  | Branch (x :: rest) ->
+      List.fold_left
+        (fun acc n -> mjoin acc (mig_walk penv st n))
+        (mig_walk penv st x)
+        rest
+  | Loop { body; _ } ->
+      (* the body may run zero or many times: a second pass from the
+         first pass's exit state surfaces orderings violated only across
+         the back edge (a flip followed by the next iteration's copy);
+         the (rule, line) dedupe collapses repeated findings *)
+      let st1 = mig_walk penv st body in
+      ignore (mig_walk penv st1 body);
+      mjoin st st1
+
+(* ------------------------------------------------------------------ *)
 (* Configuration and driver                                            *)
 
 type config = {
@@ -397,6 +463,7 @@ type config = {
   loops : string -> bool;
   locks : string -> bool;
   snaps : string -> bool;
+  migs : string -> bool;
 }
 
 let under dir path =
@@ -411,6 +478,7 @@ let repo_config =
         under "lib/onefile" p || under "lib/reclaim" p || p = "lib/tm/tm_shard.ml");
     locks = (fun p -> p = "lib/tm/tm_shard.ml");
     snaps = (fun p -> under "lib/onefile" p || p = "lib/tm/tm_shard.ml");
+    migs = (fun p -> p = "lib/tm/tm_shard.ml");
   }
 
 let corpus_config =
@@ -419,6 +487,7 @@ let corpus_config =
     loops = (fun _ -> true);
     locks = (fun _ -> true);
     snaps = (fun _ -> true);
+    migs = (fun _ -> true);
   }
 
 let empty_pst = { m = SM.empty; fa = false }
@@ -430,6 +499,7 @@ let run config ~path (file : Eventcfg.file) annots =
   let do_loops = config.loops path in
   let do_locks = config.locks path in
   let do_snaps = config.snaps path in
+  let do_migs = config.migs path in
   List.iter
     (fun (fn : func) ->
       let local = ref [] in
@@ -480,6 +550,8 @@ let run config ~path (file : Eventcfg.file) annots =
       let lpenv = { penv with sink = (fun f -> acc := f :: !acc) } in
       if do_loops then loop_check lpenv annots fn.body;
       if do_snaps then ignore (snap_walk lpenv false fn.body);
+      if do_migs then
+        ignore (mig_walk lpenv { published = false; flipped = false } fn.body);
       if do_locks then begin
         let lock_annot =
           List.exists

@@ -34,6 +34,15 @@
       paths below the router mutex are exempt (the mutex serializes
       cross-shard transactions, so intra-path lock order cannot deadlock
       against another cross transaction).
+    - [migration-record-order] — the live-migration protocol's stage
+      order (DESIGN.md §14), keyed by the callee names
+      [publish_migration_record], [migrate_chunk] and [flip_map_epoch]:
+      a [migrate_chunk] call not dominated on every path by the durable
+      record publish (a crash mid-copy would leave host cells recovery
+      cannot roll forward or tie to the write-ahead hold), or reachable
+      after the epoch flip (a late chunk would overwrite post-flip
+      writes with stale source data).  Loop bodies are walked twice so
+      an order violated only across the back edge is still caught.
 
     [flowlint-annot] findings for malformed annotations are produced by
     the caller from {!Annot.collect}. *)
@@ -43,13 +52,14 @@ type config = {
   loops : string -> bool;  (** paths subject to [unbounded-loop] *)
   locks : string -> bool;  (** paths subject to [lock-order] *)
   snaps : string -> bool;  (** paths subject to [unpinned-snapshot-load] *)
+  migs : string -> bool;  (** paths subject to [migration-record-order] *)
 }
 
 val repo_config : config
 (** Persistence checks everywhere scanned; loop obligations in
-    [lib/onefile], [lib/reclaim] and [lib/tm/tm_shard.ml]; lock order in
-    [lib/tm/tm_shard.ml]; snapshot-pin domination in [lib/onefile] and
-    [lib/tm/tm_shard.ml]. *)
+    [lib/onefile], [lib/reclaim] and [lib/tm/tm_shard.ml]; lock order,
+    migration record order in [lib/tm/tm_shard.ml]; snapshot-pin
+    domination in [lib/onefile] and [lib/tm/tm_shard.ml]. *)
 
 val corpus_config : config
 (** Every check on every path — for fixture corpora and unit tests. *)

@@ -37,7 +37,9 @@ type t = {
   dirty : bool array; (* per device line; empty in Volatile mode *)
   stats : Pstats.t;
   mutable observer : (event -> unit) option;
-  mutable views : t list; (* root only; [] until partitioned *)
+  mutable views : t list;
+      (* on the root: every view ever carved anywhere in the device (the
+         Ev_crash broadcast list); on a view: its own direct sub-views *)
 }
 
 let create ?(mode = Persistent) ?(id = "") n =
@@ -62,10 +64,14 @@ let create ?(mode = Persistent) ?(id = "") n =
     views = [];
   }
 
+(* Views always point at the ROOT device: nested partitioning (carving a
+   view out of a view) composes the offsets instead of chaining parents,
+   so the double-notify in the hot paths stays a two-level affair and
+   [crash] keeps one flat list of views to broadcast [Ev_crash] to. *)
+let root_of t = match t.parent with Some r -> r | None -> t
+
 let partition ?(id_prefix = "s") t sizes =
-  (match t.parent with
-  | Some _ -> invalid_arg "Region.partition: already a view"
-  | None -> ());
+  let root = root_of t in
   let rec build i off = function
     | [] -> []
     | sz :: rest ->
@@ -76,10 +82,10 @@ let partition ?(id_prefix = "s") t sizes =
         let v =
           {
             t with
-            off;
+            off = t.off + off;
             len = sz;
             id = id_prefix ^ string_of_int i;
-            parent = Some t;
+            parent = Some root;
             stats = Pstats.create ();
             observer = None;
             views = [];
@@ -89,13 +95,34 @@ let partition ?(id_prefix = "s") t sizes =
   in
   let vs = build 0 0 sizes in
   t.views <- vs;
+  if root != t then root.views <- root.views @ vs;
   vs
+
+let subview ?(id = "sub") t ~off ~len =
+  if off < 0 || len <= 0 || off + len > t.len then
+    invalid_arg "Region.subview: window out of range";
+  let root = root_of t in
+  let v =
+    {
+      t with
+      off = t.off + off;
+      len;
+      id;
+      parent = Some root;
+      stats = Pstats.create ();
+      observer = None;
+      views = [];
+    }
+  in
+  root.views <- root.views @ [ v ];
+  v
 
 let set_observer t o = t.observer <- o
 let notify t ev = match t.observer with None -> () | Some f -> f ev
 
 let mode t = t.mode
 let size t = t.len
+let offset t = t.off
 let stats t = t.stats
 let id t = t.id
 let parent t = t.parent

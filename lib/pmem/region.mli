@@ -28,9 +28,9 @@ val create : ?mode:mode -> ?id:string -> int -> t
     unprefixed [pmem.*] names. *)
 
 val partition : ?id_prefix:string -> t -> int list -> t list
-(** [partition t sizes] carves the device into consecutive views of the
-    given sizes (each a positive multiple of {!line_cells}; their sum must
-    fit in [t]).  Views share the device's cells, durable shadow and dirty
+(** [partition t sizes] carves [t] into consecutive views of the given
+    sizes (each a positive multiple of {!line_cells}; their sum must fit
+    in [t]).  Views share the device's cells, durable shadow and dirty
     bits, but carry their own {!Pstats}, observer and telemetry id
     ([id_prefix ^ string_of_int i], default prefix ["s"]), so one
     simulated NVM device can host N independent TM instances — the shard
@@ -38,11 +38,33 @@ val partition : ?id_prefix:string -> t -> int list -> t list
     driver.  Cell indices in a view are view-local; the root handle keeps
     addressing the whole device, its observer sees every access in
     device-global coordinates, and its [Pstats] aggregates all views.
-    Partitioning an existing view raises [Invalid_argument]. *)
+
+    [t] may itself be a view: re-partitioning composes the offsets, the
+    sub-views point straight at the root device ({!parent} returns the
+    root, not the intermediate view), and they join the root's view list
+    so they receive [Ev_crash] like first-level views. *)
+
+val subview : ?id:string -> t -> off:int -> len:int -> t
+(** [subview t ~off ~len] is a remappable window over [t]'s cells
+    [off .. off+len-1] (view-local coordinates; any byte-window within
+    bounds, no line alignment required).  Unlike {!partition} it may
+    alias existing views: it is an {e observation} handle — its
+    {!dirty_line_indices}, {!peek} and {!peek_durable} are restricted to
+    the window, which is how the crash-point explorer aims evictions at
+    a live range migration's copy window and how the elastic-shard
+    tooling inspects the migrated range without disturbing the shard
+    views.  Accesses through the shard views are {e not} mirrored into an
+    aliasing subview's [Pstats] (stats are per-handle, not per-range).
+    The subview points at the root device and receives [Ev_crash]. *)
 
 val mode : t -> mode
 val size : t -> int
 (** Cells addressable through this handle — the view length for a view. *)
+
+val offset : t -> int
+(** Device offset of this handle's first cell (0 for a root): the
+    translation between view-local and device-global coordinates, e.g.
+    for passing a view's {!dirty_line_indices} to the root's {!crash}. *)
 
 val stats : t -> Pstats.t
 val id : t -> string

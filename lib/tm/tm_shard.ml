@@ -79,6 +79,26 @@ module Make (T : Tm_intf.S) = struct
   type faults = {
     mutable torn_commit_record : bool;
     mutable torn_batch_record : bool;
+    mutable torn_migration : bool;
+  }
+
+  (* A live range migration (volatile descriptor; the durable truth is
+     the migration record on shard 0).  While the descriptor is
+     installed, every mutative access to [g_lo .. g_lo+g_len-1] is
+     dual-written — to its primary route AND to the other copy (pinned
+     addressing, below) — so whichever side the epoch flip leaves
+     authoritative carries every committed write.  [sbase]/[dbase] are
+     the range's shard-local bases on the source resp. destination. *)
+  type mig = {
+    g_lo : int;
+    g_len : int;
+    m_src : int;
+    m_dst : int;
+    m_sbase : int;
+    m_dbase : int;
+    m_back : bool; (* retiring a remapped range to its native home *)
+    m_epoch : int; (* the map epoch this migration will establish *)
+    stalled : int Satomic.t; (* single-update escapes forced by the move *)
   }
 
   (* One cross-shard request: [run] is executed only by the batch leader
@@ -128,10 +148,13 @@ module Make (T : Tm_intf.S) = struct
 
   type t = {
     shards : T.t array;
-    span : int; (* cells per shard: global g = shard * span + local *)
+    span : int; (* virtual cells per shard: native home of g is g / span *)
     usable_roots : int; (* per shard; the last T root slot is reserved *)
     ctl : int array; (* per-shard control block, shard-local address *)
     rec_base : int; (* batch commit record, local to shard 0 *)
+    map_base : int; (* persistent shard map (epoch + range table), shard 0 *)
+    mig_base : int; (* persistent migration record, local to shard 0 *)
+    max_ranges : int;
     max_pending : int;
     max_writes : int;
     max_frees : int;
@@ -160,6 +183,24 @@ module Make (T : Tm_intf.S) = struct
            epoch / unpin).  When present, cross-shard read-only
            transactions run on the snapshot path: they pin a per-shard
            epoch vector and never enter the prepare queues. *)
+    (* Volatile shard-map cache, mirrored from the persistent table on
+       shard 0 and read via a seqlock/double-collect fast path (the same
+       trick as the pub/done generations below): [map_gen] is 0 while
+       the map has never left the identity mapping — the one-read
+       historical fast path — and otherwise even iff the entry arrays
+       are stable; the epoch-flip writer makes it odd, rewrites the
+       entries, then makes it even again.  Readers (the classify
+       pre-pass included) therefore never block and never take a
+       transaction to route an address, even mid-migration. *)
+    map_gen : int Satomic.t;
+    map_epoch : int Satomic.t;
+    map_n : int Satomic.t;
+    map_lo : int Satomic.t array; (* max_ranges entries: global range lo *)
+    map_len : int Satomic.t array;
+    map_dst : int Satomic.t array; (* owning shard *)
+    map_dbase : int Satomic.t array; (* shard-local base on the owner *)
+    mig : mig option Satomic.t; (* live migration, at most one *)
+    mig_claim : int Satomic.t; (* migrator election: one CAS *)
     pub_gen : int Satomic.t;
     done_gen : int Satomic.t;
         (* the snapshot seqlock (DESIGN.md §13): [pub_gen] is bumped by
@@ -174,16 +215,22 @@ module Make (T : Tm_intf.S) = struct
     c_batches : Telemetry.handle; (* router.batch_commits *)
     c_helps : Telemetry.handle; (* router.helps *)
     c_enqueues : Telemetry.handle; (* router.enqueues *)
+    c_migs : Telemetry.handle; (* router.migrations *)
+    c_epoch : Telemetry.handle; (* router.map_epoch (flips observed) *)
     s_bsize : Telemetry.span_handle; (* router.batch_size *)
+    s_stall : Telemetry.span_handle; (* router.migration_stall *)
     faults : faults;
   }
 
   (* control block: lock | applied_id | pending count | pending slots
      (max_pending) | escape tokens (max_threads) | blocked tokens
-     (max_threads); shard 0 appends the batch commit record:
-     status (0 none / 1 committed / 2 done) | id | participants bitmap |
-     nwrites | nfrees | (gaddr,value) pairs (max_writes) | free gaddrs
-     (max_frees). *)
+     (max_threads) | migration hold; shard 0 appends the batch commit
+     record: status (0 none / 1 committed / 2 done) | id | participants
+     bitmap | nwrites | nfrees | (gaddr,value) pairs (max_writes) | free
+     gaddrs (max_frees); then the persistent shard map:
+     epoch | n | (lo, len, dst, dbase) entries (max_ranges); then the
+     migration record: status (0 none / 1 published / 2 settled) |
+     lo | len | src | dst | sbase | dbase | epoch. *)
   let lock_cell t s = t.ctl.(s)
   let applied_cell t s = t.ctl.(s) + 1
   let pcount_cell t s = t.ctl.(s) + 2
@@ -191,12 +238,95 @@ module Make (T : Tm_intf.S) = struct
   let esc_cell t s tid = t.ctl.(s) + 3 + t.max_pending + tid
   let blk_cell t s tid = t.ctl.(s) + 3 + t.max_pending + t.max_threads + tid
 
-  let shard_of t g = g / t.span
-  let local_of t g = g mod t.span
+  let mighold_cell t s = t.ctl.(s) + 3 + t.max_pending + (2 * t.max_threads)
+
+  (* ---------------------------------------------------------------- *)
+  (* The shard map                                                     *)
+
+  (* Global addresses are map lookups, not arithmetic (DESIGN.md §14).
+     [g / span] names the native home; the range table overrides it for
+     migrated ranges, also translating into the hosting block on the
+     owner.  A global name NEVER changes across a migration — only its
+     route does — so pointers stored inside cells stay valid.
+
+     Negative addresses are PINNED: [pin t s l] names shard-local cell
+     [l] on shard [s] directly, bypassing the map.  The migration
+     machinery uses them for the secondary copy of a dual-write, so a
+     batch that straddles an epoch flip still applies (and replays from
+     its record) to the exact cells it wrote. *)
   let global t s l = (s * t.span) + l
+  let pin t s l = -(global t s l) - 1
+
+  (* flowlint: bounded the double-collect retries only across a concurrent epoch flip; flips are serialized by the migrator election and each is one bounded volatile update *)
+  let rec route t g =
+    if g < 0 then
+      let a = -g - 1 in
+      (a / t.span, a mod t.span)
+    else
+      let g1 = Satomic.get t.map_gen in
+      if g1 = 0 then (g / t.span, g mod t.span) (* never migrated *)
+      else if g1 land 1 = 1 then begin
+        Sched.step_point ();
+        route t g
+      end
+      else begin
+        let n = Satomic.get t.map_n in
+        let s = ref (-1) and l = ref 0 and i = ref 0 in
+        (* flowlint: bounded the table holds at most max_ranges entries *)
+        while !s < 0 && !i < n do
+          let lo = Satomic.get t.map_lo.(!i) in
+          let len = Satomic.get t.map_len.(!i) in
+          if g >= lo && g < lo + len then begin
+            s := Satomic.get t.map_dst.(!i);
+            l := Satomic.get t.map_dbase.(!i) + (g - lo)
+          end;
+          incr i
+        done;
+        let r = if !s >= 0 then (!s, !l) else (g / t.span, g mod t.span) in
+        if Satomic.get t.map_gen <> g1 then begin
+          Sched.step_point ();
+          route t g
+        end
+        else r
+      end
+
+  let shard_of t g = fst (route t g)
+  let local_of t g = snd (route t g)
+
+  (* the live migration covering [g], if any (one volatile read) *)
+  let mig_range t g =
+    if g < 0 then None
+    else
+      match Satomic.get t.mig with
+      | Some m when g >= m.g_lo && g < m.g_lo + m.g_len -> Some m
+      | _ -> None
+
+  (* the secondary copy of a dual-write: whichever side of the move the
+     primary route does not currently name *)
+  let mig_alias t (m : mig) g =
+    let off = g - m.g_lo in
+    if fst (route t g) = m.m_dst then pin t m.m_src (m.m_sbase + off)
+    else pin t m.m_dst (m.m_dbase + off)
+
+  (* (re)load the volatile map cache from the persistent table on shard
+     0 — sequential set-up / recovery code (no concurrent readers) *)
+  let load_map_cache t =
+    let rd0 l = T.read_tx t.shards.(0) (fun itx -> T.load itx l) in
+    let ep = rd0 t.map_base and en = rd0 (t.map_base + 1) in
+    Satomic.set t.map_epoch ep;
+    Satomic.set t.map_n en;
+    for i = 0 to en - 1 do
+      let e = t.map_base + 2 + (4 * i) in
+      Satomic.set t.map_lo.(i) (rd0 e);
+      Satomic.set t.map_len.(i) (rd0 (e + 1));
+      Satomic.set t.map_dst.(i) (rd0 (e + 2));
+      Satomic.set t.map_dbase.(i) (rd0 (e + 3))
+    done;
+    Satomic.set t.map_gen (if ep > 0 || en > 0 then 2 else 0)
 
   let make ?(max_pending = 32) ?(max_cross_writes = 64) ?(max_cross_frees = 32)
-      ?(max_threads = 64) ?(batch_watermark = 7) ?ro_snapshot shards =
+      ?(max_threads = 64) ?(batch_watermark = 7) ?(max_ranges = 8) ?ro_snapshot
+      shards =
     let n = Array.length shards in
     if n < 1 then invalid_arg "Tm_shard.make: need at least one shard";
     if n > 62 then
@@ -212,8 +342,10 @@ module Make (T : Tm_intf.S) = struct
       shards;
     if nroots < 2 then
       invalid_arg "Tm_shard.make: shards need >= 2 roots (one is reserved)";
-    let ctl_cells = 3 + max_pending + (2 * max_threads) in
+    let ctl_cells = 4 + max_pending + (2 * max_threads) in
     let rec_cells = 5 + (2 * max_cross_writes) + max_cross_frees in
+    let map_cells = 2 + (4 * max_ranges) in
+    let mig_cells = 8 in
     let ctl =
       Array.init n (fun s ->
           let sh = shards.(s) in
@@ -221,7 +353,9 @@ module Make (T : Tm_intf.S) = struct
           let existing = T.read_tx sh (fun itx -> T.load itx slot) in
           if existing <> 0 then existing
           else
-            let cells = ctl_cells + if s = 0 then rec_cells else 0 in
+            let cells =
+              ctl_cells + if s = 0 then rec_cells + map_cells + mig_cells else 0
+            in
             T.update_tx sh (fun itx ->
                 let a = T.alloc itx cells in
                 T.store itx slot a;
@@ -235,6 +369,9 @@ module Make (T : Tm_intf.S) = struct
         usable_roots = nroots - 1;
         ctl;
         rec_base = ctl.(0) + ctl_cells;
+        map_base = ctl.(0) + ctl_cells + rec_cells;
+        mig_base = ctl.(0) + ctl_cells + rec_cells + map_cells;
+        max_ranges;
         max_pending;
         max_writes = max_cross_writes;
         max_frees = max_cross_frees;
@@ -252,16 +389,37 @@ module Make (T : Tm_intf.S) = struct
         next_txid = Satomic.make 0;
         next_home = Satomic.make 0;
         snap = ro_snapshot;
+        map_gen = Satomic.make 0;
+        map_epoch = Satomic.make 0;
+        map_n = Satomic.make 0;
+        map_lo = Array.init max_ranges (fun _ -> Satomic.make 0);
+        map_len = Array.init max_ranges (fun _ -> Satomic.make 0);
+        map_dst = Array.init max_ranges (fun _ -> Satomic.make 0);
+        map_dbase = Array.init max_ranges (fun _ -> Satomic.make 0);
+        mig = Satomic.make None;
+        mig_claim = Satomic.make 0;
         pub_gen = Satomic.make 0;
         done_gen = Satomic.make 0;
         tele;
         c_batches = Telemetry.counter tele "router.batch_commits";
         c_helps = Telemetry.counter tele "router.helps";
         c_enqueues = Telemetry.counter tele "router.enqueues";
+        c_migs = Telemetry.counter tele "router.migrations";
+        c_epoch = Telemetry.counter tele "router.map_epoch";
         s_bsize = Telemetry.span tele "router.batch_size";
-        faults = { torn_commit_record = false; torn_batch_record = false };
+        s_stall = Telemetry.span tele "router.migration_stall";
+        faults =
+          {
+            torn_commit_record = false;
+            torn_batch_record = false;
+            torn_migration = false;
+          };
       }
     in
+    (* mirror the persistent shard map into the volatile cache (an
+       adopted device may carry migrated ranges from an earlier
+       incarnation); an identity map keeps the one-read fast path *)
+    load_map_cache t;
     (* fresh batch ids must stay above any persisted applied id (an
        adopted device may carry state from an earlier incarnation) *)
     let hi = ref (T.read_tx shards.(0) (fun itx -> T.load itx (t.rec_base + 1))) in
@@ -328,10 +486,10 @@ module Make (T : Tm_intf.S) = struct
     | Single of { home : int; itx : T.tx; ex : exec }
     | Read_single of { home : int; itx : T.tx }
     | Cross of { bc : bctx; ov : overlay }
-    | Snap of { eps : int array }
-        (* cross-shard snapshot read: every load resolves on its home
-           shard at the pinned epoch [eps.(shard)]; never queues, never
-           locks, never aborts *)
+    | Snap of { eps : int array; tbl : (int * int * int * int) array }
+        (* cross-shard snapshot read: every load resolves through the
+           captured map image [tbl] on its shard at the pinned epoch
+           [eps.(shard)]; never queues, never locks, never aborts *)
 
   type tx = { rt : t; kind : kind }
 
@@ -373,29 +531,62 @@ module Make (T : Tm_intf.S) = struct
   let snap_load t s e l = (snap_ops t).Tm_intf.snap_load t.shards.(s) e l
   let snap_unpin t s = (snap_ops t).Tm_intf.snap_unpin t.shards.(s)
 
+  (* route [g] through a Snap transaction's captured map image: the
+     epoch vector and the table were collected under one double-collect,
+     so a flip concurrent with the reads cannot retarget a load to a
+     copy whose pinned epoch predates it *)
+  let route_snap t tbl g =
+    if g < 0 then
+      let a = -g - 1 in
+      (a / t.span, a mod t.span)
+    else begin
+      let n = Array.length tbl in
+      let s = ref (-1) and l = ref 0 and i = ref 0 in
+      (* flowlint: bounded the captured table holds at most max_ranges entries *)
+      while !s < 0 && !i < n do
+        let lo, len, dst, dbase = tbl.(!i) in
+        if g >= lo && g < lo + len then begin
+          s := dst;
+          l := dbase + (g - lo)
+        end;
+        incr i
+      done;
+      if !s >= 0 then (!s, !l) else (g / t.span, g mod t.span)
+    end
+
+  (* a migrating range is dual-homed: the classify pre-pass reports BOTH
+     ends, which routes every mutative touch of the range to the cross
+     path (where stores dual-write) for as long as the move is live *)
+  let cnote_mig c (m : mig) =
+    cnote c m.m_src;
+    cnote c m.m_dst
+
   let load tx g =
     let t = tx.rt in
     match tx.kind with
     | Classify c ->
-        if g <> 0 then cnote c (shard_of t g) else cbump c;
+        (if g <> 0 then
+           match mig_range t g with
+           | Some m -> cnote_mig c m
+           | None -> cnote c (shard_of t g)
+         else cbump c);
         0
     | Single { home; itx; ex } ->
-        let s = if g = 0 then home else shard_of t g in
+        let s, l = if g = 0 then (home, 0) else route t g in
         if s <> home then raise Cross_escape;
-        let l = local_of t g in
         (match Hashtbl.find_opt ex.stores l with
         | Some v -> v
         | None -> T.load itx l)
     | Read_single { home; itx } ->
-        let s = if g = 0 then home else shard_of t g in
+        let s, l = if g = 0 then (home, 0) else route t g in
         if s <> home then raise Cross_escape;
-        T.load itx (local_of t g)
-    | Snap { eps } ->
+        T.load itx l
+    | Snap { eps; tbl } ->
         if g = 0 then 0
         else
-          let s = shard_of t g in
+          let s, l = route_snap t tbl g in
           (* flowlint: ok unpinned-snapshot-load the pin vector is acquired (and held) by snap_cross_read, which is the only constructor of a Snap tx *)
-          snap_load t s eps.(s) (local_of t g)
+          snap_load t s eps.(s) l
     | Cross { bc; ov } -> (
         if g = 0 then 0
         else
@@ -410,7 +601,7 @@ module Make (T : Tm_intf.S) = struct
                   match Hashtbl.find_opt bc.ucache g with
                   | Some v -> v
                   | None ->
-                      let s = shard_of t g in
+                      let s, l = route t g in
                       let v =
                         if not bc.locked.(s) then begin
                           (* fuse the freeze with the batch's first load
@@ -422,7 +613,7 @@ module Make (T : Tm_intf.S) = struct
                           let v =
                             T.update_tx t.shards.(s) (fun itx ->
                                 T.store itx (lock_cell t s) 1;
-                                T.load itx (local_of t g))
+                                T.load itx l)
                           in
                           bc.locked.(s) <- true;
                           v
@@ -432,8 +623,7 @@ module Make (T : Tm_intf.S) = struct
                              batch, so per-access read transactions
                              observe one consistent cross-shard
                              snapshot *)
-                          T.read_tx t.shards.(s) (fun itx ->
-                              T.load itx (local_of t g))
+                          T.read_tx t.shards.(s) (fun itx -> T.load itx l)
                       in
                       Hashtbl.replace bc.ucache g v;
                       v)))
@@ -441,12 +631,23 @@ module Make (T : Tm_intf.S) = struct
   let store tx g v =
     let t = tx.rt in
     match tx.kind with
-    | Classify c -> if g <> 0 then cnote c (shard_of t g) else cbump c
+    | Classify c ->
+        if g <> 0 then (
+          match mig_range t g with
+          | Some m -> cnote_mig c m
+          | None -> cnote c (shard_of t g))
+        else cbump c
     | Read_single _ | Snap _ -> raise Store_in_read_tx
     | Single { home; ex; _ } ->
-        let s = if g = 0 then home else shard_of t g in
+        (match mig_range t g with
+        | Some m ->
+            (* mutating a migrating cell needs the dual-write, which only
+               the cross path provides; count the forced detour *)
+            Satomic.set m.stalled (Satomic.get m.stalled + 1);
+            raise Cross_escape
+        | None -> ());
+        let s, l = if g = 0 then (home, 0) else route t g in
         if s <> home then raise Cross_escape;
-        let l = local_of t g in
         if not (Hashtbl.mem ex.stores l) then ex.sorder <- l :: ex.sorder;
         Hashtbl.replace ex.stores l v
     | Cross { bc; ov } ->
@@ -454,7 +655,18 @@ module Make (T : Tm_intf.S) = struct
         let s = shard_of t g in
         ensure_locked t bc s;
         if not (Hashtbl.mem ov.owrites g) then ov.oworder <- g :: ov.oworder;
-        Hashtbl.replace ov.owrites g v
+        Hashtbl.replace ov.owrites g v;
+        (* dual-write: while a migration covers [g], the same value also
+           lands on the other copy (pinned address), so the epoch flip
+           can leave either side authoritative without losing this store *)
+        (match mig_range t g with
+        | Some m ->
+            let a = mig_alias t m g in
+            (* flowlint: lock-order batch lockers are serialized by the leader election (one CAS), so no two lock holders ever interleave acquisition; order within the unique leader's batch is free *)
+            ensure_locked t bc (fst (route t a));
+            if not (Hashtbl.mem ov.owrites a) then ov.oworder <- a :: ov.oworder;
+            Hashtbl.replace ov.owrites a v
+        | None -> ())
 
   let alloc tx nw =
     let t = tx.rt in
@@ -494,12 +706,22 @@ module Make (T : Tm_intf.S) = struct
   let free tx g =
     let t = tx.rt in
     match tx.kind with
-    | Classify c -> if g <> 0 then cnote c (shard_of t g) else cbump c
+    | Classify c ->
+        if g <> 0 then (
+          match mig_range t g with
+          | Some m -> cnote_mig c m
+          | None -> cnote c (shard_of t g))
+        else cbump c
     | Read_single _ | Snap _ -> raise Store_in_read_tx
     | Single { home; ex; _ } ->
-        let s = if g = 0 then home else shard_of t g in
+        (match mig_range t g with
+        | Some m ->
+            Satomic.set m.stalled (Satomic.get m.stalled + 1);
+            raise Cross_escape
+        | None -> ());
+        let s, l = if g = 0 then (home, 0) else route t g in
         if s <> home then raise Cross_escape;
-        ex.sfrees <- local_of t g :: ex.sfrees
+        ex.sfrees <- l :: ex.sfrees
     | Cross { bc; ov } ->
         if ov.oread_only then raise Store_in_read_tx;
         let s = shard_of t g in
@@ -1086,21 +1308,37 @@ module Make (T : Tm_intf.S) = struct
   let snap_cross_read t f =
     let n = Array.length t.shards in
     let eps = Array.make n 0 in
-    (* flowlint: bounded each retry follows an observed generation or epoch change, i.e. a concurrent mutative commit; helping drives the in-flight batch to completion *)
+    let tbl = ref [||] in
+    (* read the map entries into an immutable image (no scheduling
+       point: the gen checks around the collect carry the atomicity) *)
+    let collect_map () =
+      let en = Satomic.get t.map_n in
+      Array.init en (fun i ->
+          ( Satomic.get t.map_lo.(i),
+            Satomic.get t.map_len.(i),
+            Satomic.get t.map_dst.(i),
+            Satomic.get t.map_dbase.(i) ))
+    in
+    (* flowlint: bounded each retry follows an observed generation or epoch change, i.e. a concurrent mutative commit or epoch flip; helping drives the in-flight batch to completion *)
     let rec acquire () =
       let d1 = Satomic.get t.done_gen in
       let p1 = Satomic.get t.pub_gen in
-      if d1 <> p1 then begin
-        (* a batch is mid-apply somewhere: drive it, then retry *)
+      let mg1 = Satomic.get t.map_gen in
+      if d1 <> p1 || mg1 land 1 = 1 then begin
+        (* a batch is mid-apply somewhere (or an epoch flip is mid-
+           rewrite): drive it, then retry *)
         help t;
         Sched.step_point ();
         acquire ()
       end
       else begin
+        tbl := (if mg1 = 0 then [||] else collect_map ());
         for s = 0 to n - 1 do
           eps.(s) <- snap_pin t s
         done;
-        let consistent = ref (Satomic.get t.pub_gen = p1) in
+        let consistent =
+          ref (Satomic.get t.pub_gen = p1 && Satomic.get t.map_gen = mg1)
+        in
         if !consistent then
           for s = 0 to n - 1 do
             (* re-pin: overwrites this thread's era slot on shard s with
@@ -1123,7 +1361,7 @@ module Make (T : Tm_intf.S) = struct
         snap_unpin t s
       done
     in
-    match f { rt = t; kind = Snap { eps } } with
+    match f { rt = t; kind = Snap { eps; tbl = !tbl } } with
     | r ->
         unpin_all ();
         r
@@ -1154,6 +1392,361 @@ module Make (T : Tm_intf.S) = struct
         if !escaped then cross_read t ~home f else r
 
   (* ---------------------------------------------------------------- *)
+  (* Live range migration (DESIGN.md §14)                               *)
+
+  (* Map introspection (volatile cache; one double-collect). *)
+  let map_entries t =
+    (* flowlint: bounded retries only across a concurrent epoch flip, which is one bounded volatile rewrite *)
+    let rec go () =
+      let g1 = Satomic.get t.map_gen in
+      if g1 land 1 = 1 then begin
+        Sched.step_point ();
+        go ()
+      end
+      else begin
+        let a =
+          Array.init (Satomic.get t.map_n) (fun i ->
+              ( Satomic.get t.map_lo.(i),
+                Satomic.get t.map_len.(i),
+                Satomic.get t.map_dst.(i),
+                Satomic.get t.map_dbase.(i) ))
+        in
+        if Satomic.get t.map_gen <> g1 then begin
+          Sched.step_point ();
+          go ()
+        end
+        else a
+      end
+    in
+    go ()
+
+  let map_epoch t = Satomic.get t.map_epoch
+
+  (* The user-root block of shard [s]: the contiguous root slot cells
+     [T.root s 0 .. T.root s (usable_roots - 1)] (shard-local).  The
+     reserved control slot is excluded.  Contiguity is a property of the
+     underlying TM's root layout; [split] verifies it at run time. *)
+  let root_block t s =
+    let sh = t.shards.(s) in
+    (T.root sh 0, t.usable_roots)
+
+  (* wait until no batch is in flight anywhere (published-incomplete or
+     mid-apply), helping it along — the "drained-or-helped" barrier on
+     both sides of the epoch flip *)
+  let drain_batches t =
+    let bo = Backoff.create ~max:16 () in
+    (* flowlint: bounded every published batch is completed by whoever observes it (helping below); the waits only space the observations *)
+    let rec loop () =
+      if
+        Satomic.get t.pub_gen <> Satomic.get t.done_gen
+        || Satomic.get t.cur <> None
+      then begin
+        help t;
+        Backoff.once bo;
+        loop ()
+      end
+    in
+    loop ()
+
+  (* The durable migration record: publishing it (status = 1) is the
+     point of no return — recovery rolls the move FORWARD from here,
+     which is sound because the source copy stays write-current (every
+     mutative touch of the range dual-writes) for as long as status = 1.
+     One T transaction = flushed and fenced before the first chunk. *)
+  let publish_migration_record t (m : mig) =
+    ignore
+      (T.update_tx t.shards.(0) (fun itx ->
+           let mb = t.mig_base in
+           T.store itx (mb + 1) m.g_lo;
+           T.store itx (mb + 2) m.g_len;
+           T.store itx (mb + 3) m.m_src;
+           T.store itx (mb + 4) m.m_dst;
+           T.store itx (mb + 5) m.m_sbase;
+           T.store itx (mb + 6) m.m_dbase;
+           T.store itx (mb + 7) m.m_epoch;
+           T.store itx (mb) 1;
+           0))
+
+  (* Copy one bounded chunk of the live range, interleaved with traffic:
+     an ordinary cross-shard transaction (2PL over src and dst), so it
+     serializes against every concurrent dual-writing batch — a chunk
+     never overwrites a newer dual-written value with an older one. *)
+  let migrate_chunk t (m : mig) ~off ~len =
+    ignore
+      (update_tx t (fun tx ->
+           for i = off to off + len - 1 do
+             (* flowlint: lock-order the chunk is one batch member; the unique leader (one-CAS election) serializes all batch lock acquisition, so no concurrent taker exists to deadlock against *)
+             let v = load tx (m.g_lo + i) in
+             store tx (pin t m.m_dst (m.m_dbase + i)) v
+           done;
+           0))
+
+  (* rewrite the persistent entry table to reflect [m] having settled:
+     fresh moves gain (or overwrite) their entry, back moves lose it;
+     [tear] (the planted torn_migration fault) persists a half-length
+     entry while the volatile cache keeps the full range *)
+  let settle_entries t (m : mig) ~tear itx =
+    let mbq = t.map_base in
+    let en = T.load itx (mbq + 1) in
+    if m.m_back then begin
+      (* compact the entry with our lo out of the table *)
+      let j = ref 0 in
+      for i = 0 to en - 1 do
+        let e = mbq + 2 + (4 * i) in
+        let lo = T.load itx e in
+        if lo <> m.g_lo then begin
+          if !j <> i then begin
+            let d = mbq + 2 + (4 * !j) in
+            T.store itx d lo;
+            T.store itx (d + 1) (T.load itx (e + 1));
+            T.store itx (d + 2) (T.load itx (e + 2));
+            T.store itx (d + 3) (T.load itx (e + 3))
+          end;
+          incr j
+        end
+      done;
+      T.store itx (mbq + 1) !j
+    end
+    else begin
+      (* overwrite an existing entry for this lo (recovery re-settling a
+         torn flip) or append *)
+      let slot = ref (-1) in
+      for i = 0 to en - 1 do
+        if T.load itx (mbq + 2 + (4 * i)) = m.g_lo then slot := i
+      done;
+      let i = if !slot >= 0 then !slot else en in
+      let e = mbq + 2 + (4 * i) in
+      T.store itx e m.g_lo;
+      T.store itx (e + 1) (if tear then m.g_len / 2 else m.g_len);
+      T.store itx (e + 2) m.m_dst;
+      T.store itx (e + 3) m.m_dbase;
+      if !slot < 0 then T.store itx (mbq + 1) (en + 1)
+    end;
+    T.store itx mbq m.m_epoch;
+    T.store itx t.mig_base 2
+
+  (* mirror the volatile cache from [m]; seqlock write protocol *)
+  let flip_volatile t (m : mig) =
+    let g0 = Satomic.get t.map_gen in
+    Satomic.set t.map_gen (if g0 = 0 then 1 else g0 + 1);
+    (if m.m_back then begin
+       let n = Satomic.get t.map_n in
+       let j = ref 0 in
+       for i = 0 to n - 1 do
+         if Satomic.get t.map_lo.(i) <> m.g_lo then begin
+           if !j <> i then begin
+             Satomic.set t.map_lo.(!j) (Satomic.get t.map_lo.(i));
+             Satomic.set t.map_len.(!j) (Satomic.get t.map_len.(i));
+             Satomic.set t.map_dst.(!j) (Satomic.get t.map_dst.(i));
+             Satomic.set t.map_dbase.(!j) (Satomic.get t.map_dbase.(i))
+           end;
+           incr j
+         end
+       done;
+       Satomic.set t.map_n !j
+     end
+     else begin
+       let n = Satomic.get t.map_n in
+       let slot = ref (-1) in
+       for i = 0 to n - 1 do
+         if Satomic.get t.map_lo.(i) = m.g_lo then slot := i
+       done;
+       let i = if !slot >= 0 then !slot else n in
+       Satomic.set t.map_lo.(i) m.g_lo;
+       Satomic.set t.map_len.(i) m.g_len;
+       Satomic.set t.map_dst.(i) m.m_dst;
+       Satomic.set t.map_dbase.(i) m.m_dbase;
+       if !slot < 0 then Satomic.set t.map_n (n + 1)
+     end);
+    Satomic.set t.map_epoch m.m_epoch;
+    Satomic.set t.map_gen (Satomic.get t.map_gen + 1)
+
+  (* The epoch flip: drain the batcher, retarget the volatile route,
+     then settle the persistent map + migration record in ONE durable
+     transaction.  Readers straddling the flip are safe either way —
+     both copies carry every committed write while the descriptor is
+     installed — and a crash on either side of the settle transaction
+     replays cleanly: before it, status = 1 rolls the copy forward;
+     after it, the map entry is the (complete) truth. *)
+  let flip_map_epoch t (m : mig) =
+    drain_batches t;
+    flip_volatile t m;
+    let tear = t.faults.torn_migration && not m.m_back && m.g_len >= 2 in
+    ignore (T.update_tx t.shards.(0) (fun itx -> settle_entries t m ~tear itx; 0));
+    Telemetry.tick t.c_migs;
+    Telemetry.tick t.c_epoch
+
+  (* control-block extent of shard [s] in shard-local cells *)
+  let ctl_extent t s =
+    let ctl_cells = t.rec_base - t.ctl.(0) in
+    let extra = if s = 0 then t.mig_base + 8 - t.rec_base else 0 in
+    (t.ctl.(s), ctl_cells + extra)
+
+  let rec migrate_range t ~lo ~len ~dst =
+    let n = Array.length t.shards in
+    let invalid msg = `Invalid msg in
+    if len <= 0 || lo < 0 then invalid "migrate_range: empty or negative range"
+    else if dst < 0 || dst >= n then invalid "migrate_range: no such shard"
+    else if not (Satomic.compare_and_set t.mig_claim 0 1) then `Busy
+    else begin
+      (* under the claim the map only changes under our own flip, so the
+         validation below reads a stable table *)
+      let entries = map_entries t in
+      let exact = ref None and overlap = ref false in
+      Array.iter
+        (fun ((elo, elen, _, _) as e) ->
+          if elo = lo && elen = len then exact := Some e
+          else if lo < elo + elen && elo < lo + len then overlap := true)
+        entries;
+      let release r = Satomic.set t.mig_claim 0; r in
+      match !exact with
+      | _ when !overlap ->
+          release (invalid "migrate_range: range straddles a migrated range")
+      | Some (_, _, owner, sbase) ->
+          (* retire the range back to its native home *)
+          let native = lo / t.span in
+          if dst <> native then
+            release (invalid "migrate_range: can only retire back to the native home")
+          else if owner = dst then
+            release (invalid "migrate_range: range already home")
+          else begin
+            let m =
+              {
+                g_lo = lo;
+                g_len = len;
+                m_src = owner;
+                m_dst = dst;
+                m_sbase = sbase;
+                m_dbase = lo mod t.span;
+                m_back = true;
+                m_epoch = Satomic.get t.map_epoch + 1;
+                stalled = Satomic.make 0;
+              }
+            in
+            (* condemn the host block: once the record settles it is
+               garbage; until then the hold is inert (reconciliation
+               frees a held block only when no map entry references it) *)
+            ignore
+              (T.update_tx t.shards.(owner) (fun itx ->
+                   T.store itx (mighold_cell t owner) sbase;
+                   0));
+            run_migration t m
+          end
+      | None ->
+          let native = lo / t.span in
+          if (lo + len - 1) / t.span <> native then
+            release (invalid "migrate_range: range crosses a shard boundary")
+          else if native = dst then
+            release (invalid "migrate_range: already on that shard")
+          else begin
+            let l0 = lo mod t.span in
+            let cb, clen = ctl_extent t native in
+            let slot = T.root t.shards.(native) t.usable_roots in
+            if l0 < cb + clen && cb < l0 + len then
+              release (invalid "migrate_range: range overlaps the control block")
+            else if slot >= l0 && slot < l0 + len then
+              release (invalid "migrate_range: range covers the reserved root slot")
+            else if Satomic.get t.map_n >= t.max_ranges then
+              release (invalid "migrate_range: range table full")
+            else begin
+              (* write-ahead host allocation: the block and its hold
+                 commit in one transaction, so a crash before the
+                 migration record leaves a held, unreferenced block for
+                 recovery to free *)
+              let dbase =
+                T.update_tx t.shards.(dst) (fun itx ->
+                    let a = T.alloc itx len in
+                    T.store itx (mighold_cell t dst) a;
+                    a)
+              in
+              let m =
+                {
+                  g_lo = lo;
+                  g_len = len;
+                  m_src = native;
+                  m_dst = dst;
+                  m_sbase = l0;
+                  m_dbase = dbase;
+                  m_back = false;
+                  m_epoch = Satomic.get t.map_epoch + 1;
+                  stalled = Satomic.make 0;
+                }
+              in
+              run_migration t m
+            end
+          end
+    end
+
+  (* the common tail: descriptor install -> durable record -> chunked
+     copy -> epoch flip -> drain -> retire *)
+  and run_migration t (m : mig) =
+    (* dual-writes start here, strictly before the record exists: the
+       source copy is write-current for the record's whole status=1 life *)
+    Satomic.set t.mig (Some m);
+    publish_migration_record t m;
+    let chunk = 8 in
+    let off = ref 0 in
+    (* flowlint: bounded the copy advances one bounded chunk per iteration over a fixed-length range *)
+    (* flowlint: lock-order each chunk is its own batch member under the unique leader's serial execution; no concurrent lock taker exists *)
+    while !off < m.g_len do
+      let k = min chunk (m.g_len - !off) in
+      migrate_chunk t m ~off:!off ~len:k;
+      off := !off + k
+    done;
+    flip_map_epoch t m;
+    (* second drain: no batch that executed under the pre-flip route (and
+       therefore relied on the dual-write) may still be in flight when
+       the descriptor — and with it the dual-write obligation — goes away *)
+    drain_batches t;
+    Satomic.set t.mig None;
+    (* retire: a back-move frees the condemned host block; a fresh move's
+       block is live now (the map entry references it) — just lift the
+       hold.  Either way one transaction on the holding shard. *)
+    let hold_shard = if m.m_back then m.m_src else m.m_dst in
+    ignore
+      (T.update_tx t.shards.(hold_shard) (fun itx ->
+           if m.m_back then T.free itx m.m_sbase;
+           T.store itx (mighold_cell t hold_shard) 0;
+           0));
+    Telemetry.observe t.s_stall (Satomic.get m.stalled);
+    Satomic.set t.mig_claim 0;
+    `Ok
+
+  (* Elastic operations over the user-root block (the cells programs
+     address through [root]): [split] rehomes the upper half of [src]'s
+     root block onto [dst]; [merge] retires every migrated range that
+     [src] hosts whose native home is [dst]. *)
+  let split t ~src ~dst =
+    let n = Array.length t.shards in
+    if src < 0 || src >= n || dst < 0 || dst >= n then
+      `Invalid "split: no such shard"
+    else begin
+      let r0, nr = root_block t src in
+      if T.root t.shards.(src) (nr - 1) <> r0 + nr - 1 then
+        `Invalid "split: root slots are not contiguous"
+      else
+        let half = nr / 2 in
+        let len = nr - half in
+        if len = 0 then `Invalid "split: root block too small"
+        else migrate_range t ~lo:(global t src (r0 + half)) ~len ~dst
+    end
+
+  let merge t ~src ~dst =
+    let candidates =
+      Array.to_list (map_entries t)
+      |> List.filter (fun (lo, _, owner, _) ->
+             owner = src && lo / t.span = dst)
+    in
+    if candidates = [] then `Invalid "merge: no migrated range to retire"
+    else
+      List.fold_left
+        (fun acc (lo, len, _, _) ->
+          match acc with
+          | `Ok -> migrate_range t ~lo ~len ~dst
+          | err -> err)
+        `Ok candidates
+
+  (* ---------------------------------------------------------------- *)
   (* Recovery                                                          *)
 
   let recover ~shard_recover t =
@@ -1175,6 +1768,13 @@ module Make (T : Tm_intf.S) = struct
         Satomic.set t.qslots.(s).(i) None
       done
     done;
+    (* the pre-crash migrator is dead with its fiber: drop the volatile
+       descriptor/claim and re-mirror the map cache from the persistent
+       table, so the batch-record replay below routes with the PRE-flip
+       map whenever the crash beat the settle transaction *)
+    Satomic.set t.mig None;
+    Satomic.set t.mig_claim 0;
+    load_map_cache t;
     let n = Array.length t.shards in
     let sh0 = t.shards.(0) in
     let rd sh l = T.read_tx sh (fun itx -> T.load itx l) in
@@ -1210,6 +1810,49 @@ module Make (T : Tm_intf.S) = struct
        done;
        ignore (T.update_tx sh0 (fun itx -> T.store itx b 2; 0))
      end);
+    (* roll a published migration FORWARD (status = 1: the record is the
+       point of no return and the source copy was write-current —
+       dual-writes — for its whole life, so a full recopy over whatever
+       the chunk loop managed is always correct).  Then settle the map
+       exactly as the flip would have: torn settles re-run to the same
+       fixpoint. *)
+    let mb = t.mig_base in
+    (if rd sh0 mb = 1 then begin
+       let lo = rd sh0 (mb + 1) and len = rd sh0 (mb + 2) in
+       let src = rd sh0 (mb + 3) and dst = rd sh0 (mb + 4) in
+       let sbase = rd sh0 (mb + 5) and dbase = rd sh0 (mb + 6) in
+       let m =
+         {
+           g_lo = lo;
+           g_len = len;
+           m_src = src;
+           m_dst = dst;
+           m_sbase = sbase;
+           m_dbase = dbase;
+           m_back = dst = lo / t.span && dbase = lo mod t.span;
+           m_epoch = rd sh0 (mb + 7);
+           stalled = Satomic.make 0;
+         }
+       in
+       let chunk = 8 in
+       let off = ref 0 in
+       (* flowlint: bounded sequential recovery recopy over a fixed-length range, one chunk per iteration *)
+       while !off < len do
+         let k = min chunk (len - !off) in
+         let o = !off in
+         let vs = Array.init k (fun i -> rd t.shards.(src) (sbase + o + i)) in
+         ignore
+           (T.update_tx t.shards.(dst) (fun itx ->
+                Array.iteri (fun i v -> T.store itx (dbase + o + i) v) vs;
+                0));
+         off := !off + k
+       done;
+       ignore
+         (T.update_tx sh0 (fun itx ->
+              settle_entries t m ~tear:false itx;
+              0));
+       load_map_cache t
+     end);
     (* roll back the leftovers of a batch that never committed: free
        write-ahead allocations, clear stale locks *)
     for s = 0 to n - 1 do
@@ -1227,6 +1870,28 @@ module Make (T : Tm_intf.S) = struct
                T.store itx (pcount_cell t s) 0;
                T.store itx (lock_cell t s) 0;
                0))
+    done;
+    (* migration-hold reconciliation: a held block that no map entry
+       references is an orphan — either a fresh move's host that never
+       reached its record (roll back: free it) or a retired back-move's
+       old host whose settle beat the crash (roll forward: free it).  A
+       referenced hold is a fresh move that settled before its release
+       transaction — the block is live, just lift the hold. *)
+    for s = 0 to n - 1 do
+      let h = rd t.shards.(s) (mighold_cell t s) in
+      if h <> 0 then begin
+        let en = rd sh0 (t.map_base + 1) in
+        let referenced = ref false in
+        for i = 0 to en - 1 do
+          let e = t.map_base + 2 + (4 * i) in
+          if rd sh0 (e + 2) = s && rd sh0 (e + 3) = h then referenced := true
+        done;
+        ignore
+          (T.update_tx t.shards.(s) (fun itx ->
+               if not !referenced then T.free itx h;
+               T.store itx (mighold_cell t s) 0;
+               0))
+      end
     done;
     (* fresh batch ids must stay above every persisted applied id *)
     let hi = ref (rd sh0 (b + 1)) in

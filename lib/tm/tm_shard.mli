@@ -34,6 +34,7 @@ module Make (T : Tm_intf.S) : sig
     ?max_cross_frees:int ->
     ?max_threads:int ->
     ?batch_watermark:int ->
+    ?max_ranges:int ->
     ?ro_snapshot:T.t Tm_intf.snapshot_ops ->
     T.t array ->
     t
@@ -48,9 +49,11 @@ module Make (T : Tm_intf.S) : sig
       leader's group-commit accumulation window early once that many
       requests are queued; arrivals are at most one per thread, so a
       value near the expected thread count maximizes batch size (the
-      window is step-capped regardless).  Adopts an existing control block
-      when the reserved root is non-null (a re-opened device); call
-      {!recover} before use in that case.
+      window is step-capped regardless).  [max_ranges] (8) caps the
+      persistent shard-map range table — the number of simultaneously
+      migrated ranges.  Adopts an existing control block
+      when the reserved root is non-null (a re-opened device), including
+      its persistent shard map; call {!recover} before use in that case.
 
       [ro_snapshot] installs the shards' wait-free snapshot-read
       primitives (e.g. [Onefile_wf.snapshot_ops]); cross-shard read-only
@@ -67,13 +70,66 @@ module Make (T : Tm_intf.S) : sig
   val num_shards : t -> int
 
   val span : t -> int
-  (** Cells per shard: global address [g] lives on shard [g / span] at
-      local offset [g mod span].  With shards on consecutive equal views
-      of one partitioned {!Pmem.Region}, global addresses coincide with
-      device addresses and {!region} returns the device (the shared
-      crash/eviction driver). *)
+  (** Cells per shard: global address [g] is {e natively} homed on shard
+      [g / span] at local offset [g mod span].  With shards on
+      consecutive equal views of one partitioned {!Pmem.Region}, global
+      addresses coincide with device addresses and {!region} returns the
+      device (the shared crash/eviction driver). *)
 
   val shard_of : t -> int -> int
+  (** Where global address [g] currently lives — a {e shard-map lookup},
+      not arithmetic.
+
+      Since the elastic-sharding refactor the [g / span] contract is
+      {b deprecated}: the router keeps an epoch-versioned persistent
+      range table (the shard map, stored in the shard-0 control block)
+      that overrides the native home for ranges rehomed by
+      {!migrate_range}/{!split}, and [shard_of] consults it through a
+      seqlock/double-collect volatile cache — non-blocking,
+      transaction-free, and exact even mid-migration.  Callers must not
+      reconstruct routes from [span] arithmetic; use this lookup (or
+      {!map_entries} for the whole table).  Global names never change
+      across a migration — only their routes do. *)
+
+  val map_entries : t -> (int * int * int * int) array
+  (** The current shard-map range table as [(lo, len, shard, local_base)]
+      rows: global addresses [lo .. lo+len-1] live on [shard] starting at
+      shard-local cell [local_base].  Addresses covered by no row are
+      natively homed ([g / span]).  Empty on a never-migrated router. *)
+
+  val map_epoch : t -> int
+  (** The shard-map epoch: bumped by every completed migration (durably,
+      in the same transaction that settles the map entry). *)
+
+  val migrate_range :
+    t -> lo:int -> len:int -> dst:int -> [ `Ok | `Busy | `Invalid of string ]
+  (** Live, crash-safe rehoming of the global range [lo .. lo+len-1]
+      onto shard [dst], concurrent with traffic (readers never block;
+      writers to the range detour through the cross path, which
+      dual-writes both copies while the move is live).  The protocol is
+      OneFile's own: elect a migrator (one CAS — [`Busy] if a move is
+      already live), durably publish a migration record on shard 0, copy
+      the range in bounded chunks through ordinary cross-shard
+      transactions, then flip the map epoch (drain the batcher, retarget
+      the volatile cache, settle entry + epoch + record in ONE durable
+      transaction) and retire the old copy.  A crash after the record
+      rolls {e forward} in {!recover}; before it, write-ahead holds roll
+      the allocation {e back}.  Valid moves: a natively-homed range (no
+      overlap with existing map rows, one native shard, disjoint from
+      the control block and reserved root slot) to a fresh shard, or an
+      exact existing row back to its native home ([`Invalid] otherwise).
+      The retired source cells of a fresh move stay allocated
+      (quarantined): global names must keep resolving after the range
+      moves back. *)
+
+  val split : t -> src:int -> dst:int -> [ `Ok | `Busy | `Invalid of string ]
+  (** Rehome the upper half of [src]'s user-root block (the cells
+      {!root} addresses) onto [dst] — the elastic "split a hot shard"
+      operation, a {!migrate_range} under the hood. *)
+
+  val merge : t -> src:int -> dst:int -> [ `Ok | `Busy | `Invalid of string ]
+  (** Retire every migrated range hosted by [src] whose native home is
+      [dst] — the inverse of {!split} ([`Invalid] when there is none). *)
 
   val recover : shard_recover:(T.t -> unit) -> t -> unit
   (** After {!Pmem.Region.crash}: run [shard_recover] (e.g.
@@ -82,16 +138,25 @@ module Make (T : Tm_intf.S) : sig
       record into every participant shard that missed its apply, roll
       back write-ahead allocations and stale locks of a batch that never
       committed, and reset the router's volatile state (leader flag,
-      published batch, prepare queues). *)
+      published batch, prepare queues).  Migrations recover like batches:
+      a published (status 1) migration record is rolled {e forward} — the
+      source copy is write-current for the record's whole life, so a full
+      recopy plus the settle transaction always lands the post-flip
+      state — and orphaned write-ahead host blocks (held but referenced
+      by no map entry) are rolled back and freed. *)
 
   val attach_telemetry : t -> Runtime.Telemetry.t -> unit
   (** Surface the router's counters in [reg]:
       [router.batch_commits] (completed batches, read-only ones
       included), [router.helps] (helping iterations that observed an
       in-flight published batch), [router.enqueues] (requests published
-      into the prepare queues) and the [router.batch_size] span (members
-      per committed batch).  The shards keep their own telemetry
-      attachment. *)
+      into the prepare queues), [router.migrations] (completed
+      migrations) and [router.map_epoch] (epoch flips observed by this
+      incarnation), plus the [router.batch_size] span (members per
+      committed batch) and the [router.migration_stall] span (per
+      migration: single-shard updates forced onto the cross path by the
+      live move — the price traffic paid for elasticity).  The shards
+      keep their own telemetry attachment. *)
 
   val detach_telemetry : t -> unit
 
@@ -105,6 +170,12 @@ module Make (T : Tm_intf.S) : sig
             contribution, so a crash between the record commit and the
             per-shard applies replays half a batch.  Manifests only on
             batches with >= 2 contributing members. *)
+    mutable torn_migration : bool;
+        (** settle fresh migrations with a {e half-length} persistent map
+            entry while the volatile cache keeps the full range: crash-
+            free runs stay correct, but a crash after the flip makes the
+            reopened router route the upper half of the range back to the
+            stale source copy — post-flip writes to it are lost. *)
   }
   (** Test-only planted faults for the explorer's self-checks.  Crash-
       free runs are unaffected.  Never set outside tests. *)

@@ -28,6 +28,7 @@ type fault =
   | Torn_commit_record
   | Torn_batch_record
   | Stale_ro_snapshot
+  | Torn_migration
 
 type config = {
   wf : bool;
@@ -36,6 +37,7 @@ type config = {
   persistent : bool;
   sanitize : bool;
   fault : fault;
+  migrate : bool;
   max_steps : int;
   oracle_cap : int;
   telemetry : Telemetry.t option;
@@ -49,6 +51,7 @@ let default =
     persistent = false;
     sanitize = true;
     fault = No_fault;
+    migrate = false;
     max_steps = 50_000;
     oracle_cap = 50_000;
     telemetry = None;
@@ -189,16 +192,17 @@ let execute_one cfg ~memo prog ~pick ~crash =
          instance's pull sources, keep the accumulated counters *)
       Telemetry.clear_sources te
   | None -> ());
-  let region, exec_txn, observe, recover =
+  let region, exec_txn, observe, recover, migrator =
     if cfg.shards <= 1 then begin
       let tm =
         Lf.create ~mode ~size:(1 lsl 12) ~max_threads:(max 1 cfg.threads)
           ~ws_cap:128 ()
       in
       (match cfg.fault with
-      | No_fault | Torn_commit_record | Torn_batch_record ->
-          (* the torn-record faults live in the cross-shard router:
-             nothing to plant on an unsharded instance *)
+      | No_fault | Torn_commit_record | Torn_batch_record | Torn_migration ->
+          (* the torn-record and torn-migration faults live in the
+             cross-shard router: nothing to plant on an unsharded
+             instance *)
           ()
       | Durability_hole -> (Lf.faults tm).drop_publish_pwb <- true
       | Lost_update -> (Lf.faults tm).stale_commit_snapshot <- true
@@ -218,7 +222,8 @@ let execute_one cfg ~memo prog ~pick ~crash =
       ( region,
         (if cfg.wf then Run_wf.exec_txn tm else Run_lf.exec_txn tm),
         (fun () -> if cfg.wf then Run_wf.observe tm else Run_lf.observe tm),
-        fun () -> if cfg.wf then Wf.recover tm else Lf.recover tm )
+        (fun () -> if cfg.wf then Wf.recover tm else Lf.recover tm),
+        None )
     end
     else begin
       (* sharded: per-shard instances over views of one partitioned device
@@ -231,7 +236,16 @@ let execute_one cfg ~memo prog ~pick ~crash =
       let views =
         Region.partition device (List.init cfg.shards (fun _ -> span))
       in
-      let mt = max 1 cfg.threads in
+      (* the torn-migration fault needs a migrator fiber (one extra
+         router thread) and a root count whose split range — and in
+         particular the torn-off upper half of the half-length persisted
+         entry — covers a root slot the program actually addresses:
+         6 roots give 5 usable slots, a split moves slots 2..4 (router
+         roots 4, 6, 8 at two shards) and the torn half is slots 3..4,
+         putting live root 6 behind the stale route after a crash *)
+      let with_mig = cfg.migrate || cfg.fault = Torn_migration in
+      let mt = (max 1 cfg.threads) + if with_mig then 1 else 0 in
+      let nroots = if with_mig then 6 else 8 in
       Region.set_observer device (Some (count device));
       if cfg.wf then begin
         let shards =
@@ -239,14 +253,16 @@ let execute_one cfg ~memo prog ~pick ~crash =
             (List.map
                (fun v ->
                  Wf.create ~region:v ~instance:(Region.id v) ~max_threads:mt
-                   ~ws_cap:128 ~num_roots:8 ())
+                   ~ws_cap:128 ~num_roots:nroots ())
                views)
         in
         Array.iter
           (fun sh ->
             let f = Wf.faults sh in
             match cfg.fault with
-            | No_fault | Torn_commit_record | Torn_batch_record -> ()
+            | No_fault | Torn_commit_record | Torn_batch_record
+            | Torn_migration ->
+                ()
             | Durability_hole -> f.drop_publish_pwb <- true
             | Lost_update -> f.stale_commit_snapshot <- true
             | Stale_dedup -> f.stale_dedup_flush <- true
@@ -265,10 +281,14 @@ let execute_one cfg ~memo prog ~pick ~crash =
           (Sh_wf.faults tm).torn_commit_record <- true;
         if cfg.fault = Torn_batch_record then
           (Sh_wf.faults tm).torn_batch_record <- true;
+        if cfg.fault = Torn_migration then
+          (Sh_wf.faults tm).torn_migration <- true;
         ( device,
           Run_sh_wf.exec_txn tm,
           (fun () -> Run_sh_wf.observe tm),
-          fun () -> Sh_wf.recover ~shard_recover:Wf.recover tm )
+          (fun () -> Sh_wf.recover ~shard_recover:Wf.recover tm),
+          if with_mig then Some (fun () -> ignore (Sh_wf.split tm ~src:0 ~dst:1))
+          else None )
       end
       else begin
         let shards =
@@ -276,14 +296,16 @@ let execute_one cfg ~memo prog ~pick ~crash =
             (List.map
                (fun v ->
                  Lf.create ~region:v ~instance:(Region.id v) ~max_threads:mt
-                   ~ws_cap:128 ~num_roots:8 ())
+                   ~ws_cap:128 ~num_roots:nroots ())
                views)
         in
         Array.iter
           (fun sh ->
             let f = Lf.faults sh in
             match cfg.fault with
-            | No_fault | Torn_commit_record | Torn_batch_record -> ()
+            | No_fault | Torn_commit_record | Torn_batch_record
+            | Torn_migration ->
+                ()
             | Durability_hole -> f.drop_publish_pwb <- true
             | Lost_update -> f.stale_commit_snapshot <- true
             | Stale_dedup -> f.stale_dedup_flush <- true
@@ -302,23 +324,37 @@ let execute_one cfg ~memo prog ~pick ~crash =
           (Sh_lf.faults tm).torn_commit_record <- true;
         if cfg.fault = Torn_batch_record then
           (Sh_lf.faults tm).torn_batch_record <- true;
+        if cfg.fault = Torn_migration then
+          (Sh_lf.faults tm).torn_migration <- true;
         ( device,
           Run_sh_lf.exec_txn tm,
           (fun () -> Run_sh_lf.observe tm),
-          fun () -> Sh_lf.recover ~shard_recover:Lf.recover tm )
+          (fun () -> Sh_lf.recover ~shard_recover:Lf.recover tm),
+          if with_mig then Some (fun () -> ignore (Sh_lf.split tm ~src:0 ~dst:1))
+          else None )
       end
     end
   in
   let parts_a = Array.map Array.of_list (Proggen.split ~threads:cfg.threads prog) in
   let results = Array.map (fun p -> Array.make (Array.length p) 0) parts_a in
   let done_ = Array.make cfg.threads 0 in
-  let fibers =
+  let prog_fibers =
     Array.init cfg.threads (fun u () ->
         Array.iteri
           (fun i txn ->
             results.(u).(i) <- exec_txn txn;
             done_.(u) <- i + 1)
           parts_a.(u))
+  in
+  let fibers =
+    match migrator with
+    | None -> prog_fibers
+    | Some m ->
+        (* the migrator is fiber 0: under the non-preemptive free schedule
+           its split completes before the program fibers start, so the
+           program's writes to the migrated range are post-flip — the ones
+           a torn map entry loses across a crash *)
+        Array.append [| m |] prog_fibers
   in
   let recorded =
     Explore.run ~max_steps:cfg.max_steps
@@ -604,7 +640,8 @@ let pp_failure ppf f =
     | Stale_dedup -> ", planted fault: stale-dedup"
     | Torn_commit_record -> ", planted fault: torn-commit-record"
     | Torn_batch_record -> ", planted fault: torn-batch-record"
-    | Stale_ro_snapshot -> ", planted fault: stale-ro-snapshot");
+    | Stale_ro_snapshot -> ", planted fault: stale-ro-snapshot"
+    | Torn_migration -> ", planted fault: torn-migration");
   Format.fprintf ppf "  program:@.%a" Proggen.pp_program f.program;
   Format.fprintf ppf "  schedule [%d choices]: %a@." (Array.length f.schedule)
     pp_schedule f.schedule;
@@ -685,6 +722,7 @@ let fault_name = function
   | Torn_commit_record -> "torn-commit-record"
   | Torn_batch_record -> "torn-batch-record"
   | Stale_ro_snapshot -> "stale-ro-snapshot"
+  | Torn_migration -> "torn-migration"
 
 let fault_of_name = function
   | "none" -> No_fault
@@ -694,6 +732,7 @@ let fault_of_name = function
   | "torn-commit-record" -> Torn_commit_record
   | "torn-batch-record" -> Torn_batch_record
   | "stale-ro-snapshot" -> Stale_ro_snapshot
+  | "torn-migration" -> Torn_migration
   | s -> bad ("unknown fault " ^ s)
 
 let config_to_json c =
@@ -705,6 +744,7 @@ let config_to_json c =
       ("persistent", J.Bool c.persistent);
       ("sanitize", J.Bool c.sanitize);
       ("fault", J.Str (fault_name c.fault));
+      ("migrate", J.Bool c.migrate);
       ("max_steps", J.Int c.max_steps);
       ("oracle_cap", J.Int c.oracle_cap);
     ]
@@ -725,6 +765,12 @@ let config_of_json j =
     sanitize = b "sanitize";
     fault =
       (match J.member "fault" j with J.Str s -> fault_of_name s | _ -> bad "fault");
+    (* older traces predate elastic sharding: missing member means none *)
+    migrate =
+      (match J.member "migrate" j with
+      | J.Bool v -> v
+      | J.Null -> false
+      | _ -> bad "migrate");
     max_steps = i "max_steps";
     oracle_cap = i "oracle_cap";
     telemetry = None;

@@ -62,6 +62,17 @@ type fault =
           the serialization oracle catches it (the per-word sanitizer
           accepts any in-window version); needs a schedule that parks a
           writer mid-apply under a concurrent reader *)
+  | Torn_migration
+      (** settle live range migrations with a half-length persistent map
+          entry (see [Tm.Tm_shard.Make(_).faults]): crash-free runs stay
+          correct, but after a crash the reopened router routes the torn
+          upper half back to the stale pre-migration copy, losing
+          post-flip writes.  Needs [shards >= 2]; the explorer then adds
+          a migrator fiber (fiber 0, one extra router thread) that runs
+          [split ~src:0 ~dst:1] before the program fibers, and sizes the
+          shards at 6 roots so the torn half covers a root slot the
+          program addresses.  Only the crash strategy can expose it — a
+          no-op on an unsharded instance *)
 
 type config = {
   wf : bool;  (** wait-free algorithm instead of lock-free *)
@@ -78,6 +89,14 @@ type config = {
           traces — preferable when crashes are not being explored. *)
   sanitize : bool;  (** attach {!Check.Tmcheck} to every execution *)
   fault : fault;
+  migrate : bool;
+      (** add the migrator fiber (and the 6-root shard geometry) of
+          {!fault}'s [Torn_migration] {e without} arming the fault: every
+          execution then runs a healthy live [split ~src:0 ~dst:1] ahead
+          of the program, so the crash sweep enumerates sites inside the
+          migration's record publish, chunked copy loop and settle/retire
+          — all of which must recover silently.  Implied by
+          [Torn_migration]; ignored with fewer than 2 shards *)
   max_steps : int;  (** per-execution scheduler step budget *)
   oracle_cap : int;  (** max sequential replays per oracle verdict *)
   telemetry : Runtime.Telemetry.t option;
@@ -87,8 +106,9 @@ type config = {
 }
 
 val default : config
-(** lock-free, 2 threads, 1 shard, volatile, sanitized, no fault,
-    [max_steps = 50_000], [oracle_cap = 50_000], no telemetry. *)
+(** lock-free, 2 threads, 1 shard, volatile, sanitized, no fault, no
+    migrator, [max_steps = 50_000], [oracle_cap = 50_000], no
+    telemetry. *)
 
 (** Deterministic eviction choice at a forced crash: which dirty lines
     survive (are written back) at the crash point. *)

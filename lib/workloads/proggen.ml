@@ -105,6 +105,65 @@ let split ~threads prog =
   List.iteri (fun i t -> parts.(i mod threads) <- t :: parts.(i mod threads)) prog;
   Array.map List.rev parts
 
+(* --- migration injection ------------------------------------------ *)
+
+type mig_mode = Mig_off | Mig_every of int | Mig_random of int
+type mig_action = Mig_split of int * int | Mig_merge of int * int
+
+let pp_mig_action ppf = function
+  | Mig_split (s, d) -> Format.fprintf ppf "split %d->%d" s d
+  | Mig_merge (s, d) -> Format.fprintf ppf "merge %d<-%d" d s
+
+let migration_plan ~seed ~txns ~shards ~mode =
+  (match mode with
+  | Mig_every k | Mig_random k ->
+      if k <= 0 then invalid_arg "Proggen.migration_plan: interval must be > 0"
+  | Mig_off -> ());
+  if mode = Mig_off || shards < 2 then []
+  else begin
+    (* the plan draws from its OWN rng: historical seeds' program streams
+       must stay byte-identical whether or not migrations are injected *)
+    let rng = Rng.create ((seed * 0x9e3779b1) lxor 0x656c6173) in
+    (* live splits (src, dst), oldest first; at most one per source shard
+       (a second split of the same source would overlap its map entry) *)
+    let live = ref [] in
+    let acts = ref [] in
+    let emit i =
+      let splittable =
+        List.filter
+          (fun s -> not (List.exists (fun (s', _) -> s' = s) !live))
+          (List.init shards Fun.id)
+      in
+      let merging =
+        match (splittable, !live) with
+        | [], _ -> true
+        | _, [] -> false
+        | _ -> Rng.bool rng
+      in
+      if merging then (
+        match !live with
+        | (s, d) :: rest ->
+            live := rest;
+            (* merge's [src] is the HOST shard, [dst] the native home *)
+            acts := (i, Mig_merge (d, s)) :: !acts
+        | [] -> ())
+      else begin
+        let src = List.nth splittable (Rng.int rng (List.length splittable)) in
+        let d = Rng.int rng (shards - 1) in
+        let dst = if d >= src then d + 1 else d in
+        live := !live @ [ (src, dst) ];
+        acts := (i, Mig_split (src, dst)) :: !acts
+      end
+    in
+    for i = 0 to txns - 1 do
+      match mode with
+      | Mig_every k -> if i > 0 && i mod k = 0 then emit i
+      | Mig_random k -> if Rng.int rng k = 0 then emit i
+      | Mig_off -> ()
+    done;
+    List.rev !acts
+  end
+
 (* --- execution ---------------------------------------------------- *)
 
 module Exec (T : Tm.Tm_intf.S) = struct
@@ -165,9 +224,15 @@ module Exec (T : Tm.Tm_intf.S) = struct
     in
     (values, pointers)
 
-  let run mk prog =
+  let run ?(before_txn = fun _ _ -> ()) mk prog =
     let t = mk () in
-    let results = List.map (exec_txn t) prog in
+    let results =
+      List.mapi
+        (fun i txn ->
+          before_txn t i;
+          exec_txn t txn)
+        prog
+    in
     (results, observe t)
 end
 

@@ -72,6 +72,38 @@ val split : threads:int -> program -> program array
     (transaction [i] goes to thread [i mod threads]), preserving relative
     order within each thread. *)
 
+(** {1 Migration injection}
+
+    Elastic-sharding perturbation for the differential harnesses: a
+    {e plan} of {!Tm.Tm_shard} [split]/[merge] calls to fire between the
+    program's transactions.  Migrations are invisible to program
+    semantics — the sequential oracle needs no knowledge of them — so
+    any divergence they introduce is a router bug. *)
+
+type mig_mode =
+  | Mig_off  (** no injected migrations (the historical behaviour) *)
+  | Mig_every of int  (** one elastic action before every [k]-th txn *)
+  | Mig_random of int  (** an action before each txn with probability 1/k *)
+
+type mig_action =
+  | Mig_split of int * int  (** arguments for [split ~src ~dst] *)
+  | Mig_merge of int * int  (** arguments for [merge ~src ~dst] *)
+
+val pp_mig_action : Format.formatter -> mig_action -> unit
+
+val migration_plan :
+  seed:int -> txns:int -> shards:int -> mode:mig_mode ->
+  (int * mig_action) list
+(** A valid elastic schedule for a [txns]-transaction program over
+    [shards] shards: pairs [(i, action)] in ascending [i], the action to
+    apply (verbatim, via the router's [split]/[merge]) before executing
+    transaction [i].  Every prefix is valid — each merge retires a range
+    split earlier in the plan, at most one live split per source shard —
+    so every action returns [`Ok] even on a shrunk (shorter) program.
+    The plan draws from its own generator: for a given seed the program
+    from {!gen_program} is byte-identical whatever the [mode], and
+    [Mig_off] (or fewer than 2 shards) yields the empty plan. *)
+
 (** {1 Execution} *)
 
 module Exec (T : Tm.Tm_intf.S) : sig
@@ -83,9 +115,15 @@ module Exec (T : Tm.Tm_intf.S) : sig
   (** Address-independent observable state: value slots verbatim; pointer
       slots as null(-1)/marker-behind-the-pointer. *)
 
-  val run : (unit -> T.t) -> program -> int list * (int list * int list)
+  val run :
+    ?before_txn:(T.t -> int -> unit) ->
+    (unit -> T.t) ->
+    program ->
+    int list * (int list * int list)
   (** Fresh instance, execute sequentially, return per-transaction results
-      and the final {!observe}. *)
+      and the final {!observe}.  [before_txn t i] (default: nothing) runs
+      before transaction [i] — the hook the differential harnesses use to
+      fire a {!migration_plan}'s elastic actions between transactions. *)
 end
 
 (** {1 Shrinking} *)

@@ -24,6 +24,28 @@ type result = {
   per_shard_commits : int array;
 }
 
+type action = Split of int * int | Merge of int * int
+
+let pp_action ppf = function
+  | Split (s, d) -> Format.fprintf ppf "split %d->%d" s d
+  | Merge (s, d) -> Format.fprintf ppf "merge %d<-%d" d s
+
+type elastic_result = {
+  e_updates : int;
+  e_ro : int;
+  e_migrations : int;
+  e_windows : int array;
+  e_min_ro : int;
+  e_epoch_before : int;
+  e_epoch : int;
+  e_map_before : (int * int * int * int) array;
+  e_map : (int * int * int * int) array;
+  e_outcomes : (action * [ `Ok | `Busy | `Invalid of string ]) list;
+  e_conserved : bool;
+  e_ro_consistent : bool;
+  e_pwb : int;
+}
+
 module Run (T : Tm.Tm_intf.S) = struct
   let transfer tm tx a b =
     let ra = T.root tm a and rb = T.root tm b in
@@ -106,6 +128,134 @@ module Run (T : Tm.Tm_intf.S) = struct
       conserved = total = accounts * initial;
       per_shard_commits = commits;
     }
+
+  (* The elastic workload: fiber 0 is the migrator (a split/merge storm
+     around the shard ring, or one requested action), every other fiber
+     runs a read-mostly transfer mix.  Each read-only transaction sums
+     every account through the snapshot path, so a torn cut during a live
+     move shows up as [e_ro_consistent = false] instead of skewing a
+     throughput number; the RO commits that land inside each migration
+     window are recorded so the figure can assert reads never stall to
+     zero while a range is moving. *)
+  let sum_accounts tm =
+    T.read_tx tm (fun tx ->
+        let s = ref 0 in
+        for i = 0 to accounts - 1 do
+          s := !s + T.load tx (T.root tm i)
+        done;
+        !s)
+
+  let elastic tm ~split ~merge ~map_entries ~map_epoch ~recover ~device
+      ~shards:n ~plan ~ro_pct ~threads ~rounds ~seed =
+    for i = 0 to accounts - 1 do
+      ignore
+        (T.update_tx tm (fun tx ->
+             T.store tx (T.root tm i) initial;
+             0))
+    done;
+    (* a merge retires a migrated range, and a fresh router has none:
+       seed the map with the requested merge's inverse split before
+       traffic starts, so the "before" map shows the range the live
+       merge will retire *)
+    (match plan with
+    | `Once (Merge (s, d)) ->
+        (* best-effort: if the inverse split is itself invalid (bad
+           shard pair), the live merge below reports its own verdict *)
+        ignore (split ~src:d ~dst:s)
+    | `Once (Split _) | `Storm -> ());
+    let map_before = map_entries () and epoch_before = map_epoch () in
+    let st = Region.stats device in
+    let snap = Pstats.copy st in
+    let expected = accounts * initial in
+    let updates = ref 0 and ro = ref 0 and ro_bad = ref 0 in
+    let windows = ref [] and outcomes = ref [] in
+    let phase = ref `Split and cycle = ref 0 and once_done = ref false in
+    let record before_ro = windows := (!ro - before_ro) :: !windows in
+    let migrate () =
+      match plan with
+      | `Once a ->
+          if !once_done then Sched.step_point ()
+          else begin
+            once_done := true;
+            let before_ro = !ro in
+            let r =
+              match a with
+              | Split (s, d) -> split ~src:s ~dst:d
+              | Merge (s, d) -> merge ~src:s ~dst:d
+            in
+            (match r with `Ok -> record before_ro | `Busy | `Invalid _ -> ());
+            outcomes := (a, r) :: !outcomes
+          end
+      | `Storm -> (
+          let src = !cycle mod n in
+          let dst = (src + 1) mod n in
+          let before_ro = !ro in
+          match !phase with
+          | `Split -> (
+              match split ~src ~dst with
+              | `Ok ->
+                  record before_ro;
+                  phase := `Merge
+              | `Busy -> Sched.step_point ()
+              | `Invalid m ->
+                  failwith ("Shard_bench.elastic: split rejected: " ^ m))
+          | `Merge -> (
+              (* the inverse of the split above: the moved ranges are now
+                 hosted by [dst] with native home [src] *)
+              match merge ~src:dst ~dst:src with
+              | `Ok ->
+                  record before_ro;
+                  phase := `Split;
+                  incr cycle
+              | `Busy -> Sched.step_point ()
+              | `Invalid m ->
+                  failwith ("Shard_bench.elastic: merge rejected: " ^ m)))
+    in
+    let sp =
+      { Bench_runner.threads; cores = max 8 threads; rounds; seed;
+        policy = Sched.Round_robin }
+    in
+    ignore
+      (Bench_runner.run_ops sp (fun ~tid ~rng ->
+           if tid = 0 then migrate ()
+           else if Rng.int rng 100 < ro_pct then begin
+             if sum_accounts tm <> expected then incr ro_bad;
+             incr ro
+           end
+           else begin
+             let a = Rng.int rng accounts in
+             let b = (a + 1 + Rng.int rng (accounts - 1)) mod accounts in
+             ignore
+               (T.update_tx tm (fun tx ->
+                    transfer tm tx a b;
+                    0));
+             incr updates
+           end));
+    let d = Pstats.diff st snap in
+    (* the round cap cancels fibers mid-transaction and possibly
+       mid-migration; recovery rolls the move forward or back before the
+       final invariant read, so the check also covers a crash inside the
+       copy loop *)
+    recover ();
+    let total = sum_accounts tm in
+    let windows = Array.of_list (List.rev !windows) in
+    {
+      e_updates = !updates;
+      e_ro = !ro;
+      e_migrations = Array.length windows;
+      e_windows = windows;
+      e_min_ro =
+        (if Array.length windows = 0 then 0
+         else Array.fold_left min max_int windows);
+      e_epoch_before = epoch_before;
+      e_epoch = map_epoch ();
+      e_map_before = map_before;
+      e_map = map_entries ();
+      e_outcomes = List.rev !outcomes;
+      e_conserved = total = expected;
+      e_ro_consistent = !ro_bad = 0;
+      e_pwb = d.Pstats.pwb;
+    }
 end
 
 module R_lf = Run (Sh_lf)
@@ -181,3 +331,92 @@ let run ?(wf = false) ?telemetry ?batch_watermark ~shards:n ~cross_pct ~threads
       ~shard_regions:(Array.map Lf.region shards)
       ~shards:n ~cross_pct ~threads ~rounds ~seed
   end
+
+(* Elastic runs size the shards so a [split]'s upper half covers live
+   accounts: the router deals account [k] to shard [k mod n] slot
+   [k / n], so [accounts / n] slots per shard are live and
+   [num_roots = accounts / n + 1] (one reserved control slot) makes the
+   usable root block exactly the live block — the split then moves the
+   upper half of the accounts themselves, not empty slots. *)
+let elastic_run ~wf ~telemetry ~ro_pct ~plan ~shards:n ~threads ~rounds ~seed =
+  if n < 2 || accounts mod n <> 0 || accounts / n < 2 then
+    invalid_arg "Shard_bench: elastic runs need shards in 2/4/8";
+  if threads < 2 then
+    invalid_arg
+      "Shard_bench: elastic runs need >= 2 threads (fiber 0 is the migrator)";
+  if ro_pct < 0 || ro_pct > 100 then
+    invalid_arg "Shard_bench: ro_pct must be 0..100";
+  let num_roots = (accounts / n) + 1 in
+  let wm = max 7 (threads - 1) in
+  let device = Region.create ~mode:Region.Persistent (n * span) in
+  let views = Region.partition device (List.init n (fun _ -> span)) in
+  let mt = threads + 2 in
+  if wf then begin
+    let shards =
+      Array.of_list
+        (List.map
+           (fun v ->
+             let sh =
+               Wf.create ~region:v ~instance:(Region.id v) ~max_threads:mt
+                 ~ws_cap:256 ~num_roots ()
+             in
+             (match telemetry with
+             | Some te -> Wf.attach_telemetry sh te
+             | None -> ());
+             sh)
+           views)
+    in
+    let tm =
+      Sh_wf.make ~max_threads:mt ~batch_watermark:wm ~ro_snapshot:Wf.snapshot_ops
+        shards
+    in
+    (match telemetry with
+    | Some te -> Sh_wf.attach_telemetry tm te
+    | None -> ());
+    R_wf.elastic tm
+      ~split:(fun ~src ~dst -> Sh_wf.split tm ~src ~dst)
+      ~merge:(fun ~src ~dst -> Sh_wf.merge tm ~src ~dst)
+      ~map_entries:(fun () -> Sh_wf.map_entries tm)
+      ~map_epoch:(fun () -> Sh_wf.map_epoch tm)
+      ~recover:(fun () -> Sh_wf.recover ~shard_recover:Wf.recover tm)
+      ~device ~shards:n ~plan ~ro_pct ~threads ~rounds ~seed
+  end
+  else begin
+    let shards =
+      Array.of_list
+        (List.map
+           (fun v ->
+             let sh =
+               Lf.create ~region:v ~instance:(Region.id v) ~max_threads:mt
+                 ~ws_cap:256 ~num_roots ()
+             in
+             (match telemetry with
+             | Some te -> Lf.attach_telemetry sh te
+             | None -> ());
+             sh)
+           views)
+    in
+    let tm =
+      Sh_lf.make ~max_threads:mt ~batch_watermark:wm ~ro_snapshot:Lf.snapshot_ops
+        shards
+    in
+    (match telemetry with
+    | Some te -> Sh_lf.attach_telemetry tm te
+    | None -> ());
+    R_lf.elastic tm
+      ~split:(fun ~src ~dst -> Sh_lf.split tm ~src ~dst)
+      ~merge:(fun ~src ~dst -> Sh_lf.merge tm ~src ~dst)
+      ~map_entries:(fun () -> Sh_lf.map_entries tm)
+      ~map_epoch:(fun () -> Sh_lf.map_epoch tm)
+      ~recover:(fun () -> Sh_lf.recover ~shard_recover:Lf.recover tm)
+      ~device ~shards:n ~plan ~ro_pct ~threads ~rounds ~seed
+  end
+
+let run_elastic ?(wf = false) ?telemetry ?(ro_pct = 60) ~shards ~threads
+    ~rounds ~seed () =
+  elastic_run ~wf ~telemetry ~ro_pct ~plan:`Storm ~shards ~threads ~rounds ~seed
+
+let run_elastic_action ?(wf = false) ?telemetry ?(ro_pct = 60) ~shards ~action
+    ~threads ~rounds ~seed () =
+  elastic_run ~wf ~telemetry ~ro_pct ~plan:(`Once action) ~shards ~threads
+    ~rounds ~seed

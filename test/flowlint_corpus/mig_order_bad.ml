@@ -1,0 +1,45 @@
+(* Planted violations of the migration-record-order rule: the live
+   range-migration protocol's stage order (publish the durable record,
+   copy bounded chunks, flip the map epoch) is matched by callee name.
+   Expected: two findings in eager_copy (a copy before the record on
+   every path, and one only dominated on the urgent branch), one in
+   late_copy (a straggler chunk after the flip), and one in
+   loop_back_edge (the flip inside the loop reaches the next
+   iteration's copy across the back edge).  The healthy control at the
+   bottom must stay silent. *)
+
+let publish_migration_record t m = ignore t; ignore m
+let migrate_chunk t m ~off ~len = ignore t; ignore m; ignore off; ignore len
+let flip_map_epoch t m = ignore t; ignore m
+
+(* BAD: the first chunk is copied before the durable record exists *)
+let eager_copy t m urgent =
+  migrate_chunk t m ~off:0 ~len:8;
+  if urgent then publish_migration_record t m;
+  migrate_chunk t m ~off:8 ~len:8;
+  flip_map_epoch t m
+
+(* BAD: a straggler chunk lands after the epoch flip *)
+let late_copy t m =
+  publish_migration_record t m;
+  migrate_chunk t m ~off:0 ~len:8;
+  flip_map_epoch t m;
+  migrate_chunk t m ~off:8 ~len:8
+
+(* BAD: the flip sits inside the chunk loop, so every iteration after
+   the first copies into a range the map already routes to the host *)
+let loop_back_edge t m =
+  publish_migration_record t m;
+  for off = 0 to 3 do
+    migrate_chunk t m ~off ~len:8;
+    flip_map_epoch t m
+  done
+
+(* control: the protocol order, chunk loop strictly between the record
+   publish and the flip *)
+let healthy t m =
+  publish_migration_record t m;
+  for off = 0 to 3 do
+    migrate_chunk t m ~off ~len:8
+  done;
+  flip_map_epoch t m

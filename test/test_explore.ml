@@ -403,6 +403,89 @@ let test_planted_torn_commit_record_wf () =
       check_bool "shrunk program still crashes" true (small.E.crash <> None);
       assert_deterministic_replay small
 
+let test_planted_torn_migration () =
+  (* the elastic-sharding bug: a migrator fiber splits shard 0 live while
+     the program runs, and the planted fault settles the move with a
+     half-length persistent map entry.  Crash-free executions are correct
+     (the volatile route cache holds the full range), so only the
+     crash-point sweep can see it: a crash after the flip makes the
+     reopened router route the torn upper half (which covers live root 6)
+     back to the stale source copy, losing post-flip writes — a state no
+     crash-consistent serialization explains.  The sweep's earlier sites
+     land inside the migration's own publish/copy loop, so roll-forward
+     recovery is exercised (and must stay silent) on the way to the
+     manifestation. *)
+  let config =
+    {
+      E.default with
+      E.wf = true;
+      shards = 2;
+      sanitize = false;
+      fault = E.Torn_migration;
+    }
+  in
+  let find prog =
+    (E.explore_crashes ~config ~sites:`Persist ~max_sites:60 prog).E.failure
+  in
+  let rec hunt = function
+    | [] -> None
+    | seed :: rest -> (
+        let prog =
+          Proggen.gen_program ~max_txns:4 ~max_ops:4 ~transfers:true seed
+        in
+        (* the torn half covers root slot 6: only programs that write it
+           (a pointer slot — alloc or free into slot 6) can manifest *)
+        let touches_6 =
+          List.exists
+            (fun t ->
+              List.exists
+                (function
+                  | Proggen.Alloc_into (6, _, _) | Proggen.Free_slot 6 -> true
+                  | _ -> false)
+                t.Proggen.ops)
+            prog
+        in
+        if not touches_6 then hunt rest
+        else match find prog with Some f -> Some f | None -> hunt rest)
+  in
+  match hunt [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12; 13; 14; 15 ] with
+  | None -> Alcotest.fail "planted torn migration not found within budget"
+  | Some f ->
+      check_bool "found at a crash point" true (f.E.crash <> None);
+      let small = E.shrink ~find f in
+      check_bool "shrunk program still crashes" true (small.E.crash <> None);
+      assert_deterministic_replay small
+
+let test_migration_clean_sweep () =
+  (* the same migrator-under-traffic sweep WITHOUT the fault (config
+     [migrate] runs a healthy live split ahead of the program) must stay
+     silent: crashes planted inside the migration's record publish, its
+     chunked copy loop and the settle/retire — plus every eviction
+     variant at each — all recover to a crash-consistent state (roll
+     forward once the record is durable, roll back of the orphaned
+     write-ahead hold before it) *)
+  List.iter
+    (fun wf ->
+      let config =
+        { E.default with E.wf; shards = 2; sanitize = false; migrate = true }
+      in
+      List.iter
+        (fun seed ->
+          let prog =
+            Proggen.gen_program ~max_txns:3 ~max_ops:3 ~transfers:true seed
+          in
+          let r =
+            E.explore_crashes ~config ~sites:`Persist ~max_sites:30 prog
+          in
+          match r.E.failure with
+          | Some f ->
+              Alcotest.failf "%s seed %d: %a"
+                (if wf then "wf" else "lf")
+                seed E.pp_failure f
+          | None -> ())
+        [ 4; 5 ])
+    [ false; true ]
+
 (* --- helper early-exit under controlled interleaving --------------- *)
 
 (* Overlapping multi-word write sets under the seeded round-robin
@@ -510,6 +593,10 @@ let () =
             test_planted_torn_commit_record;
           Alcotest.test_case "torn-commit-record-wf-router" `Quick
             test_planted_torn_commit_record_wf;
+          Alcotest.test_case "migration-crash-sweep-clean" `Quick
+            test_migration_clean_sweep;
+          Alcotest.test_case "torn-migration-via-oracle" `Quick
+            test_planted_torn_migration;
         ] );
       ( "hotpath",
         [

@@ -78,7 +78,7 @@ let test_corpus_covers_all_rules () =
     [
       "missing-flush"; "duplicate-flush"; "publish-before-flush";
       "missing-preflush"; "unbounded-loop"; "lock-order"; "flowlint-annot";
-      "unpinned-snapshot-load";
+      "unpinned-snapshot-load"; "migration-record-order";
     ]
 
 (* Repo scoping: the same fixture under a path outside the wait-free

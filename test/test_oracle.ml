@@ -44,14 +44,14 @@ let sharded_views n =
   let device = Region.create ~mode:Region.Volatile (n * span) in
   Region.partition device (List.init n (fun _ -> span))
 
-let mk_sh_lf ~shards:n ~sanitize () =
+let mk_sh_lf ?(num_roots = 16) ~shards:n ~sanitize () =
   let shards =
     Array.of_list
       (List.map
          (fun v ->
            let sh =
              Lf.create ~region:v ~instance:(Region.id v) ~max_threads:8
-               ~ws_cap:256 ~num_roots:16 ()
+               ~ws_cap:256 ~num_roots ()
            in
            if sanitize then ignore (Lf.sanitize sh);
            sh)
@@ -59,14 +59,14 @@ let mk_sh_lf ~shards:n ~sanitize () =
   in
   Sh_lf.make ~max_threads:8 ~ro_snapshot:Lf.snapshot_ops shards
 
-let mk_sh_wf ~shards:n ~sanitize () =
+let mk_sh_wf ?(num_roots = 16) ~shards:n ~sanitize () =
   let shards =
     Array.of_list
       (List.map
          (fun v ->
            let sh =
              Wf.create ~region:v ~instance:(Region.id v) ~max_threads:8
-               ~ws_cap:256 ~num_roots:16 ()
+               ~ws_cap:256 ~num_roots ()
            in
            if sanitize then ignore (Wf.sanitize sh);
            sh)
@@ -117,7 +117,8 @@ let run_all ?ro_weight () =
    transfer_weight: None is the historical ~transfers:true mix (~17%
    transfers), Some w pins the mix precisely — 0 / 3 / 10 give the
    0% / ~25% / 50% cross-mix points of the batched-router battery. *)
-let run_sharded ?weight ?ro_weight n () =
+let run_sharded ?weight ?ro_weight ?(migrations = Proggen.Mig_off) ?num_roots n
+    () =
   for seed = 1 to seeds do
     let sanitize = seed mod 10 = 0 in
     let prog =
@@ -125,10 +126,46 @@ let run_sharded ?weight ?ro_weight n () =
       | None -> Proggen.gen_program ~transfers:true ?ro_weight seed
       | Some w -> Proggen.gen_program ~transfer_weight:w ?ro_weight seed
     in
+    (* the elastic schedule: split/merge calls fired between the program's
+       transactions.  Migrations are semantically invisible, so the Seqtm
+       expectation is unchanged — any divergence is a router bug.  Every
+       plan prefix is valid, so each action must report `Ok even while the
+       shrinker replays truncated programs. *)
+    let plan =
+      Proggen.migration_plan ~seed ~txns:(List.length prog) ~shards:n
+        ~mode:migrations
+    in
+    let fire apply t i =
+      List.iter
+        (fun (j, a) ->
+          if j = i then
+            match apply t a with
+            | `Ok -> ()
+            | `Busy | `Invalid _ ->
+                Alcotest.failf "seed %d: planned elastic action [%a] rejected"
+                  seed Proggen.pp_mig_action a)
+        plan
+    in
+    let lf_act t = function
+      | Proggen.Mig_split (src, dst) -> Sh_lf.split t ~src ~dst
+      | Proggen.Mig_merge (src, dst) -> Sh_lf.merge t ~src ~dst
+    in
+    let wf_act t = function
+      | Proggen.Mig_split (src, dst) -> Sh_wf.split t ~src ~dst
+      | Proggen.Mig_merge (src, dst) -> Sh_wf.merge t ~src ~dst
+    in
     let sh_check p =
       let expected = Run_seq.run mk_seq p in
-      let lf = Run_sh_lf.run (mk_sh_lf ~shards:n ~sanitize) p in
-      let wf = Run_sh_wf.run (mk_sh_wf ~shards:n ~sanitize) p in
+      let lf =
+        Run_sh_lf.run ~before_txn:(fire lf_act)
+          (mk_sh_lf ?num_roots ~shards:n ~sanitize)
+          p
+      in
+      let wf =
+        Run_sh_wf.run ~before_txn:(fire wf_act)
+          (mk_sh_wf ?num_roots ~shards:n ~sanitize)
+          p
+      in
       { lf_ok = lf = expected; wf_ok = wf = expected }
     in
     let o = sh_check prog in
@@ -254,6 +291,34 @@ let () =
             (Printf.sprintf "sharded-4-mix50-vs-seqtm-%d-seeds" seeds)
             `Quick
             (run_sharded ~weight:10 4);
+          (* elastic battery: live split/merge migrations injected between
+             the program's transactions must be invisible to the Seqtm
+             differential.  num_roots is shrunk (8 at 2 shards, 4 at 4) so
+             a split's upper-half range covers root slots the program
+             actually reads and writes — the migrated data is live, not
+             padding — while the router still exposes Proggen's 8 slots.
+             ~25% transfer mix keeps cross-shard writers in flight across
+             the epoch flips. *)
+          Alcotest.test_case
+            (Printf.sprintf "sharded-2-mig-every5-vs-seqtm-%d-seeds" seeds)
+            `Quick
+            (run_sharded ~weight:3 ~migrations:(Proggen.Mig_every 5)
+               ~num_roots:8 2);
+          Alcotest.test_case
+            (Printf.sprintf "sharded-2-mig-random-vs-seqtm-%d-seeds" seeds)
+            `Quick
+            (run_sharded ~weight:3 ~migrations:(Proggen.Mig_random 7)
+               ~num_roots:8 2);
+          Alcotest.test_case
+            (Printf.sprintf "sharded-4-mig-every5-vs-seqtm-%d-seeds" seeds)
+            `Quick
+            (run_sharded ~weight:3 ~migrations:(Proggen.Mig_every 5)
+               ~num_roots:4 4);
+          Alcotest.test_case
+            (Printf.sprintf "sharded-4-mig-random-vs-seqtm-%d-seeds" seeds)
+            `Quick
+            (run_sharded ~weight:3 ~migrations:(Proggen.Mig_random 7)
+               ~num_roots:4 4);
           Alcotest.test_case "harness-detects-planted-bug" `Quick
             harness_detects_bugs;
         ] );

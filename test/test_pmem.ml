@@ -158,6 +158,170 @@ let test_stats_reset_diff () =
   Pstats.reset st;
   check int "reset" 0 st.Pstats.loads
 
+(* ------------------------------------------------------------------ *)
+(* Views: partition / subview — the elastic-sharding substrate.        *)
+
+let test_partition_uneven () =
+  let r = Region.create 64 in
+  let vs = Region.partition r [ 4; 12; 32 ] in
+  check int "three views" 3 (List.length vs);
+  let v0 = List.nth vs 0 and v1 = List.nth vs 1 and v2 = List.nth vs 2 in
+  check int "v0 size" 4 (Region.size v0);
+  check int "v1 size" 12 (Region.size v1);
+  check int "v2 size" 32 (Region.size v2);
+  check int "v0 offset" 0 (Region.offset v0);
+  check int "v1 offset" 4 (Region.offset v1);
+  check int "v2 offset" 16 (Region.offset v2);
+  check Alcotest.string "telemetry id" "s2" (Region.id v2);
+  check bool "parent is the root" true
+    (match Region.parent v2 with Some p -> p == r | None -> false);
+  (* view-local cell 0 of v2 is device cell 16 *)
+  Region.store v2 0 (w 7 1);
+  check int "view-local store lands at the view's base" 7
+    (wv (Region.peek r 16));
+  check int "view stats charged" 1 (Region.stats v2).Pstats.stores;
+  check int "root aggregates view traffic" 1 (Region.stats r).Pstats.stores;
+  (* the 16-cell slack past the last view stays addressable via the root *)
+  check int "slack untouched" 0 (wv (Region.load r 63))
+
+let test_partition_min_shard () =
+  (* minimum legal shard: exactly one cache line *)
+  let r = Region.create 16 in
+  let vs = Region.partition r [ Region.line_cells; Region.line_cells ] in
+  let v0 = List.nth vs 0 and v1 = List.nth vs 1 in
+  check int "one-line shard" Region.line_cells (Region.size v0);
+  Region.store v0 3 (w 1 1);
+  Region.store v1 0 (w 2 1);
+  check int "v0 last cell is device 3" 1 (wv (Region.peek r 3));
+  check int "v1 first cell is device 4" 2 (wv (Region.peek r 4));
+  (* each one-line view reports its own dirt only *)
+  check int "v0 one dirty line" 1 (Region.dirty_lines v0);
+  check int "v1 one dirty line" 1 (Region.dirty_lines v1)
+
+let test_partition_rejects () =
+  let r = Region.create 16 in
+  let rejected sizes =
+    match Region.partition r sizes with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  check bool "zero size" true (rejected [ 4; 0 ]);
+  check bool "negative size" true (rejected [ -4 ]);
+  check bool "not a line multiple" true (rejected [ 6 ]);
+  check bool "sum exceeds the region" true (rejected [ 8; 12 ]);
+  check int "exact fit accepted" 2 (List.length (Region.partition r [ 8; 8 ]))
+
+let test_repartition_composes_offsets () =
+  let r = Region.create 128 in
+  let shards = Region.partition r [ 64; 64 ] in
+  let s1 = List.nth shards 1 in
+  let subs = Region.partition ~id_prefix:"m" s1 [ 16; 16; 32 ] in
+  let m2 = List.nth subs 2 in
+  check int "offset composes through the intermediate view" 96
+    (Region.offset m2);
+  check bool "parent is the root, not the intermediate view" true
+    (match Region.parent m2 with Some p -> p == r | None -> false);
+  Region.store m2 1 (w 11 1);
+  check int "device coordinates" 11 (wv (Region.peek r 97));
+  check int "intermediate-view coordinates" 11 (wv (Region.peek s1 33));
+  (* nested views joined the root's broadcast list: Ev_crash reaches them *)
+  let crashed = ref 0 in
+  List.iter
+    (fun v ->
+      Region.set_observer v
+        (Some (function Region.Ev_crash -> incr crashed | _ -> ())))
+    subs;
+  Region.crash r ();
+  check int "Ev_crash broadcast to nested views" 3 !crashed;
+  check int "unflushed nested store dropped" 0 (wv (Region.peek r 97));
+  (* the device is the crash domain: crashing a view is refused *)
+  check bool "view crash rejected" true
+    (match Region.crash s1 () with
+    | exception Invalid_argument _ -> true
+    | () -> false)
+
+let test_subview_window () =
+  let r = Region.create 64 in
+  let s1 = List.nth (Region.partition r [ 32; 32 ]) 1 in
+  (* unaligned observation window over the middle of shard 1, the way the
+     explorer aims at a migration's copy window *)
+  let win = Region.subview ~id:"mig" s1 ~off:5 ~len:7 in
+  check int "offset composes" 37 (Region.offset win);
+  check int "window length" 7 (Region.size win);
+  check Alcotest.string "window id" "mig" (Region.id win);
+  (* aliasing: traffic through the shard view is visible through the
+     window's peek but not mirrored into the window's Pstats *)
+  Region.store s1 6 (w 42 1);
+  check int "peek sees the shard store" 42 (wv (Region.peek win 1));
+  check int "window stats not charged" 0 (Region.stats win).Pstats.stores;
+  (* dirt outside the window is invisible; inside it, view-local lines *)
+  Region.store s1 30 (w 9 1);
+  check
+    Alcotest.(list int)
+    "only the window's line, window-locally" [ 0 ]
+    (Region.dirty_line_indices win);
+  check
+    Alcotest.(list int)
+    "the shard view sees both, shard-locally" [ 1; 7 ]
+    (Region.dirty_line_indices s1);
+  (* the window's dirt, translated to device lines, aims an eviction *)
+  let evict =
+    List.map
+      (fun l -> l + (Region.offset win / Region.line_cells))
+      (Region.dirty_line_indices win)
+  in
+  Region.crash r ~evict_lines:evict ();
+  check int "aimed eviction persisted the window line" 42
+    (wv (Region.peek r 38));
+  check int "dirt outside the window dropped" 0 (wv (Region.peek r 62))
+
+let test_subview_bounds () =
+  let r = Region.create 32 in
+  let bad f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  check bool "negative off" true
+    (bad (fun () -> Region.subview r ~off:(-1) ~len:4));
+  check bool "zero len" true (bad (fun () -> Region.subview r ~off:0 ~len:0));
+  check bool "past the end" true
+    (bad (fun () -> Region.subview r ~off:30 ~len:4));
+  (* a window over a view is bounded by the view, not the device *)
+  let s0 = List.nth (Region.partition r [ 16; 16 ]) 0 in
+  check bool "window clipped to the view" true
+    (bad (fun () -> Region.subview s0 ~off:12 ~len:8));
+  let whole = Region.subview s0 ~off:0 ~len:16 in
+  check int "full-view window shares the base" (Region.offset s0)
+    (Region.offset whole)
+
+(* The elastic shard map reserves a control block at the head of shard 0
+   (DESIGN.md §14).  When the block length is not a line multiple, the
+   boundary cache line is shared between the control and data windows,
+   so both report it as dirty — tooling that fans dirt out to windows
+   must dedupe on device lines, not on windows. *)
+let test_ctl_block_boundary () =
+  let r = Region.create 64 in
+  let s0 = List.nth (Region.partition r [ 32; 32 ]) 0 in
+  let ctl = Region.subview ~id:"ctl" s0 ~off:0 ~len:6 in
+  let data = Region.subview ~id:"data" s0 ~off:6 ~len:26 in
+  (* a store into the data half of the shared boundary line *)
+  Region.store s0 7 (w 1 1);
+  check
+    Alcotest.(list int)
+    "boundary line shows in the control window" [ 1 ]
+    (Region.dirty_line_indices ctl);
+  check
+    Alcotest.(list int)
+    "and in the data window, window-locally" [ 0 ]
+    (Region.dirty_line_indices data);
+  Region.pwb r 4;
+  check int "clean after flushing the boundary line" 0 (Region.dirty_lines ctl);
+  (* deep-data dirt never reaches the control window *)
+  Region.store s0 20 (w 2 1);
+  check
+    Alcotest.(list int)
+    "control window silent" []
+    (Region.dirty_line_indices ctl)
+
 let () =
   Alcotest.run "pmem"
     [
@@ -177,5 +341,17 @@ let () =
           Alcotest.test_case "crash mid-simulation" `Quick test_crash_in_simulation;
           Alcotest.test_case "peek durable" `Quick test_peek_durable;
           Alcotest.test_case "stats copy/diff/reset" `Quick test_stats_reset_diff;
+        ] );
+      ( "views",
+        [
+          Alcotest.test_case "uneven partition" `Quick test_partition_uneven;
+          Alcotest.test_case "minimum-size shard" `Quick test_partition_min_shard;
+          Alcotest.test_case "partition rejects" `Quick test_partition_rejects;
+          Alcotest.test_case "re-partition composes offsets" `Quick
+            test_repartition_composes_offsets;
+          Alcotest.test_case "subview window" `Quick test_subview_window;
+          Alcotest.test_case "subview bounds" `Quick test_subview_bounds;
+          Alcotest.test_case "control-block boundary" `Quick
+            test_ctl_block_boundary;
         ] );
     ]

@@ -193,8 +193,9 @@ let test_crash_recovery () =
    between the final prepare and the record commit leaves behind. *)
 
 (* mirror of the private control-block layout in tm_shard.ml: make's
-   default max_pending = 32 and mk_sharded's max_threads = 8 *)
-let ctl_cells = 3 + 32 + (2 * 8)
+   default max_pending = 32 and mk_sharded's max_threads = 8, plus the
+   migration-hold cell appended by the elastic-sharding refactor *)
+let ctl_cells = 4 + 32 + (2 * 8)
 
 let ctl_base sh =
   Wf.read_tx sh (fun itx -> Wf.load itx (Wf.root sh (Wf.num_roots sh - 1)))
@@ -613,6 +614,251 @@ let test_lf_router_volatile () =
   in
   check int "volatile lf cross tx" 3 v
 
+(* --- elastic sharding: live range migration ------------------------ *)
+
+(* shard-0 control appendix mirror (defaults: max_pending 32,
+   max_threads 8, max_cross_writes 64, max_cross_frees 32,
+   max_ranges 8): batch record, then map, then migration record *)
+let rec_cells = 5 + (2 * 64) + 32
+let map_base sh0 = ctl_base sh0 + ctl_cells + rec_cells
+let mig_base sh0 = map_base sh0 + 2 + (4 * 8)
+let mighold sh = ctl_base sh + 3 + 32 + (2 * 8)
+
+let ok = Alcotest.of_pp (fun ppf -> function
+  | `Ok -> Fmt.string ppf "Ok"
+  | `Busy -> Fmt.string ppf "Busy"
+  | `Invalid m -> Fmt.pf ppf "Invalid %s" m)
+
+let test_migrate_split_merge () =
+  let _dev, tm = mk_sharded ~n:2 () in
+  init_accounts tm 100;
+  (* root 6 sits in the upper half of shard 0's root block (slot 3 of
+     usable 7); give it a distinguishable balance *)
+  transfer tm 0 6 17;
+  check ok "split" `Ok (Sh_wf.split tm ~src:0 ~dst:1);
+  check int "one migrated range" 1 (Array.length (Sh_wf.map_entries tm));
+  check int "epoch flipped" 1 (Sh_wf.map_epoch tm);
+  check int "migrated root rehomed" 1 (Sh_wf.shard_of tm (Sh_wf.root tm 6));
+  check int "conservation across the flip" (8 * 100) (total tm);
+  let v6 = Sh_wf.read_tx tm (fun tx -> Sh_wf.load tx (Sh_wf.root tm 6)) in
+  check int "migrated value intact" 117 v6;
+  (* writes keep landing on the new home, reads see them *)
+  transfer tm 6 1 7;
+  check int "post-flip write" 110
+    (Sh_wf.read_tx tm (fun tx -> Sh_wf.load tx (Sh_wf.root tm 6)));
+  check int "conservation after post-flip traffic" (8 * 100) (total tm);
+  (* retire the range back home *)
+  check ok "merge" `Ok (Sh_wf.merge tm ~src:1 ~dst:0);
+  check int "range table empty again" 0 (Array.length (Sh_wf.map_entries tm));
+  check int "epoch flipped again" 2 (Sh_wf.map_epoch tm);
+  check int "root back home" 0 (Sh_wf.shard_of tm (Sh_wf.root tm 6));
+  check int "value survived the round trip" 110
+    (Sh_wf.read_tx tm (fun tx -> Sh_wf.load tx (Sh_wf.root tm 6)));
+  check int "conservation after the round trip" (8 * 100) (total tm)
+
+let test_migrate_under_traffic () =
+  let _dev, tm = mk_sharded ~n:2 () in
+  init_accounts tm 100;
+  let te = Telemetry.create () in
+  Sh_wf.attach_telemetry tm te;
+  let rng = Rng.create 42 in
+  let worker w () =
+    for i = 1 to 30 do
+      let a = (w + i) mod accounts and b = (w + (2 * i) + 1) mod accounts in
+      if a <> b then transfer tm a b ((i mod 5) + 1)
+    done
+  in
+  let migrator () =
+    (match Sh_wf.split tm ~src:0 ~dst:1 with
+    | `Ok -> ()
+    | `Busy | `Invalid _ -> Alcotest.fail "split under traffic");
+    for _ = 1 to 10 do
+      ignore (Rng.int rng 2);
+      Sched.step_point ()
+    done;
+    match Sh_wf.merge tm ~src:1 ~dst:0 with
+    | `Ok -> ()
+    | `Busy | `Invalid _ -> Alcotest.fail "merge under traffic"
+  in
+  ignore
+    (Sched.run ~seed:7
+       (Array.append
+          (Array.init 3 (fun w () -> worker w ()))
+          [| migrator |]));
+  check int "conservation under migration storm" (8 * 100) (total tm);
+  check int "both migrations completed" 2
+    (Telemetry.get te "router.migrations");
+  check int "epoch flips observed" 2 (Telemetry.get te "router.map_epoch");
+  check int "table empty after round trip" 0
+    (Array.length (Sh_wf.map_entries tm));
+  Sh_wf.detach_telemetry tm
+
+let test_migrate_validation () =
+  let _dev, tm = mk_sharded ~n:2 () in
+  init_accounts tm 100;
+  let inv = function `Invalid _ -> true | `Ok | `Busy -> false in
+  check bool "same shard rejected" true
+    (inv (Sh_wf.migrate_range tm ~lo:(Sh_wf.root tm 0) ~len:2 ~dst:0));
+  check bool "no such shard rejected" true
+    (inv (Sh_wf.migrate_range tm ~lo:(Sh_wf.root tm 0) ~len:2 ~dst:9));
+  check bool "empty range rejected" true
+    (inv (Sh_wf.migrate_range tm ~lo:(Sh_wf.root tm 0) ~len:0 ~dst:1));
+  check bool "shard-boundary straddle rejected" true
+    (inv (Sh_wf.migrate_range tm ~lo:(Sh_wf.span tm - 2) ~len:4 ~dst:1));
+  (* the shard-0 control block (and the batch record/map/migration
+     appendix behind it) must be unmovable *)
+  let cb0 = ctl_base (Sh_wf.shards tm).(0) in
+  check bool "control block protected" true
+    (inv (Sh_wf.migrate_range tm ~lo:cb0 ~len:4 ~dst:1));
+  check bool "record appendix protected" true
+    (inv (Sh_wf.migrate_range tm ~lo:(mig_base (Sh_wf.shards tm).(0)) ~len:4 ~dst:1));
+  (* reserved root slot (holds the control-block pointer) *)
+  let sh0 = (Sh_wf.shards tm).(0) in
+  check bool "reserved root slot protected" true
+    (inv (Sh_wf.migrate_range tm ~lo:(Wf.root sh0 7) ~len:1 ~dst:1));
+  (* a live split, then: overlap and non-native retire rejected *)
+  check ok "setup split" `Ok (Sh_wf.split tm ~src:0 ~dst:1);
+  let lo, len, _, _ = (Sh_wf.map_entries tm).(0) in
+  check bool "partial overlap rejected" true
+    (inv (Sh_wf.migrate_range tm ~lo:(lo + 1) ~len ~dst:1));
+  check bool "exact range to a third home rejected" true
+    (inv (Sh_wf.migrate_range tm ~lo ~len ~dst:1));
+  check ok "retire cleanly" `Ok (Sh_wf.migrate_range tm ~lo ~len ~dst:0)
+
+let test_migrate_table_full () =
+  let device = Region.create (2 * 4096) in
+  let views = Region.partition device [ 4096; 4096 ] in
+  let shards =
+    Array.of_list
+      (List.map
+         (fun v ->
+           Wf.create ~region:v ~instance:(Region.id v) ~max_threads:8
+             ~ws_cap:256 ~num_roots:8 ())
+         views)
+  in
+  let tm =
+    Sh_wf.make ~max_threads:8 ~max_ranges:1 ~ro_snapshot:Wf.snapshot_ops
+      shards
+  in
+  check ok "first split fits" `Ok (Sh_wf.split tm ~src:0 ~dst:1);
+  (match Sh_wf.split tm ~src:1 ~dst:0 with
+  | `Invalid _ -> ()
+  | `Ok | `Busy -> Alcotest.fail "second range must overflow the table");
+  check ok "retire frees the slot" `Ok (Sh_wf.merge tm ~src:1 ~dst:0);
+  check ok "slot reusable" `Ok (Sh_wf.split tm ~src:1 ~dst:0)
+
+let test_migration_roll_forward () =
+  (* fabricate the durable footprint of a crash right after the
+     migration record became durable, before any chunk was copied: a
+     held host block on dst and a status=1 record on shard 0.  Recovery
+     must roll the move FORWARD — full recopy, entry + epoch settled,
+     hold lifted. *)
+  let dev, tm = mk_sharded ~n:2 () in
+  init_accounts tm 100;
+  transfer tm 0 6 23;
+  let shards = Sh_wf.shards tm in
+  let sh0 = shards.(0) and sh1 = shards.(1) in
+  let sbase = Wf.root sh0 3 (* slots 3..6: upper half of 7 roots *) in
+  let len = 4 in
+  (* mirror addresses are computed OUTSIDE the fabrication transactions:
+     the helpers run a read_tx of their own, which must not nest inside
+     a live update closure *)
+  let hold1 = mighold sh1 in
+  let dbase =
+    Wf.update_tx sh1 (fun itx ->
+        let a = Wf.alloc itx len in
+        Wf.store itx hold1 a;
+        a)
+  in
+  let mb = mig_base sh0 in
+  ignore
+    (Wf.update_tx sh0 (fun itx ->
+         Wf.store itx (mb + 1) sbase (* global lo = shard-0 local *);
+         Wf.store itx (mb + 2) len;
+         Wf.store itx (mb + 3) 0;
+         Wf.store itx (mb + 4) 1;
+         Wf.store itx (mb + 5) sbase;
+         Wf.store itx (mb + 6) dbase;
+         Wf.store itx (mb + 7) 1;
+         Wf.store itx mb 1;
+         0));
+  Region.crash dev ();
+  Sh_wf.recover ~shard_recover:Wf.recover tm;
+  check int "entry settled" 1 (Array.length (Sh_wf.map_entries tm));
+  check int "epoch settled" 1 (Sh_wf.map_epoch tm);
+  check int "record finalized" 2
+    (Wf.read_tx sh0 (fun itx -> Wf.load itx mb));
+  check int "hold lifted" 0 (Wf.read_tx sh1 (fun itx -> Wf.load itx hold1));
+  check int "root rehomed" 1 (Sh_wf.shard_of tm (Sh_wf.root tm 6));
+  check int "value recopied" 123
+    (Sh_wf.read_tx tm (fun tx -> Sh_wf.load tx (Sh_wf.root tm 6)));
+  check int "conservation" (8 * 100) (total tm);
+  (* the router stays fully usable, including retiring the adopted range *)
+  transfer tm 6 0 3;
+  check ok "retire after roll-forward" `Ok (Sh_wf.merge tm ~src:1 ~dst:0);
+  check int "conservation after retire" (8 * 100) (total tm)
+
+let test_migration_roll_back () =
+  (* a held host block with NO migration record is an orphan of a crash
+     before the point of no return: recovery frees it and clears the
+     hold; the map stays empty *)
+  let dev, tm = mk_sharded ~n:2 () in
+  init_accounts tm 100;
+  let sh1 = (Sh_wf.shards tm).(1) in
+  let base = Wf.allocated_cells sh1 in
+  let hold1 = mighold sh1 in
+  ignore
+    (Wf.update_tx sh1 (fun itx ->
+         let a = Wf.alloc itx 4 in
+         Wf.store itx hold1 a;
+         a));
+  Region.crash dev ();
+  Sh_wf.recover ~shard_recover:Wf.recover tm;
+  check int "orphan host block freed" base (Wf.allocated_cells sh1);
+  check int "hold cleared" 0
+    (Wf.read_tx sh1 (fun itx -> Wf.load itx hold1));
+  check int "no entry" 0 (Array.length (Sh_wf.map_entries tm));
+  check int "epoch untouched" 0 (Sh_wf.map_epoch tm);
+  check int "conservation" (8 * 100) (total tm)
+
+let test_migration_reopen_adoption () =
+  (* a second router incarnation over the same device adopts the
+     persistent map: routes, values and a follow-up retire all work *)
+  let _dev, tm = mk_sharded ~n:2 () in
+  init_accounts tm 100;
+  transfer tm 0 6 9;
+  check ok "split" `Ok (Sh_wf.split tm ~src:0 ~dst:1);
+  let tm2 =
+    Sh_wf.make ~max_threads:8 ~ro_snapshot:Wf.snapshot_ops (Sh_wf.shards tm)
+  in
+  check int "entry adopted" 1 (Array.length (Sh_wf.map_entries tm2));
+  check int "epoch adopted" 1 (Sh_wf.map_epoch tm2);
+  check int "route adopted" 1 (Sh_wf.shard_of tm2 (Sh_wf.root tm2 6));
+  check int "value through the adopted map" 109
+    (Sh_wf.read_tx tm2 (fun tx -> Sh_wf.load tx (Sh_wf.root tm2 6)));
+  check ok "retire through the adopted map" `Ok (Sh_wf.merge tm2 ~src:1 ~dst:0);
+  check int "conservation" (8 * 100) (total tm2)
+
+let test_torn_migration_manifests () =
+  (* self-check that the planted fault is a real bug: the settle
+     transaction persists a half-length entry, so after a crash the
+     reopened router routes the upper half of the range to the stale
+     source copy and post-flip writes to it are lost *)
+  let dev, tm = mk_sharded ~n:2 () in
+  init_accounts tm 100;
+  (Sh_wf.faults tm).Sh_wf.torn_migration <- true;
+  check ok "split with fault armed" `Ok (Sh_wf.split tm ~src:0 ~dst:1);
+  (* root slot 5 of shard 0 (global root index 10) is in the torn-off
+     upper half; write it post-flip — crash-free reads see the write *)
+  let r10 = Sh_wf.root tm 10 in
+  ignore (Sh_wf.update_tx tm (fun tx -> Sh_wf.store tx r10 777; 0));
+  check int "crash-free read sees the write" 777
+    (Sh_wf.read_tx tm (fun tx -> Sh_wf.load tx r10));
+  Region.crash dev ();
+  Sh_wf.recover ~shard_recover:Wf.recover tm;
+  check bool "post-flip write lost after crash (fault manifests)" true
+    (Sh_wf.read_tx tm (fun tx -> Sh_wf.load tx r10) <> 777)
+
 let () =
   Alcotest.run "shard"
     [
@@ -646,5 +892,23 @@ let () =
             test_torn_batch_found;
           Alcotest.test_case "clean-batcher-survives" `Quick
             test_torn_batch_clean_battery;
+        ] );
+      ( "migration",
+        [
+          Alcotest.test_case "split-merge-roundtrip" `Quick
+            test_migrate_split_merge;
+          Alcotest.test_case "migrate-under-traffic" `Quick
+            test_migrate_under_traffic;
+          Alcotest.test_case "validation" `Quick test_migrate_validation;
+          Alcotest.test_case "range-table-full" `Quick
+            test_migrate_table_full;
+          Alcotest.test_case "crash-roll-forward" `Quick
+            test_migration_roll_forward;
+          Alcotest.test_case "crash-roll-back" `Quick
+            test_migration_roll_back;
+          Alcotest.test_case "reopen-adoption" `Quick
+            test_migration_reopen_adoption;
+          Alcotest.test_case "torn-migration-manifests" `Quick
+            test_torn_migration_manifests;
         ] );
     ]
